@@ -1,0 +1,92 @@
+// Ablation A1: why two virtual channels?
+//
+// Section 4.5 cites the message-dependent-deadlock literature; Apiary's NoC
+// gives responses their own VC. This ablation measures what a single shared
+// channel costs: response latency under request congestion (head-of-line
+// blocking), dual-VC versus forced single-VC on the same mesh.
+#include <cstdio>
+
+#include "src/noc/mesh.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/stats/histogram.h"
+#include "src/stats/table.h"
+
+using namespace apiary;
+
+namespace {
+
+// Background: heavy request traffic along row 0 toward tile 3; probe:
+// response packets on the same path, latency recorded.
+Histogram Run(bool single_vc, double background_load) {
+  Simulator sim;
+  MeshConfig cfg{4, 4, 4, 512};
+  cfg.force_single_vc = single_vc;
+  Mesh mesh(cfg);
+  sim.Register(&mesh);
+  Rng rng(17);
+  Histogram response_latency;
+  uint64_t id = 1;
+  std::map<uint64_t, Cycle> inject_time;
+
+  for (Cycle t = 0; t < 200000; ++t) {
+    sim.Run(1);
+    // Background requests: 0 -> 3, size 160B (6 flits).
+    if (rng.NextBool(background_load)) {
+      auto p = std::make_shared<NocPacket>();
+      p->src = 0;
+      p->dst = 3;
+      p->vc = Vc::kRequest;
+      p->payload.assign(160, 1);
+      mesh.ni(0).Inject(p, sim.now());
+    }
+    // Probe responses: every 200 cycles, 0 -> 3, 32B.
+    if (t % 200 == 0) {
+      auto p = std::make_shared<NocPacket>();
+      p->src = 0;
+      p->dst = 3;
+      p->vc = Vc::kResponse;
+      p->packet_id = id;
+      p->payload.assign(32, 2);
+      if (mesh.ni(0).Inject(p, sim.now())) {
+        inject_time[id] = sim.now();
+        ++id;
+      }
+    }
+    while (auto got = mesh.ni(3).Retrieve()) {
+      auto it = inject_time.find(got->packet_id);
+      if (it != inject_time.end()) {
+        response_latency.Record(sim.now() - it->second);
+        inject_time.erase(it);
+      }
+    }
+  }
+  return response_latency;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A1: response latency under request congestion — 2 VCs vs 1 VC\n");
+  std::printf("(background 160B requests 0->3; probed 32B responses on the same path)\n");
+
+  Table table("A1: probe response latency (cycles)");
+  table.SetHeader({"background load", "VCs", "p50", "p99", "max", "delivered"});
+  for (double load : {0.1, 0.3, 0.5}) {
+    for (bool single : {false, true}) {
+      const Histogram h = Run(single, load);
+      char loadbuf[32];
+      std::snprintf(loadbuf, sizeof(loadbuf), "%.0f%%", load * 100);
+      table.AddRow({loadbuf, single ? "1 (shared)" : "2 (split)", Table::Int(h.P50()),
+                    Table::Int(h.P99()), Table::Int(h.max()), Table::Int(h.count())});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: with split VCs the response latency stays near the\n"
+      "zero-load baseline at every background level; with one shared channel the\n"
+      "responses queue behind multi-flit request wormholes and the tail grows with\n"
+      "load — the head-of-line blocking (and, at the limit, request-response\n"
+      "deadlock risk) that motivates VC separation in Section 4.5.\n");
+  return 0;
+}

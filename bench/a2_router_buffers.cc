@@ -1,0 +1,79 @@
+// Ablation A2: router buffer sizing — throughput vs logic cost.
+//
+// The per-tile router's input buffers are the largest knob in the NoC's
+// logic budget (E2 showed the static region scaling with tiles). This
+// ablation sweeps buffer depth under uniform-random traffic and reports
+// saturation throughput alongside the cell cost, exposing the knee.
+#include <cstdio>
+
+#include "src/noc/mesh.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/stats/table.h"
+
+using namespace apiary;
+
+namespace {
+
+struct Result {
+  double delivered_flits_per_cycle;
+  double mean_latency;
+};
+
+Result Run(uint32_t buffer_depth) {
+  Simulator sim;
+  MeshConfig cfg{4, 4, buffer_depth, 512};
+  Mesh mesh(cfg);
+  sim.Register(&mesh);
+  Rng rng(23);
+  constexpr Cycle kWarmup = 20000;
+  constexpr Cycle kWindow = 100000;
+
+  uint64_t delivered_flits = 0;
+  for (Cycle t = 0; t < kWarmup + kWindow; ++t) {
+    sim.Run(1);
+    // Saturating offered load: every tile tries to inject each cycle.
+    for (TileId src = 0; src < 16; ++src) {
+      auto p = std::make_shared<NocPacket>();
+      p->src = src;
+      p->dst = static_cast<TileId>(rng.NextBelow(16));
+      p->vc = rng.NextBool(0.5) ? Vc::kRequest : Vc::kResponse;
+      p->payload.assign(96, 1);  // 4 flits.
+      mesh.ni(src).Inject(p, sim.now());
+    }
+    for (TileId dst = 0; dst < 16; ++dst) {
+      while (auto got = mesh.ni(dst).Retrieve()) {
+        if (t >= kWarmup) {
+          delivered_flits += FlitCount(*got);
+        }
+      }
+    }
+  }
+  Result r;
+  r.delivered_flits_per_cycle = static_cast<double>(delivered_flits) / kWindow;
+  r.mean_latency = mesh.AggregateLatency().Mean();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A2: router input-buffer depth vs saturation throughput (4x4 mesh,\n");
+  std::printf("uniform random 96B packets, saturating offered load)\n");
+
+  Table table("A2: buffer-depth sweep");
+  table.SetHeader({"depth (flits/VC)", "delivered flits/cycle", "mean pkt latency (cyc)",
+                   "router cells", "16-router cells"});
+  for (uint32_t depth : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    const Result r = Run(depth);
+    table.AddRow({Table::Int(depth), Table::Num(r.delivered_flits_per_cycle, 2),
+                  Table::Num(r.mean_latency, 1), Table::Int(Router::LogicCellCost(depth)),
+                  Table::Int(16ull * Router::LogicCellCost(depth))});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: throughput climbs steeply up to ~8-flit buffers (enough to\n"
+      "cover a full packet per VC) then flattens, while the cell cost keeps growing\n"
+      "linearly — the knee justifies the default depth used everywhere else.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation A3: segment allocator placement policy — best-fit vs first-fit.
+//
+// DESIGN.md fixes best-fit as the default; this ablation justifies it by
+// replaying long mixed-size allocation traces under both policies and
+// tracking external fragmentation, failure onset, and free-list length
+// (which models the hardware allocator's search cost).
+#include <cstdio>
+
+#include "src/mem/segment_allocator.h"
+#include "src/sim/random.h"
+#include "src/stats/summary.h"
+#include "src/stats/table.h"
+
+using namespace apiary;
+
+namespace {
+
+struct Result {
+  uint64_t frag_failures = 0;  // Allocation failed though free bytes sufficed.
+  double mean_fragmentation = 0;
+  double max_fragmentation = 0;
+  double mean_free_chunks = 0;
+  uint64_t largest_at_end = 0;
+};
+
+Result Run(FitPolicy policy, uint64_t seed) {
+  constexpr uint64_t kPool = 64ull << 20;
+  // Keep utilization around 70% so failures measure *fragmentation*, not
+  // raw capacity exhaustion.
+  constexpr uint64_t kTargetLive = (kPool * 7) / 10;
+  SegmentAllocator alloc(0, kPool, policy);
+  Rng rng(seed);
+  std::vector<Segment> live;
+  RunningStat frag;
+  RunningStat chunks;
+  uint64_t frag_failures = 0;
+  for (int step = 0; step < 60000; ++step) {
+    const bool want_alloc = alloc.bytes_allocated() < kTargetLive;
+    if (live.empty() || want_alloc) {
+      // Bimodal sizes: many small, some large — the stranding-prone mix.
+      const uint64_t bytes = rng.NextBool(0.85) ? rng.NextInRange(64, 4096)
+                                                : rng.NextInRange(256 << 10, 4 << 20);
+      auto seg = alloc.Allocate(bytes, 64);
+      if (seg.has_value()) {
+        live.push_back(*seg);
+      } else if (alloc.bytes_free() >= bytes) {
+        ++frag_failures;  // Enough bytes, but no hole big enough.
+      }
+    } else {
+      const size_t idx = rng.NextBelow(live.size());
+      alloc.Free(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (step % 100 == 0) {
+      frag.Record(alloc.ExternalFragmentation());
+      chunks.Record(static_cast<double>(alloc.free_chunks()));
+    }
+  }
+  Result r;
+  r.frag_failures = frag_failures;
+  r.mean_fragmentation = frag.Mean();
+  r.max_fragmentation = frag.Max();
+  r.mean_free_chunks = chunks.Mean();
+  r.largest_at_end = alloc.LargestFreeChunk();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A3: segment placement policy ablation (64MiB pool, bimodal sizes,\n");
+  std::printf("60k alloc/free steps per seed, 3 seeds)\n");
+
+  Table table("A3: best-fit vs first-fit (70% utilization)");
+  table.SetHeader({"policy", "seed", "frag failures", "mean ext. frag", "max ext. frag",
+                   "mean free chunks", "largest free at end"});
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    for (FitPolicy policy : {FitPolicy::kBestFit, FitPolicy::kFirstFit}) {
+      const Result r = Run(policy, seed);
+      table.AddRow({policy == FitPolicy::kBestFit ? "best-fit" : "first-fit",
+                    Table::Int(seed), Table::Int(r.frag_failures),
+                    Table::Num(r.mean_fragmentation, 3), Table::Num(r.max_fragmentation, 3),
+                    Table::Num(r.mean_free_chunks, 1), Table::Int(r.largest_at_end)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nmeasured shape: the two policies are within noise of each other — first-fit\n"
+      "is even marginally better on fragmentation failures, the classic result that\n"
+      "best-fit's tiny leftover slivers offset its hole preservation (Knuth vol. 1).\n"
+      "The policy choice is second-order for Apiary; what matters for isolation is\n"
+      "segments-vs-pages (E5), not the fit heuristic. We keep best-fit as the\n"
+      "default for its more predictable largest-hole behavior under adversarial\n"
+      "request mixes, and this ablation documents that the cost of that choice is\n"
+      "negligible.\n");
+  return 0;
+}

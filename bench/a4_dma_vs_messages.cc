@@ -1,0 +1,116 @@
+// Ablation A4: moving bulk data — DMA service vs streaming through
+// memory-service messages.
+//
+// Both paths are capability-checked; the difference is where the bytes
+// travel. Messages carry the data across the NoC twice (read reply + write
+// request); the DMA engine copies at the controller and only the *grants*
+// cross the NoC. This bench measures effective copy bandwidth for both.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/accel/probe.h"
+#include "src/services/dma_service.h"
+#include "src/stats/table.h"
+
+using namespace apiary;
+
+namespace {
+
+struct Result {
+  double cycles;
+  double bytes_per_cycle;
+};
+
+// Copy `total` bytes using kOpDmaCopy.
+Result RunDma(uint32_t total) {
+  BenchBoard bb;
+  ApiaryOs& os = bb.os;
+  auto* dma = new DmaService(&bb.board.memory());
+  os.DeployService(kDmaService, std::unique_ptr<Accelerator>(dma));
+  AppId app = os.CreateApp("u");
+  auto* probe = new ProbeAccelerator();
+  const TileId pt = os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef to_dma = os.GrantSendToService(pt, kDmaService);
+  const CapRef src = *os.GrantMemory(pt, total, kRightRead | kRightWrite);
+  const CapRef dst = *os.GrantMemory(pt, total, kRightRead | kRightWrite);
+  bb.sim.Run(3);
+  const Cycle start = bb.sim.now();
+  Message copy;
+  copy.opcode = kOpDmaCopy;
+  PutU64(copy.payload, 0);
+  PutU64(copy.payload, 0);
+  PutU32(copy.payload, total);
+  probe->EnqueueSend(copy, to_dma, src, dst);
+  bb.sim.RunUntil([&] { return !probe->received.empty(); }, 10'000'000);
+  const double cycles = static_cast<double>(bb.sim.now() - start);
+  return Result{cycles, total / cycles};
+}
+
+// Copy `total` bytes by reading chunks from the memory service and writing
+// them back (what an accelerator without a DMA service must do).
+Result RunMessages(uint32_t total) {
+  BenchBoard bb;
+  ApiaryOs& os = bb.os;
+  AppId app = os.CreateApp("u");
+  auto* probe = new ProbeAccelerator();
+  const TileId pt = os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef to_mem = os.GrantSendToService(pt, kMemoryService);
+  const CapRef src = *os.GrantMemory(pt, total, kRightRead | kRightWrite);
+  const CapRef dst = *os.GrantMemory(pt, total, kRightRead | kRightWrite);
+  bb.sim.Run(3);
+  const Cycle start = bb.sim.now();
+  constexpr uint32_t kChunk = 1024;
+  uint32_t moved = 0;
+  while (moved < total) {
+    const uint32_t chunk = std::min(kChunk, total - moved);
+    // Read a chunk from src...
+    Message read;
+    read.opcode = kOpMemRead;
+    PutU64(read.payload, moved);
+    PutU32(read.payload, chunk);
+    probe->EnqueueSend(read, to_mem, src);
+    size_t want = probe->received.size() + 1;
+    if (!bb.sim.RunUntil([&] { return probe->received.size() >= want; }, 1'000'000)) {
+      break;
+    }
+    // ...then write it to dst.
+    Message write;
+    write.opcode = kOpMemWrite;
+    PutU64(write.payload, moved);
+    const auto& data = probe->received.back().payload;
+    write.payload.insert(write.payload.end(), data.begin(), data.end());
+    probe->EnqueueSend(write, to_mem, dst);
+    want = probe->received.size() + 1;
+    if (!bb.sim.RunUntil([&] { return probe->received.size() >= want; }, 1'000'000)) {
+      break;
+    }
+    moved += chunk;
+  }
+  const double cycles = static_cast<double>(bb.sim.now() - start);
+  return Result{cycles, moved / cycles};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A4: bulk copy — DMA service vs memory-service message streaming\n");
+
+  Table table("A4: copy cost by size");
+  table.SetHeader({"bytes", "dma cycles", "dma B/cyc", "messages cycles", "messages B/cyc",
+                   "speedup"});
+  for (uint32_t total : {4096u, 65536u, 1u << 20}) {
+    const Result dma = RunDma(total);
+    const Result msg = RunMessages(total);
+    table.AddRow({Table::Int(total), Table::Num(dma.cycles, 0),
+                  Table::Num(dma.bytes_per_cycle, 2), Table::Num(msg.cycles, 0),
+                  Table::Num(msg.bytes_per_cycle, 2),
+                  Table::Num(msg.cycles / dma.cycles, 1) + "x"});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: the message path pays NoC serialization twice per chunk plus\n"
+      "per-message monitor checks and round-trip latency, so DMA wins by an order of\n"
+      "magnitude at MiB sizes — the reason Apiary keeps a DMA engine in its standard\n"
+      "service set despite the simplicity goal.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Ablation A6: the reliable transport on a lossy fabric.
+//
+// Section 2 lists "reliable network protocols" among the infrastructure
+// each FPGA project currently rebuilds. Apiary builds it once, inside the
+// network service. This bench sweeps the fabric's frame-loss rate and
+// compares goodput and tail latency with the ARQ transport on vs off (off =
+// the client's coarse application-level timeout is the only recovery).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/accel/echo.h"
+#include "src/services/gateway.h"
+#include "src/stats/table.h"
+#include "src/workload/client.h"
+
+using namespace apiary;
+
+namespace {
+
+struct Result {
+  uint64_t completed;
+  double p50_us;
+  double p99_us;
+  uint64_t losses;
+  uint64_t recoveries;  // Transport retransmits or app-level timeouts.
+};
+
+Result Run(double loss_rate, bool reliable) {
+  BenchBoardOptions opts;
+  BenchBoard bb(opts, /*deploy_services=*/false);
+  bb.net.SetLossRate(loss_rate, 42);
+  TransportConfig tcfg;
+  tcfg.rto_cycles = 2500;
+  auto* netsvc = new NetworkService(
+      &bb.os, std::make_unique<Mac100GAdapter>(bb.board.mac100g()), reliable, tcfg);
+  bb.os.DeployService(kNetworkService, std::unique_ptr<Accelerator>(netsvc));
+
+  AppId app = bb.os.CreateApp("svc");
+  ServiceId echo_svc = 0;
+  bb.os.Deploy(app, std::make_unique<EchoAccelerator>(50), &echo_svc);
+  auto* gw = new NetGateway();
+  ServiceId gw_svc = 0;
+  const TileId gt = bb.os.Deploy(app, std::unique_ptr<Accelerator>(gw), &gw_svc);
+  bb.os.GrantSendToService(gt, kNetworkService);
+  gw->SetBackend(bb.os.GrantSendToService(gt, echo_svc));
+
+  ClientConfig ccfg;
+  ccfg.server_endpoint = bb.board.mac100g()->address();
+  ccfg.dst_service = gw_svc;
+  ccfg.open_loop = false;
+  ccfg.concurrency = 4;
+  ccfg.max_requests = 400;
+  ccfg.reliable = reliable;
+  ccfg.transport = tcfg;
+  ccfg.retry_timeout_cycles = 15000;
+  ClientHost client(ccfg, &bb.net, [](uint64_t, Rng&) {
+    return ClientRequest{kOpEcho, std::vector<uint8_t>(64, 1)};
+  });
+  bb.sim.Register(&client);
+  bb.sim.RunUntil([&] { return client.received() >= ccfg.max_requests; }, 30'000'000);
+
+  Result r;
+  r.completed = client.received();
+  r.p50_us = static_cast<double>(client.latency().P50()) * 4 / 1000;
+  r.p99_us = static_cast<double>(client.latency().P99()) * 4 / 1000;
+  r.losses = bb.net.counters().Get("extnet.dropped_loss");
+  r.recoveries = reliable ? netsvc->transport().retransmissions() +
+                                client.timeouts()  // Should stay ~0 app-side.
+                          : client.timeouts();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A6: frame loss vs reliable transport (400 echo RTTs, window-4 client)\n");
+
+  Table table("A6: goodput and latency on a lossy fabric");
+  table.SetHeader({"loss rate", "transport", "completed", "p50 (us)", "p99 (us)",
+                   "frames lost", "recoveries"});
+  for (double loss : {0.0, 0.01, 0.05, 0.15}) {
+    for (bool reliable : {false, true}) {
+      const Result r = Run(loss, reliable);
+      char lossbuf[16];
+      std::snprintf(lossbuf, sizeof(lossbuf), "%.0f%%", loss * 100);
+      table.AddRow({lossbuf, reliable ? "ARQ (netsvc)" : "app timeout",
+                    Table::Int(r.completed), Table::Num(r.p50_us, 2),
+                    Table::Num(r.p99_us, 2), Table::Int(r.losses),
+                    Table::Int(r.recoveries)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: without the transport, every lost frame costs a full 60us\n"
+      "application timeout (a second loss of the same request costs two), so p99\n"
+      "scales with the loss rate; with the ARQ in the network service, recovery\n"
+      "happens at the 10us RTO below the application — 6x better tails at every\n"
+      "loss rate, and p50 stays at the lossless baseline until loss is extreme.\n"
+      "Infrastructure built once in the OS instead of once per accelerator project\n"
+      "(Section 2).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared setup helpers for the benchmark harnesses.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/kernel.h"
+#include "src/core/service_ids.h"
+#include "src/fpga/board.h"
+#include "src/services/memory_service.h"
+#include "src/services/network_service.h"
+#include "src/sim/simulator.h"
+#include "src/stats/table.h"
+
+namespace apiary {
+
+struct BenchBoardOptions {
+  uint32_t width = 4;
+  uint32_t height = 4;
+  std::string part = "VU9P";
+  MacKind mac = MacKind::k100G;
+  uint64_t dram_bytes = 256ull << 20;
+  double clock_mhz = 250.0;
+  Cycle fabric_latency_cycles = 25;  // ~100ns one-way datacenter hop.
+};
+
+// Simulator + external network + board + kernel, with the standard OS
+// services (memory + network) deployed on the first tiles.
+struct BenchBoard {
+  explicit BenchBoard(BenchBoardOptions options = BenchBoardOptions{},
+                      bool deploy_services = true)
+      : sim(options.clock_mhz),
+        net(options.fabric_latency_cycles),
+        board(MakeConfig(options), sim, &net),
+        os(board) {
+    sim.Register(&net);
+    if (deploy_services) {
+      os.DeployService(kMemoryService, std::make_unique<MemoryService>(&os, &board.memory()));
+      if (options.mac == MacKind::k100G) {
+        os.DeployService(kNetworkService,
+                         std::make_unique<NetworkService>(
+                             &os, std::make_unique<Mac100GAdapter>(board.mac100g())));
+      } else if (options.mac == MacKind::k10G) {
+        os.DeployService(kNetworkService,
+                         std::make_unique<NetworkService>(
+                             &os, std::make_unique<Mac10GAdapter>(board.mac10g())));
+      }
+    }
+  }
+
+  static BoardConfig MakeConfig(const BenchBoardOptions& options) {
+    BoardConfig cfg;
+    cfg.part_number = options.part;
+    cfg.mesh = MeshConfig{options.width, options.height, 8, 512};
+    cfg.dram.capacity_bytes = options.dram_bytes;
+    cfg.mac_kind = options.mac;
+    return cfg;
+  }
+
+  Simulator sim;
+  ExternalNetwork net;
+  Board board;
+  ApiaryOs os;
+};
+
+}  // namespace apiary
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,180 @@
+// Experiment E10: the Section 2 motivating workload, measured end to end —
+// a video-encoding service composed with a third-party compression
+// accelerator, fed at increasing frame rates.
+//
+// Reports per-stage occupancy, end-to-end frame latency, and the sustained
+// frame rate at which the pipeline saturates; then an ablation with the
+// compressor on a *time-sliced* share of the encoder tile (the AmorphOS-
+// style alternative to spatial composition).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/accel/compressor.h"
+#include "src/accel/video_encoder.h"
+#include "src/baseline/timesliced.h"
+#include "src/stats/table.h"
+#include "src/workload/frame_source.h"
+
+using namespace apiary;
+
+namespace {
+
+constexpr uint32_t kW = 64;
+constexpr uint32_t kH = 64;
+
+class FrameSink : public Accelerator {
+ public:
+  void OnMessage(const Message& msg, TileApi& api) override {
+    if (msg.kind != MsgKind::kRequest) {
+      return;
+    }
+    ++frames;
+    bytes += msg.payload.size();
+    last_at = api.now();
+  }
+  std::string name() const override { return "sink"; }
+  uint32_t LogicCellCost() const override { return 2000; }
+  uint64_t frames = 0;
+  uint64_t bytes = 0;
+  Cycle last_at = 0;
+};
+
+class Feeder : public Accelerator {
+ public:
+  Feeder(ServiceId enc, Cycle interval) : enc_(enc), interval_(interval) {}
+  void Tick(TileApi& api) override {
+    if (api.now() < next_at_) {
+      return;
+    }
+    const auto pixels = GenerateFrame(kW, kH, 21, sent_);
+    Message msg;
+    msg.opcode = kOpEncodeFrame;
+    msg.payload = FrameToRequestPayload(kW, kH, pixels);
+    if (api.Send(std::move(msg), api.LookupService(enc_)).ok()) {
+      ++sent_;
+      next_at_ = api.now() + interval_;
+    }
+  }
+  void OnMessage(const Message&, TileApi&) override {}
+  std::string name() const override { return "feeder"; }
+  uint32_t LogicCellCost() const override { return 2000; }
+  uint64_t sent() const { return sent_; }
+
+ private:
+  ServiceId enc_;
+  Cycle interval_;
+  uint64_t sent_ = 0;
+  Cycle next_at_ = 0;
+};
+
+struct Result {
+  uint64_t fed;
+  uint64_t delivered;
+  double fps_delivered;
+  double mean_latency_cycles;
+};
+
+Result Run(Cycle frame_interval) {
+  BenchBoard bb(BenchBoardOptions{}, /*deploy_services=*/false);
+  ApiaryOs& os = bb.os;
+  AppId app = os.CreateApp("pipeline");
+
+  auto* sink = new FrameSink();
+  ServiceId sink_svc = 0;
+  os.Deploy(app, std::unique_ptr<Accelerator>(sink), &sink_svc);
+  auto* comp = new CompressorAccelerator(8);
+  ServiceId comp_svc = 0;
+  const TileId comp_tile = os.Deploy(app, std::unique_ptr<Accelerator>(comp), &comp_svc);
+  comp->SetNextStage(os.GrantSendToService(comp_tile, sink_svc), kOpEcho);
+  auto* enc = new VideoEncoderAccelerator(/*cycles_per_block=*/60, 60);
+  ServiceId enc_svc = 0;
+  const TileId enc_tile = os.Deploy(app, std::unique_ptr<Accelerator>(enc), &enc_svc);
+  enc->SetNextStage(os.GrantSendToService(enc_tile, comp_svc), kOpCompress);
+  auto* feeder = new Feeder(enc_svc, frame_interval);
+  const TileId ft = os.Deploy(app, std::unique_ptr<Accelerator>(feeder));
+  os.GrantSendToService(ft, enc_svc);
+
+  constexpr Cycle kRun = 2'000'000;
+  bb.sim.Run(kRun);
+  Result r;
+  r.fed = feeder->sent();
+  r.delivered = sink->frames;
+  const double ms = bb.sim.CyclesToNs(kRun) / 1e6;
+  r.fps_delivered = static_cast<double>(sink->frames) / ms * 1000.0;
+  // Mean pipeline latency approximated by Little's law over the run.
+  r.mean_latency_cycles =
+      sink->frames == 0 ? 0
+                        : static_cast<double>(kRun) * (static_cast<double>(r.fed - r.delivered) +
+                                                       1.0) /
+                              static_cast<double>(sink->frames);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10: video encode->compress pipeline (64x64 frames; encoder 60 cyc/block,\n");
+  std::printf("compressor 8 B/cycle; 2M-cycle runs at 250 MHz => 8 ms of board time)\n");
+
+  // The encoder needs 64 blocks x 60 cycles = 3840 cycles/frame: saturation
+  // is ~260 fps per ms... sweep intervals around that.
+  Table table("E10: delivered frame rate vs offered frame rate");
+  table.SetHeader({"offered interval (cyc)", "offered fps(k)", "fed", "delivered",
+                   "delivered fps(k)"});
+  for (Cycle interval : {20000u, 10000u, 6000u, 4000u, 3000u}) {
+    const Result r = Run(interval);
+    table.AddRow({Table::Int(interval),
+                  Table::Num(250e6 / static_cast<double>(interval) / 1000.0, 1),
+                  Table::Int(r.fed), Table::Int(r.delivered),
+                  Table::Num(r.fps_delivered / 1000.0, 1)});
+  }
+  table.Print();
+
+  // Ablation: spatial composition vs time-slicing one region (AmorphOS-ish).
+  Table ablation("E10b: spatial composition vs time-sliced sharing of one region");
+  ablation.SetHeader({"discipline", "frames/ms through both stages"});
+  const Result spatial = Run(4000);
+  ablation.AddRow({"two tiles (Apiary, spatial)", Table::Num(spatial.delivered / 8.0, 1)});
+  {
+    // Time-sliced: encoder and compressor alternate on ONE region; each
+    // frame needs an encode pass then a compress pass, with a partial
+    // reconfiguration between phases. Run a 40ms window so at least a few
+    // slice rotations fit.
+    Simulator sim(250.0);
+    TimeSlicedConfig cfg;
+    cfg.num_apps = 2;                // "apps" = the two pipeline stages.
+    cfg.slice_cycles = 500000;
+    cfg.reconfig_cycles = 4'000'000; // Full PR swap between stages (~16ms).
+    cfg.service_cycles = 3840;       // Per-frame stage time.
+    TimeSlicedFpga fpga(cfg);
+    sim.Register(&fpga);
+    // Offer frames continuously to stage 0; completed stage-0 frames queue
+    // for stage 1.
+    uint64_t stage0_done = 0;
+    uint64_t offered = 0;
+    constexpr Cycle kWindow = 10'000'000;
+    for (Cycle t = 0; t < kWindow; t += 1000) {
+      while (offered < t / 4000 + 1) {  // Same 4000-cycle offered interval.
+        fpga.Submit(0, sim.now());
+        ++offered;
+      }
+      sim.Run(1000);
+      while (stage0_done < fpga.completed(0)) {
+        fpga.Submit(1, sim.now());
+        ++stage0_done;
+      }
+    }
+    const double ms = 40.0;
+    ablation.AddRow({"one region, time-sliced (AmorphOS-style)",
+                     Table::Num(static_cast<double>(fpga.completed(1)) / ms, 1)});
+  }
+  ablation.Print();
+
+  std::printf(
+      "\nexpected shape: delivered rate tracks offered rate until the encoder's\n"
+      "3840-cycle/frame engine saturates (~65k fps at 250 MHz), then flattens; the\n"
+      "time-sliced ablation collapses because every stage switch pays a multi-ms\n"
+      "partial reconfiguration — the paper's case for spatial composition over\n"
+      "temporal multiplexing of composed pipelines.\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Experiment E1: direct-attached Apiary vs host-mediated (Coyote-style)
+// baseline.
+//
+// Paper basis (Section 1): "By bypassing the CPU, a direct-attached
+// accelerator reduces CPU overhead, lowers latencies, and further reduces
+// energy" and "Apiary can improve latency, latency variability, resource
+// overhead, and energy efficiency."
+//
+// Both systems serve the same request (64B echo with a 200-cycle accelerator
+// service time) from the same open-loop Poisson clients across a load sweep;
+// we report median/tail latency and an activity-based energy proxy per op.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/accel/echo.h"
+#include "src/baseline/hosted.h"
+#include "src/core/energy.h"
+#include "src/services/gateway.h"
+#include "src/workload/client.h"
+
+using namespace apiary;
+
+namespace {
+
+constexpr Cycle kAccelCycles = 200;
+constexpr uint64_t kRequests = 1000;
+constexpr uint32_t kRequestBytes = 64;
+
+struct RunStats {
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double energy_uj_per_op = 0;
+  double completed_frac = 0;
+};
+
+ClientHost::RequestFactory EchoFactory() {
+  return [](uint64_t, Rng& rng) {
+    ClientRequest req;
+    req.opcode = kOpEcho;
+    req.payload.assign(kRequestBytes, static_cast<uint8_t>(rng.NextBelow(256)));
+    return req;
+  };
+}
+
+RunStats RunApiary(double load_per_1k) {
+  BenchBoard bb;
+  ApiaryOs& os = bb.os;
+  AppId app = os.CreateApp("svc");
+  auto* echo = new EchoAccelerator(kAccelCycles);
+  ServiceId svc = 0;
+  os.Deploy(app, std::unique_ptr<Accelerator>(echo), &svc);
+  auto* gw = new NetGateway();
+  ServiceId gw_svc = 0;
+  const TileId gw_tile = os.Deploy(app, std::unique_ptr<Accelerator>(gw), &gw_svc);
+  os.GrantSendToService(gw_tile, kNetworkService);
+  gw->SetBackend(os.GrantSendToService(gw_tile, svc));
+  bb.sim.Run(3000);  // MAC bring-up before offering load.
+
+  ClientConfig ccfg;
+  ccfg.server_endpoint = bb.board.mac100g()->address();
+  ccfg.dst_service = gw_svc;
+  ccfg.open_loop = true;
+  ccfg.requests_per_1k_cycles = load_per_1k;
+  ccfg.max_requests = kRequests;
+  ClientHost client(ccfg, &bb.net, EchoFactory());
+  bb.sim.Register(&client);
+  bb.sim.RunUntil([&] { return client.received() >= kRequests; },
+                  static_cast<Cycle>(kRequests * 1000.0 / load_per_1k) + 3'000'000);
+
+  RunStats out;
+  out.p50_us = bb.sim.CyclesToNs(client.latency().P50()) / 1000.0;
+  out.p99_us = bb.sim.CyclesToNs(client.latency().P99()) / 1000.0;
+  out.p999_us = bb.sim.CyclesToNs(client.latency().P999()) / 1000.0;
+  out.completed_frac =
+      static_cast<double>(client.received()) / static_cast<double>(client.sent());
+  // Energy proxy: NoC flit-hops + monitor checks + accelerator busy cycles.
+  const EnergyModel em;
+  const uint64_t flits = bb.board.mesh().TotalFlitsRouted();
+  const uint64_t checks = os.AggregateMonitorCounters().Get("monitor.sends");
+  const double pj = static_cast<double>(flits) * em.pj_per_flit_hop +
+                    static_cast<double>(checks) * em.pj_per_monitor_check +
+                    static_cast<double>(client.received()) * kAccelCycles * em.pj_per_accel_cycle;
+  out.energy_uj_per_op = pj / 1e6 / static_cast<double>(client.received());
+  return out;
+}
+
+RunStats RunHosted(double load_per_1k) {
+  Simulator sim(250.0);
+  ExternalNetwork net(25);
+  sim.Register(&net);
+  HostedConfig cfg;
+  cfg.accel_cycles = kAccelCycles;
+  HostedSystem hosted(cfg, sim, &net);
+
+  ClientConfig ccfg;
+  ccfg.server_endpoint = 0;  // Hosted system registered first.
+  ccfg.dst_service = 0;
+  ccfg.open_loop = true;
+  ccfg.requests_per_1k_cycles = load_per_1k;
+  ccfg.max_requests = kRequests;
+  ClientHost client(ccfg, &net, EchoFactory());
+  sim.Register(&client);
+  sim.RunUntil([&] { return client.received() >= kRequests; },
+               static_cast<Cycle>(kRequests * 1000.0 / load_per_1k) + 3'000'000);
+
+  RunStats out;
+  out.p50_us = sim.CyclesToNs(client.latency().P50()) / 1000.0;
+  out.p99_us = sim.CyclesToNs(client.latency().P99()) / 1000.0;
+  out.p999_us = sim.CyclesToNs(client.latency().P999()) / 1000.0;
+  const uint64_t done = client.received() == 0 ? 1 : client.received();
+  out.completed_frac =
+      static_cast<double>(client.received()) / static_cast<double>(client.sent());
+  const EnergyModel em;
+  const double pj = static_cast<double>(hosted.pcie_bytes()) * em.pj_per_pcie_byte +
+                    static_cast<double>(done) * kAccelCycles * em.pj_per_accel_cycle;
+  out.energy_uj_per_op = (pj / 1e6 + em.HostCpuMicrojoules(hosted.cpu_busy_cycles(), 250.0)) /
+                         static_cast<double>(done);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E1: direct-attached Apiary vs host-mediated baseline\n");
+  std::printf("workload: %uB echo requests, %llu per run, open-loop Poisson\n", kRequestBytes,
+              static_cast<unsigned long long>(kRequests));
+  std::printf("(1 cycle = 4ns at 250 MHz; hosted CPU path costs ~875 cycles/op)\n");
+
+  Table table("E1: latency and energy vs offered load");
+  table.SetHeader({"load (req/us)", "system", "p50 (us)", "p99 (us)", "p99.9 (us)",
+                   "energy/op (uJ)", "done %"});
+  for (double load_per_1k : {0.25, 0.5, 1.0, 1.1}) {
+    const RunStats apiary_stats = RunApiary(load_per_1k);
+    const RunStats hosted_stats = RunHosted(load_per_1k);
+    const double per_us = load_per_1k / 4.0;  // req/1k-cycles -> req/us at 4ns.
+    table.AddRow({Table::Num(per_us, 3), "apiary", Table::Num(apiary_stats.p50_us, 2),
+                  Table::Num(apiary_stats.p99_us, 2), Table::Num(apiary_stats.p999_us, 2),
+                  Table::Num(apiary_stats.energy_uj_per_op, 3),
+                  Table::Num(100 * apiary_stats.completed_frac, 1)});
+    table.AddRow({Table::Num(per_us, 3), "hosted", Table::Num(hosted_stats.p50_us, 2),
+                  Table::Num(hosted_stats.p99_us, 2), Table::Num(hosted_stats.p999_us, 2),
+                  Table::Num(hosted_stats.energy_uj_per_op, 3),
+                  Table::Num(100 * hosted_stats.completed_frac, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape (paper Section 1): apiary's p50 beats hosted by roughly the\n"
+      "PCIe+CPU mediation cost at low load; as offered load approaches the single\n"
+      "mediating core's capacity (~1.14 req/1k-cycles) the hosted tail explodes while\n"
+      "apiary stays flat; energy/op gap is dominated by host CPU watts.\n");
+  return 0;
+}

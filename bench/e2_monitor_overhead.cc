@@ -1,0 +1,162 @@
+// Experiment E2: the per-tile monitor's overhead — the paper's first open
+// question (Section 6): "What is the overhead of the per-tile monitor? ...
+// It is important for scalability that this monitor's resource utilization
+// remain low since the amount of FPGA logic resources devoted to Apiary
+// grows with the number of tiles."
+//
+// Part A: logic-cell overhead of monitors (and the whole static region) as
+//         the tile count grows, as a fraction of each catalog part.
+// Part B: the latency a monitor adds to one message versus raw NoC
+//         injection, measured on a live board.
+// Part C: capability-table sizing: monitor cost vs cap entries.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/accel/echo.h"
+#include "src/fpga/part_catalog.h"
+#include "src/noc/router.h"
+#include "src/stats/table.h"
+
+using namespace apiary;
+
+namespace {
+
+// Measures the mean request round-trip on a 1-hop path, with the monitor in
+// the loop (normal Apiary path).
+double MeasureMonitoredRtt() {
+  BenchBoard bb(BenchBoardOptions{}, /*deploy_services=*/false);
+  AppId app = bb.os.CreateApp("x");
+  auto* echo = new EchoAccelerator(0);
+  ServiceId svc = 0;
+  DeployOptions at0;
+  at0.tile = 0;
+  bb.os.Deploy(app, std::unique_ptr<Accelerator>(echo), &svc, at0);
+  // Pin the client next door.
+  class Pinger : public Accelerator {
+   public:
+    explicit Pinger(ServiceId svc) : svc_(svc) {}
+    void Tick(TileApi& api) override {
+      if (in_flight_) {
+        return;
+      }
+      Message msg;
+      msg.opcode = kOpEcho;
+      msg.payload.assign(32, 1);
+      if (api.Send(std::move(msg), api.LookupService(svc_)).ok()) {
+        sent_at_ = api.now();
+        in_flight_ = true;
+      }
+    }
+    void OnMessage(const Message& msg, TileApi& api) override {
+      if (msg.kind == MsgKind::kResponse) {
+        total += api.now() - sent_at_;
+        ++count;
+        in_flight_ = false;
+      }
+    }
+    std::string name() const override { return "pinger"; }
+    uint32_t LogicCellCost() const override { return 1000; }
+    uint64_t total = 0;
+    uint64_t count = 0;
+
+   private:
+    ServiceId svc_;
+    bool in_flight_ = false;
+    Cycle sent_at_ = 0;
+  };
+  auto* pinger = new Pinger(svc);
+  DeployOptions at1;
+  at1.tile = 1;
+  const TileId pt = bb.os.Deploy(app, std::unique_ptr<Accelerator>(pinger), nullptr, at1);
+  bb.os.GrantSendToService(pt, svc);
+  bb.sim.RunUntil([&] { return pinger->count >= 500; }, 1'000'000);
+  return pinger->count == 0 ? 0.0
+                            : static_cast<double>(pinger->total) /
+                                  static_cast<double>(pinger->count);
+}
+
+// The same round-trip with bare NoC injection (no monitor pipeline, no
+// capability checks): the floor the monitor's cost is measured against.
+double MeasureRawRtt() {
+  Simulator sim(250.0);
+  Mesh mesh(MeshConfig{4, 4, 8, 512});
+  sim.Register(&mesh);
+  uint64_t total = 0;
+  uint64_t count = 0;
+  // 32B payload + header-equivalent, tile 1 -> 0 and a bounce back.
+  for (int i = 0; i < 500; ++i) {
+    auto ping = std::make_shared<NocPacket>();
+    ping->src = 1;
+    ping->dst = 0;
+    ping->payload.assign(85, 1);  // Same wire bytes as the monitored run.
+    const Cycle start = sim.now();
+    mesh.ni(1).Inject(ping, sim.now());
+    sim.RunUntil([&] { return mesh.ni(0).HasDeliverable(); }, 10000);
+    mesh.ni(0).Retrieve();
+    auto pong = std::make_shared<NocPacket>();
+    pong->src = 0;
+    pong->dst = 1;
+    pong->vc = Vc::kResponse;
+    pong->payload.assign(85, 1);
+    mesh.ni(0).Inject(pong, sim.now());
+    sim.RunUntil([&] { return mesh.ni(1).HasDeliverable(); }, 10000);
+    mesh.ni(1).Retrieve();
+    total += sim.now() - start;
+    ++count;
+  }
+  return static_cast<double>(total) / static_cast<double>(count);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E2: per-tile monitor overhead (paper Section 6, open question 1)\n");
+
+  // --- Part A: resource overhead vs tile count, across parts. ---
+  const ResourceCosts costs;
+  Table part_a("E2a: Apiary static logic vs tile count (64-entry cap tables)");
+  part_a.SetHeader({"tiles", "monitors", "monitors+NoC", "% XC7V585T", "% VU3P", "% VU9P",
+                    "% VU29P"});
+  for (uint32_t tiles : {4u, 9u, 16u, 25u, 36u, 64u}) {
+    const uint64_t monitor_cells = static_cast<uint64_t>(tiles) * MonitorCellCost(costs, 64);
+    const uint64_t noc_cells =
+        static_cast<uint64_t>(tiles) *
+        (Router::LogicCellCost(8) + NetworkInterface::LogicCellCost());
+    const uint64_t total = monitor_cells + noc_cells;
+    auto pct = [&](const char* part) {
+      return Table::Num(100.0 * static_cast<double>(total) /
+                            static_cast<double>(FindPart(part)->logic_cells), 1);
+    };
+    part_a.AddRow({Table::Int(tiles), Table::Int(monitor_cells), Table::Int(total),
+                   pct("XC7V585T"), pct("VU3P"), pct("VU9P"), pct("VU29P")});
+  }
+  part_a.Print();
+
+  // --- Part B: latency overhead per message. ---
+  const double monitored = MeasureMonitoredRtt();
+  const double raw = MeasureRawRtt();
+  Table part_b("E2b: message round-trip with and without the monitor (1 hop, 32B payload)");
+  part_b.SetHeader({"path", "RTT (cycles)", "added by monitors"});
+  part_b.AddRow({"raw NoC injection", Table::Num(raw, 1), "-"});
+  part_b.AddRow({"through monitors", Table::Num(monitored, 1),
+                 Table::Num(monitored - raw, 1) + " cycles"});
+  part_b.Print();
+
+  // --- Part C: capability table sizing. ---
+  Table part_c("E2c: monitor cost vs capability-table entries");
+  part_c.SetHeader({"cap entries", "cells/monitor", "64 tiles: % of VU29P"});
+  for (uint32_t entries : {16u, 32u, 64u, 128u, 256u}) {
+    const uint64_t cells = MonitorCellCost(costs, entries);
+    part_c.AddRow({Table::Int(entries), Table::Int(cells),
+                   Table::Num(100.0 * 64.0 * static_cast<double>(cells) / 3780000.0, 2)});
+  }
+  part_c.Print();
+
+  std::printf(
+      "\nexpected shape: overhead grows linearly with tiles; a 64-tile Apiary costs\n"
+      "single-digit %% of a VU29P-class part but would consume most of a 2010-era\n"
+      "Virtex-7 — matching the paper's argument that modern part sizes are what make\n"
+      "a per-tile hardware OS affordable. The monitor adds a small, fixed number of\n"
+      "cycles per message on top of the raw NoC.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Experiment E3: IPC primitives — Apiary's capability-checked NoC messages
+// versus today's raw pipeline queues and versus host-mediated IPC.
+//
+// Paper basis (Section 4.5): raw queues exist but "are not accessed
+// controlled in any way"; Apiary interposes the monitor on every message.
+// The question is what that costs across message sizes.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/accel/echo.h"
+#include "src/baseline/raw_queue.h"
+#include "src/fpga/pcie.h"
+#include "src/stats/table.h"
+
+using namespace apiary;
+
+namespace {
+
+constexpr int kMessages = 300;
+
+// One-way latency of a `bytes` message through a raw point-to-point queue.
+double RawQueueOneWay(uint32_t bytes) {
+  Simulator sim(250.0);
+  RawQueue q(kFlitBytes, 256);
+  sim.Register(&q);
+  uint64_t total = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    const Cycle start = sim.now();
+    q.Push(std::vector<uint8_t>(bytes, 1), sim.now());
+    sim.RunUntil([&] { return q.Pop(sim.now()).has_value(); }, 100000);
+    total += sim.now() - start;
+  }
+  return static_cast<double>(total) / kMessages;
+}
+
+// One-way latency through the full Apiary path (monitor -> NoC -> monitor),
+// one hop, measured from Send() to delivery at the peer accelerator.
+double ApiaryOneWay(uint32_t bytes, uint32_t hops) {
+  BenchBoard bb(BenchBoardOptions{8, 1}, /*deploy_services=*/false);
+  AppId app = bb.os.CreateApp("x");
+
+  class Sink : public Accelerator {
+   public:
+    void OnMessage(const Message& msg, TileApi& api) override {
+      if (msg.kind == MsgKind::kRequest) {
+        ++received;
+        last_arrival = api.now();
+      }
+    }
+    std::string name() const override { return "sink"; }
+    uint32_t LogicCellCost() const override { return 1000; }
+    uint64_t received = 0;
+    Cycle last_arrival = 0;
+  };
+  auto* sink = new Sink();
+  DeployOptions dst_opts;
+  dst_opts.tile = hops;  // Row mesh: tile index == hop distance from 0.
+  ServiceId svc = 0;
+  bb.os.Deploy(app, std::unique_ptr<Accelerator>(sink), &svc, dst_opts);
+
+  // Drive the monitor directly from the harness for cycle-exact timestamps.
+  DeployOptions src_opts;
+  src_opts.tile = 0;
+  const TileId st = bb.os.Deploy(app, std::make_unique<EchoAccelerator>(0), nullptr, src_opts);
+  const CapRef cap = bb.os.GrantSendToService(st, svc);
+  bb.sim.Run(3);
+
+  uint64_t total = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    Message msg;
+    msg.opcode = kOpEcho;
+    msg.payload.assign(bytes, 1);
+    const uint64_t before = sink->received;
+    const Cycle start = bb.sim.now();
+    bb.os.monitor(st).Send(std::move(msg), cap);
+    bb.sim.RunUntil([&] { return sink->received > before; }, 100000);
+    total += sink->last_arrival - start;
+  }
+  return static_cast<double>(total) / kMessages;
+}
+
+// Host-mediated IPC: accelerator A -> host CPU -> accelerator B over PCIe,
+// the Coyote pattern when two engines on different vFPGAs must communicate
+// through host-managed queues.
+double HostedOneWay(uint32_t bytes) {
+  Simulator sim(250.0);
+  PcieEndpoint up(PcieConfig{});
+  PcieEndpoint down(PcieConfig{});
+  sim.Register(&up);
+  sim.Register(&down);
+  constexpr Cycle kHostSoftwareCycles = 300;  // Queue doorbell + forward.
+  uint64_t total = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    const Cycle start = sim.now();
+    bool arrived = false;
+    up.Submit(bytes, [&, bytes](Cycle) {
+      sim.ScheduleAfter(kHostSoftwareCycles, [&, bytes](Cycle) {
+        down.Submit(bytes, [&](Cycle) { arrived = true; });
+      });
+    });
+    sim.RunUntil([&] { return arrived; }, 1'000'000);
+    total += sim.now() - start;
+  }
+  return static_cast<double>(total) / kMessages;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E3: IPC latency by message size (cycles, 250 MHz => 4ns/cycle)\n");
+  std::printf("raw queue = today's unprotected pipeline FIFO; apiary = monitor+NoC;\n");
+  std::printf("hosted = CPU-mediated queue pair over PCIe (Coyote-style)\n");
+
+  Table table("E3: one-way message latency (cycles)");
+  table.SetHeader({"payload (B)", "raw queue", "apiary 1 hop", "apiary 7 hops", "hosted",
+                   "apiary/raw", "hosted/apiary"});
+  for (uint32_t bytes : {8u, 64u, 256u, 1024u, 4096u}) {
+    const double raw = RawQueueOneWay(bytes);
+    const double ap1 = ApiaryOneWay(bytes, 1);
+    const double ap7 = ApiaryOneWay(bytes, 7);
+    const double hosted = HostedOneWay(bytes);
+    table.AddRow({Table::Int(bytes), Table::Num(raw, 1), Table::Num(ap1, 1),
+                  Table::Num(ap7, 1), Table::Num(hosted, 1), Table::Num(ap1 / raw, 2),
+                  Table::Num(hosted / ap1, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: raw queues are the floor; apiary adds a small constant\n"
+      "(monitor pipeline + NoC per-hop cost) that is amortized for large messages;\n"
+      "hosted IPC is 10-100x worse at small sizes because every message pays two\n"
+      "PCIe crossings plus host software.\n");
+  return 0;
+}

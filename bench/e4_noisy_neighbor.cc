@@ -1,0 +1,126 @@
+// Experiment E4: noisy-neighbor containment via monitor rate limiting.
+//
+// Paper basis (Section 4.5): "With untrusted accelerators, having
+// permissioned access and rate limiting are necessary to prevent malicious
+// accelerators from either accessing unauthorized resources or causing
+// resource exhaustion. Even in the case where all accelerators trust each
+// other, rate limiting or access control can help mitigate unintentional
+// behavior that degrades performance."
+//
+// A victim KV-style echo service serves a well-behaved client while a
+// flooder on another tile of the same app blasts maximum-rate traffic at it.
+// We sweep the flooder's monitor-configured token-bucket rate.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/accel/echo.h"
+#include "src/accel/faulty.h"
+#include "src/stats/table.h"
+
+using namespace apiary;
+
+namespace {
+
+struct Result {
+  double victim_p50;
+  double victim_p99;
+  uint64_t victim_done;
+  uint64_t flood_delivered;
+};
+
+// A polite closed-loop client accelerator measuring its own latencies.
+class PoliteClient : public Accelerator {
+ public:
+  explicit PoliteClient(ServiceId svc) : svc_(svc) {}
+  void Tick(TileApi& api) override {
+    if (in_flight_) {
+      return;
+    }
+    Message msg;
+    msg.opcode = kOpEcho;
+    msg.payload.assign(32, 7);
+    if (api.Send(std::move(msg), api.LookupService(svc_)).ok()) {
+      sent_at_ = api.now();
+      in_flight_ = true;
+    }
+  }
+  void OnMessage(const Message& msg, TileApi& api) override {
+    if (msg.kind == MsgKind::kResponse) {
+      latency.Record(api.now() - sent_at_);
+      in_flight_ = false;
+    }
+  }
+  std::string name() const override { return "polite_client"; }
+  uint32_t LogicCellCost() const override { return 1000; }
+  Histogram latency;
+
+ private:
+  ServiceId svc_;
+  bool in_flight_ = false;
+  Cycle sent_at_ = 0;
+};
+
+Result Run(bool with_flooder, uint64_t limit_flits_per_1k) {
+  BenchBoard bb(BenchBoardOptions{}, /*deploy_services=*/false);
+  ApiaryOs& os = bb.os;
+  AppId app = os.CreateApp("shared");
+
+  auto* victim = new EchoAccelerator(20);
+  ServiceId vsvc = 0;
+  const TileId vt = os.Deploy(app, std::unique_ptr<Accelerator>(victim), &vsvc);
+  auto* client = new PoliteClient(vsvc);
+  const TileId ct = os.Deploy(app, std::unique_ptr<Accelerator>(client));
+  os.GrantSendToService(ct, vsvc);
+
+  FlooderAccelerator* flooder = nullptr;
+  if (with_flooder) {
+    flooder = new FlooderAccelerator(kInvalidCapRef, 256);
+    const TileId ft = os.Deploy(app, std::unique_ptr<Accelerator>(flooder));
+    flooder->SetVictim(os.GrantSendToService(ft, vsvc));
+    if (limit_flits_per_1k != 0) {
+      os.SetRateLimit(ft, limit_flits_per_1k, /*burst=*/32);
+    }
+  }
+  (void)vt;
+  bb.sim.Run(300000);
+
+  Result r;
+  r.victim_p50 = static_cast<double>(client->latency.P50());
+  r.victim_p99 = static_cast<double>(client->latency.P99());
+  r.victim_done = client->latency.count();
+  r.flood_delivered = flooder == nullptr ? 0 : flooder->sent();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E4: noisy neighbor vs monitor rate limiting (300k-cycle runs)\n");
+  std::printf("victim: echo service + closed-loop client; flooder: 256B blasts at the victim\n");
+
+  Table table("E4: victim latency under flood, by flooder rate limit");
+  table.SetHeader({"scenario", "flood msgs delivered", "victim ops", "victim p50 (cyc)",
+                   "victim p99 (cyc)"});
+  const Result baseline = Run(false, 0);
+  table.AddRow({"no flooder", "-", Table::Int(baseline.victim_done),
+                Table::Num(baseline.victim_p50, 0), Table::Num(baseline.victim_p99, 0)});
+  const Result unlimited = Run(true, 0);
+  table.AddRow({"flood, no limit", Table::Int(unlimited.flood_delivered),
+                Table::Int(unlimited.victim_done), Table::Num(unlimited.victim_p50, 0),
+                Table::Num(unlimited.victim_p99, 0)});
+  for (uint64_t limit : {2000u, 500u, 100u}) {
+    const Result r = Run(true, limit);
+    char label[64];
+    std::snprintf(label, sizeof(label), "flood, limit %llu fl/1k",
+                  static_cast<unsigned long long>(limit));
+    table.AddRow({label, Table::Int(r.flood_delivered), Table::Int(r.victim_done),
+                  Table::Num(r.victim_p50, 0), Table::Num(r.victim_p99, 0)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: with no limit the flooder monopolizes the victim's inbox and\n"
+      "NoC path, inflating the polite client's p99 and collapsing its throughput; as\n"
+      "the kernel tightens the flooder's token bucket the victim recovers to within a\n"
+      "few percent of the flood-free baseline — without touching the victim's code.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Experiment E8: physical-interface scaling — NoC message passing versus
+// per-service dedicated ports.
+//
+// Paper basis (Section 4.3): "In previous work, the number of physical
+// interfaces is coupled with the number of services available... The NoC
+// allows us to move service naming to an API-layer interface by making the
+// destination ID a message field, so we can use the same physical interface
+// to communicate with multiple services."
+//
+// Part A (structural): wires and logic an accelerator slot must dedicate as
+// the number of reachable services grows, under both disciplines.
+// Part B (measured): on a live board, one accelerator talks to N services
+// through its single NI; aggregate throughput stays flat per added service
+// instead of requiring new ports.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/accel/echo.h"
+#include "src/accel/probe.h"
+#include "src/stats/table.h"
+
+using namespace apiary;
+
+namespace {
+
+// Structural model of a per-service-port shell (Coyote/AmorphOS style):
+// each attached service costs a dedicated AXI-stream pair at the slot edge.
+struct PortModel {
+  // 512-bit data + valid/ready/keep/last each way.
+  static constexpr uint32_t kWiresPerPort = 2 * (512 + 3 + 64);
+  static constexpr uint32_t kCellsPerPort = 1200;  // FIFO + CDC + mux glue.
+};
+
+// The Apiary slot: one NI regardless of the number of services.
+struct NocModel {
+  static constexpr uint32_t kWires = 2 * (kFlitBytes * 8 + 4);  // One flit link.
+  static uint32_t Cells() { return NetworkInterface::LogicCellCost(); }
+};
+
+// Measured: a driver sends round-robin to N echo services; returns aggregate
+// completed ops in a fixed window through ONE physical interface.
+uint64_t MeasureAggregateOps(uint32_t services) {
+  BenchBoard bb(BenchBoardOptions{4, 4}, /*deploy_services=*/false);
+  ApiaryOs& os = bb.os;
+  AppId app = os.CreateApp("many-services");
+
+  class FanClient : public Accelerator {
+   public:
+    explicit FanClient(std::vector<ServiceId> targets) : targets_(std::move(targets)) {}
+    void Tick(TileApi& api) override {
+      while (in_flight_ < 32) {
+        Message msg;
+        msg.opcode = kOpEcho;
+        msg.payload.assign(64, 1);
+        const ServiceId target = targets_[next_ % targets_.size()];
+        if (!api.Send(std::move(msg), api.LookupService(target)).ok()) {
+          break;
+        }
+        ++next_;
+        ++in_flight_;
+      }
+    }
+    void OnMessage(const Message& msg, TileApi&) override {
+      if (msg.kind == MsgKind::kResponse) {
+        --in_flight_;
+        ++done;
+      }
+    }
+    std::string name() const override { return "fan_client"; }
+    uint32_t LogicCellCost() const override { return 1000; }
+    uint64_t done = 0;
+
+   private:
+    std::vector<ServiceId> targets_;
+    uint64_t next_ = 0;
+    uint32_t in_flight_ = 0;
+  };
+
+  std::vector<ServiceId> targets;
+  for (uint32_t i = 0; i < services; ++i) {
+    ServiceId svc = 0;
+    os.Deploy(app, std::make_unique<EchoAccelerator>(300), &svc);
+    targets.push_back(svc);
+  }
+  auto* client = new FanClient(targets);
+  const TileId ct = os.Deploy(app, std::unique_ptr<Accelerator>(client));
+  for (ServiceId svc : targets) {
+    os.GrantSendToService(ct, svc);
+  }
+  bb.sim.Run(300000);
+  return client->done;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: one NoC interface vs one port per service (Section 4.3)\n");
+
+  Table part_a("E8a: accelerator-slot edge cost vs reachable services (structural)");
+  part_a.SetHeader({"services", "ports: wires", "ports: cells", "apiary: wires",
+                    "apiary: cells", "apiary: cap entries"});
+  for (uint32_t n : {1u, 2u, 4u, 8u, 12u}) {
+    part_a.AddRow({Table::Int(n), Table::Int(n * PortModel::kWiresPerPort),
+                   Table::Int(n * PortModel::kCellsPerPort), Table::Int(NocModel::kWires),
+                   Table::Int(NocModel::Cells()), Table::Int(n)});
+  }
+  part_a.Print();
+
+  Table part_b("E8b: measured aggregate throughput through ONE interface (300k cycles)");
+  part_b.SetHeader({"services reached", "completed ops", "ops per service"});
+  for (uint32_t n : {1u, 2u, 4u, 8u}) {
+    const uint64_t done = MeasureAggregateOps(n);
+    part_b.AddRow({Table::Int(n), Table::Int(done),
+                   Table::Num(static_cast<double>(done) / n, 1)});
+  }
+  part_b.Print();
+
+  std::printf(
+      "\nexpected shape: per-service ports grow the slot's wire and logic budget\n"
+      "linearly (8 services ~ 9k wires), while Apiary's slot edge is constant — a\n"
+      "new service costs one capability-table entry. Measured throughput through the\n"
+      "single NI keeps rising with more services (they serve in parallel) until the\n"
+      "client's window, not the interface count, binds.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Experiment E9: unauthorized access is refused at every layer, and
+// revocation takes effect immediately.
+//
+// Paper basis (Section 2): "We do not want, for example, any accelerator of
+// the KV-store application to be able to communicate with any accelerator in
+// the encoding application. This could occur due to misbehavior from a bug
+// or maliciously." And Section 4.6's partitioned capabilities with
+// monitor-side enforcement.
+//
+// Part A: a snooper's full attack surface, with where each attempt died.
+// Part B: capability revocation — messages in the same cycle window before
+//         and after Revoke(), proving the generation check is immediate.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/accel/echo.h"
+#include "src/accel/faulty.h"
+#include "src/accel/probe.h"
+#include "src/stats/table.h"
+
+using namespace apiary;
+
+int main() {
+  std::printf("E9: unauthorized access and revocation (Sections 2, 4.6)\n");
+
+  // ---- Part A: the snooper's haul. ----
+  {
+    BenchBoard bb;
+    ApiaryOs& os = bb.os;
+    AppId victim_app = os.CreateApp("victim");
+    ServiceId vsvc = 0;
+    os.Deploy(victim_app, std::make_unique<EchoAccelerator>(0), &vsvc);
+    AppId evil_app = os.CreateApp("evil");
+    auto* snoop = new SnooperAccelerator(os.num_tiles(), 25);
+    const TileId st = os.Deploy(evil_app, std::unique_ptr<Accelerator>(snoop));
+    os.GrantSendToService(st, kMemoryService);  // Its one legitimate right.
+    bb.sim.Run(200000);
+
+    Table part_a("E9a: snooper outcome after 200k cycles");
+    part_a.SetHeader({"metric", "count"});
+    part_a.AddRow({"attempts (forged caps + forged grants)", Table::Int(snoop->attempts())});
+    part_a.AddRow({"refused at the sender's monitor", Table::Int(snoop->denied_local())});
+    part_a.AddRow({"refused at the service (scrubbed grant)",
+                   Table::Int(snoop->denied_remote())});
+    part_a.AddRow({"bytes of victim data obtained", Table::Int(snoop->leaked())});
+    part_a.Print();
+  }
+
+  // ---- Part B: revocation latency. ----
+  {
+    BenchBoard bb(BenchBoardOptions{}, /*deploy_services=*/false);
+    ApiaryOs& os = bb.os;
+    AppId app = os.CreateApp("a");
+    ServiceId svc = 0;
+    os.Deploy(app, std::make_unique<EchoAccelerator>(0), &svc);
+    auto* probe = new ProbeAccelerator();
+    const TileId pt = os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+    const CapRef cap = os.GrantSendToService(pt, svc);
+    bb.sim.Run(3);
+
+    Table part_b("E9b: revocation is immediate (same-cycle send outcomes)");
+    part_b.SetHeader({"action", "send status"});
+    Message before;
+    before.opcode = kOpEcho;
+    part_b.AddRow({"send with live capability",
+                   MsgStatusName(os.monitor(pt).Send(std::move(before), cap).status)});
+    os.Revoke(pt, cap);
+    Message after;
+    after.opcode = kOpEcho;
+    part_b.AddRow({"send after Revoke() — same cycle",
+                   MsgStatusName(os.monitor(pt).Send(std::move(after), cap).status)});
+    // Slot reuse: a new grant occupies the same slot with a new generation;
+    // the stale reference still fails.
+    const CapRef fresh = os.GrantSendToService(pt, svc);
+    Message stale;
+    stale.opcode = kOpEcho;
+    part_b.AddRow({"send with STALE ref after slot reuse",
+                   MsgStatusName(os.monitor(pt).Send(std::move(stale), cap).status)});
+    Message live;
+    live.opcode = kOpEcho;
+    part_b.AddRow({"send with the fresh capability",
+                   MsgStatusName(os.monitor(pt).Send(std::move(live), fresh).status)});
+    part_b.Print();
+  }
+
+  std::printf(
+      "\nexpected shape: every snoop attempt dies at the first trusted component it\n"
+      "meets (the local monitor for forged refs, the service for scrubbed grants);\n"
+      "zero victim bytes leak. Revocation flips the capability generation, so the\n"
+      "very next send — and any send with a stale ref after slot reuse — fails\n"
+      "closed while a freshly granted capability works.\n");
+  return 0;
+}

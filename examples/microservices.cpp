@@ -1,0 +1,254 @@
+// Microservice call chain across two boards — the paper's Section 1 target:
+// "Our initial target is services within a microservice application...
+// Calls to other modules may be local or remote."
+//
+// Topology:
+//   board A:  [gateway] -> [thumbnailer app]  --local-->  [checksum svc]
+//                                             --remote--> [compressor svc] (board B)
+//
+// A client sends an image frame; the thumbnailer encodes it (local compute),
+// checksums the bitstream through a *local* service call, then ships it to a
+// *remote* compression service through the bridge — and the client receives
+// the compressed, checksummed result. No accelerator knows or cares where
+// its dependencies run.
+#include <cstdio>
+#include <memory>
+
+#include "src/accel/checksum.h"
+#include "src/accel/compressor.h"
+#include "src/accel/video_encoder.h"
+#include "src/core/kernel.h"
+#include "src/core/service_ids.h"
+#include "src/services/gateway.h"
+#include "src/services/network_service.h"
+#include "src/services/remote_bridge.h"
+#include "src/sim/simulator.h"
+#include "src/stats/table.h"
+#include "src/workload/client.h"
+#include "src/workload/frame_source.h"
+
+using namespace apiary;
+
+namespace {
+
+// The application service: encodes a frame, checksums it locally, compresses
+// it remotely, replies with u32 crc + compressed bitstream.
+class Thumbnailer : public Accelerator {
+ public:
+  Thumbnailer(ServiceId crc_svc, ServiceId bridge_svc, uint32_t remote_board,
+              ServiceId remote_bridge_svc, ServiceId remote_compress_svc)
+      : crc_svc_(crc_svc), bridge_svc_(bridge_svc), remote_board_(remote_board),
+        remote_bridge_svc_(remote_bridge_svc), remote_compress_svc_(remote_compress_svc) {}
+
+  void OnMessage(const Message& msg, TileApi& api) override {
+    if (msg.kind == MsgKind::kResponse) {
+      OnDependencyReply(msg, api);
+      return;
+    }
+    if (msg.payload.size() < 8) {
+      Message err;
+      err.opcode = msg.opcode;
+      err.status = MsgStatus::kBadRequest;
+      api.Reply(msg, std::move(err));
+      return;
+    }
+    // Stage 1 (local compute): DCT-encode the frame.
+    const uint32_t w = GetU32(msg.payload, 0);
+    const uint32_t h = GetU32(msg.payload, 4);
+    Job job;
+    job.client_request = msg;
+    job.bitstream = EncodeFrame(msg.payload.data() + 8, w, h, 40);
+    const uint64_t id = next_id_++;
+    // Stage 2 (local service call): checksum the bitstream.
+    Message crc;
+    crc.opcode = kOpChecksum;
+    crc.payload = job.bitstream;
+    crc.request_id = MakeId(id, 1);
+    jobs_[id] = std::move(job);
+    if (!api.Send(std::move(crc), api.LookupService(crc_svc_)).ok()) {
+      FailJob(id, MsgStatus::kBackpressure, api);
+    }
+  }
+
+  std::string name() const override { return "thumbnailer"; }
+  uint32_t LogicCellCost() const override { return 50000; }
+
+  uint64_t completed = 0;
+
+ private:
+  struct Job {
+    Message client_request;
+    std::vector<uint8_t> bitstream;
+    uint32_t crc = 0;
+  };
+
+  static uint64_t MakeId(uint64_t job, uint64_t stage) { return (job << 4) | stage; }
+
+  void FailJob(uint64_t id, MsgStatus status, TileApi& api) {
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return;
+    }
+    Message err;
+    err.opcode = it->second.client_request.opcode;
+    err.status = status;
+    api.Reply(it->second.client_request, std::move(err));
+    jobs_.erase(it);
+  }
+
+  void OnDependencyReply(const Message& msg, TileApi& api) {
+    const uint64_t id = msg.request_id >> 4;
+    const uint64_t stage = msg.request_id & 0xf;
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return;
+    }
+    if (msg.status != MsgStatus::kOk) {
+      FailJob(id, msg.status, api);
+      return;
+    }
+    if (stage == 1) {
+      // CRC arrived; stage 3 (remote service call): compress off-board.
+      it->second.crc = GetU32(msg.payload, 0);
+      Message call;
+      call.opcode = kOpRemoteCall;
+      PutU32(call.payload, remote_board_);
+      PutU32(call.payload, remote_bridge_svc_);
+      PutU32(call.payload, remote_compress_svc_);
+      call.payload.push_back(static_cast<uint8_t>(kOpCompress));
+      call.payload.push_back(static_cast<uint8_t>(kOpCompress >> 8));
+      call.payload.insert(call.payload.end(), it->second.bitstream.begin(),
+                          it->second.bitstream.end());
+      call.request_id = MakeId(id, 2);
+      if (!api.Send(std::move(call), api.LookupService(bridge_svc_)).ok()) {
+        FailJob(id, MsgStatus::kBackpressure, api);
+      }
+      return;
+    }
+    // Stage 3 reply: compressed bitstream from the remote board.
+    Message reply;
+    reply.opcode = it->second.client_request.opcode;
+    PutU32(reply.payload, it->second.crc);
+    reply.payload.insert(reply.payload.end(), msg.payload.begin(), msg.payload.end());
+    api.Reply(it->second.client_request, std::move(reply));
+    jobs_.erase(it);
+    ++completed;
+  }
+
+  ServiceId crc_svc_;
+  ServiceId bridge_svc_;
+  uint32_t remote_board_;
+  ServiceId remote_bridge_svc_;
+  ServiceId remote_compress_svc_;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, Job> jobs_;
+};
+
+}  // namespace
+
+int main() {
+  Simulator sim(250.0);
+  ExternalNetwork net(50);
+  sim.Register(&net);
+  BoardConfig cfg;
+  cfg.part_number = "VU9P";
+  cfg.mesh = MeshConfig{4, 4, 8, 512};
+  cfg.dram.capacity_bytes = 64ull << 20;
+  Board board_a(cfg, sim, &net);
+  Board board_b(cfg, sim, &net);
+  ApiaryOs os_a(board_a);
+  ApiaryOs os_b(board_b);
+
+  // Network services on both boards.
+  os_a.DeployService(kNetworkService,
+                     std::make_unique<NetworkService>(
+                         &os_a, std::make_unique<Mac100GAdapter>(board_a.mac100g())));
+  os_b.DeployService(kNetworkService,
+                     std::make_unique<NetworkService>(
+                         &os_b, std::make_unique<Mac100GAdapter>(board_b.mac100g())));
+
+  // Board B: the remote compression microservice, exposed via its bridge.
+  auto* bridge_b = new RemoteBridge();
+  ServiceId bridge_b_svc = 0;
+  const TileId bb_tile = os_b.Deploy(os_b.CreateApp("bridge"),
+                                     std::unique_ptr<Accelerator>(bridge_b), &bridge_b_svc);
+  os_b.GrantSendToService(bb_tile, kNetworkService);
+  auto* compressor = new CompressorAccelerator(16);
+  ServiceId comp_svc = 0;
+  os_b.Deploy(os_b.CreateApp("zsvc"), std::unique_ptr<Accelerator>(compressor), &comp_svc);
+  bridge_b->ExposeService(comp_svc, os_b.GrantSendToService(bb_tile, comp_svc));
+
+  // Board A: bridge, checksum service, the thumbnailer app, and a gateway.
+  auto* bridge_a = new RemoteBridge();
+  ServiceId bridge_a_svc = 0;
+  const TileId ba_tile = os_a.Deploy(os_a.CreateApp("bridge"),
+                                     std::unique_ptr<Accelerator>(bridge_a), &bridge_a_svc);
+  os_a.GrantSendToService(ba_tile, kNetworkService);
+
+  AppId app = os_a.CreateApp("thumbnail-chain");
+  ServiceId crc_svc = 0;
+  os_a.Deploy(app, std::make_unique<ChecksumAccelerator>(8), &crc_svc);
+  auto* thumbnailer = new Thumbnailer(crc_svc, bridge_a_svc, board_b.mac100g()->address(),
+                                      bridge_b_svc, comp_svc);
+  ServiceId thumb_svc = 0;
+  const TileId tt = os_a.Deploy(app, std::unique_ptr<Accelerator>(thumbnailer), &thumb_svc);
+  os_a.GrantSendToService(tt, crc_svc);
+  os_a.GrantSendToService(tt, bridge_a_svc);
+  auto* gw = new NetGateway();
+  ServiceId gw_svc = 0;
+  const TileId gt = os_a.Deploy(app, std::unique_ptr<Accelerator>(gw), &gw_svc);
+  os_a.GrantSendToService(gt, kNetworkService);
+  gw->SetBackend(os_a.GrantSendToService(gt, thumb_svc));
+
+  // A client drives frames through the whole chain.
+  constexpr uint32_t kW = 48;
+  constexpr uint32_t kH = 48;
+  ClientConfig ccfg;
+  ccfg.server_endpoint = board_a.mac100g()->address();
+  ccfg.dst_service = gw_svc;
+  ccfg.open_loop = false;
+  ccfg.concurrency = 2;
+  ccfg.max_requests = 12;
+  ClientHost client(ccfg, &net, [&](uint64_t index, Rng&) {
+    ClientRequest req;
+    req.opcode = kOpAppBase + 99;
+    req.payload = FrameToRequestPayload(kW, kH, GenerateFrame(kW, kH, 5, index));
+    return req;
+  });
+  sim.Register(&client);
+
+  std::printf("microservice chain: client ==> [gateway|board A] -> thumbnailer\n");
+  std::printf("  -> (local)  checksum service,  board A\n");
+  std::printf("  -> (remote) compression service, board B via bridge\n\n");
+
+  sim.RunUntil([&] { return client.received() >= ccfg.max_requests; }, 20'000'000);
+
+  // Validate the final artifact end to end.
+  uint64_t valid = 0;
+  if (!client.last_response().empty() && client.last_response().size() > 4) {
+    const uint32_t crc = GetU32(client.last_response(), 0);
+    std::vector<uint8_t> compressed(client.last_response().begin() + 4,
+                                    client.last_response().end());
+    const auto bitstream = LzDecompress(compressed);
+    if (!bitstream.empty() && Crc32(bitstream) == crc) {
+      uint32_t w = 0;
+      uint32_t h = 0;
+      if (!DecodeFrame(bitstream, &w, &h).empty() && w == kW && h == kH) {
+        valid = 1;
+      }
+    }
+  }
+
+  Table table("Microservice chain results");
+  table.SetHeader({"metric", "value"});
+  table.AddRow({"requests completed", Table::Int(client.received())});
+  table.AddRow({"errors", Table::Int(client.errors())});
+  table.AddRow({"chain p50 latency (us)",
+                Table::Num(static_cast<double>(client.latency().P50()) * 4 / 1000, 1)});
+  table.AddRow({"chain p99 latency (us)",
+                Table::Num(static_cast<double>(client.latency().P99()) * 4 / 1000, 1)});
+  table.AddRow({"remote calls bridged", Table::Int(thumbnailer->completed)});
+  table.AddRow({"final artifact validates (crc+decode)", valid ? "yes" : "NO"});
+  table.Print();
+  return client.received() >= ccfg.max_requests && valid == 1 ? 0 : 1;
+}

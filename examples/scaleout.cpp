@@ -1,0 +1,97 @@
+// Scale-out demo — Section 4.1: "a replicated accelerator with internal load
+// balancing for higher bandwidth". A checksum service is replicated across
+// 1..6 tiles behind the load balancer; a closed-loop client measures
+// throughput and tail latency at each replica count.
+#include <cstdio>
+#include <memory>
+
+#include "src/accel/checksum.h"
+#include "src/core/kernel.h"
+#include "src/core/service_ids.h"
+#include "src/services/gateway.h"
+#include "src/services/load_balancer.h"
+#include "src/services/network_service.h"
+#include "src/sim/simulator.h"
+#include "src/stats/table.h"
+#include "src/workload/client.h"
+
+using namespace apiary;
+
+struct RunResult {
+  double requests_per_ms;
+  uint64_t p50;
+  uint64_t p99;
+};
+
+RunResult RunWithReplicas(uint32_t replicas) {
+  Simulator sim(250.0);
+  ExternalNetwork net(25);
+  sim.Register(&net);
+  BoardConfig cfg;
+  cfg.part_number = "VU9P";
+  cfg.mesh = MeshConfig{4, 4, 8, 512};
+  cfg.dram.capacity_bytes = 64ull << 20;
+  Board board(cfg, sim, &net);
+  ApiaryOs os(board);
+  os.DeployService(kNetworkService,
+                   std::make_unique<NetworkService>(
+                       &os, std::make_unique<Mac100GAdapter>(board.mac100g())));
+
+  AppId app = os.CreateApp("crc-service");
+  auto* lb = new LoadBalancer();
+  ServiceId lb_svc = 0;
+  const TileId lb_tile = os.Deploy(app, std::unique_ptr<Accelerator>(lb), &lb_svc);
+  for (uint32_t i = 0; i < replicas; ++i) {
+    ServiceId svc = 0;
+    // A deliberately slow engine (1 B/cycle) so replication matters.
+    os.Deploy(app, std::make_unique<ChecksumAccelerator>(1), &svc);
+    lb->AddBackend(os.GrantSendToService(lb_tile, svc));
+  }
+  auto* gw = new NetGateway();
+  ServiceId gw_svc = 0;
+  const TileId gw_tile = os.Deploy(app, std::unique_ptr<Accelerator>(gw), &gw_svc);
+  os.GrantSendToService(gw_tile, kNetworkService);
+  gw->SetBackend(os.GrantSendToService(gw_tile, lb_svc));
+
+  ClientConfig ccfg;
+  ccfg.server_endpoint = board.mac100g()->address();
+  ccfg.dst_service = gw_svc;
+  ccfg.open_loop = false;
+  ccfg.concurrency = 16;
+  ccfg.max_requests = 600;
+  ClientHost client(ccfg, &net, [](uint64_t, Rng& rng) {
+    ClientRequest req;
+    req.opcode = kOpChecksum;
+    req.payload.assign(1024, static_cast<uint8_t>(rng.NextBelow(256)));
+    return req;
+  });
+  sim.Register(&client);
+
+  const Cycle start = sim.now();
+  sim.RunUntil([&] { return client.received() >= ccfg.max_requests; }, 50'000'000);
+  const double ms = sim.CyclesToNs(sim.now() - start) / 1e6;
+  return RunResult{static_cast<double>(client.received()) / ms, client.latency().P50(),
+                   client.latency().P99()};
+}
+
+int main() {
+  std::printf("replicating a checksum accelerator behind the load balancer\n");
+  std::printf("(1 KiB requests, closed loop, concurrency 16)\n");
+
+  Table table("Scale-out");
+  table.SetHeader({"replicas", "throughput (req/ms)", "p50 (cycles)", "p99 (cycles)",
+                   "speedup"});
+  double base = 0;
+  for (uint32_t replicas : {1u, 2u, 4u, 6u}) {
+    const RunResult r = RunWithReplicas(replicas);
+    if (replicas == 1) {
+      base = r.requests_per_ms;
+    }
+    table.AddRow({Table::Int(replicas), Table::Num(r.requests_per_ms, 1), Table::Int(r.p50),
+                  Table::Int(r.p99), Table::Num(r.requests_per_ms / base, 2) + "x"});
+  }
+  table.Print();
+  std::printf("\nthroughput scales with replicas until the client window saturates;\n");
+  std::printf("no accelerator code changed between rows — only kernel wiring.\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Application-level opcodes used by the bundled accelerators.
+#ifndef SRC_ACCEL_ACCEL_OPCODES_H_
+#define SRC_ACCEL_ACCEL_OPCODES_H_
+
+#include "src/services/opcodes.h"
+
+namespace apiary {
+
+inline constexpr uint16_t kOpEcho = kOpAppBase + 1;         // payload echoed back
+inline constexpr uint16_t kOpEncodeFrame = kOpAppBase + 2;  // u32 w, u32 h, pixels
+inline constexpr uint16_t kOpCompress = kOpAppBase + 3;     // raw bytes -> compressed
+inline constexpr uint16_t kOpDecompress = kOpAppBase + 4;   // compressed -> raw bytes
+inline constexpr uint16_t kOpKvGet = kOpAppBase + 5;        // u32 klen, key
+inline constexpr uint16_t kOpKvPut = kOpAppBase + 6;        // u32 klen, key, value
+inline constexpr uint16_t kOpKvDelete = kOpAppBase + 7;     // u32 klen, key
+inline constexpr uint16_t kOpChecksum = kOpAppBase + 8;     // bytes -> u32 crc32
+
+}  // namespace apiary
+
+#endif  // SRC_ACCEL_ACCEL_OPCODES_H_

@@ -1,0 +1,68 @@
+#include "src/accel/checksum.h"
+
+#include <algorithm>
+#include <array>
+
+namespace apiary {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (uint8_t byte : data) {
+    crc = kTable[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+void ChecksumAccelerator::OnMessage(const Message& msg, TileApi& api) {
+  if (msg.kind != MsgKind::kRequest) {
+    return;
+  }
+  if (msg.opcode != kOpChecksum) {
+    Message err;
+    err.opcode = msg.opcode;
+    err.status = MsgStatus::kBadRequest;
+    api.Reply(msg, std::move(err));
+    return;
+  }
+  Job job;
+  job.request = msg;
+  job.crc = Crc32(msg.payload);
+  const Cycle compute =
+      std::max<Cycle>(1, msg.payload.size() / std::max<uint32_t>(1, bytes_per_cycle_));
+  const Cycle start = std::max(engine_free_at_, api.now());
+  engine_free_at_ = start + compute;
+  job.done_at = engine_free_at_;
+  jobs_.push_back(std::move(job));
+}
+
+void ChecksumAccelerator::Tick(TileApi& api) {
+  while (!jobs_.empty() && jobs_.front().done_at <= api.now()) {
+    Message reply;
+    reply.opcode = kOpChecksum;
+    PutU32(reply.payload, jobs_.front().crc);
+    const SendResult r = api.Reply(jobs_.front().request, std::move(reply));
+    if (r.status == MsgStatus::kBackpressure || r.status == MsgStatus::kRateLimited) {
+      break;
+    }
+    ++served_;
+    jobs_.pop_front();
+  }
+}
+
+}  // namespace apiary

@@ -1,0 +1,47 @@
+// CRC32 checksum accelerator (and the pure function behind it). A small,
+// common utility block — the kind of third-party tile the paper's
+// composition story wants to make cheap to reuse.
+#ifndef SRC_ACCEL_CHECKSUM_H_
+#define SRC_ACCEL_CHECKSUM_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "src/accel/accel_opcodes.h"
+#include "src/core/accelerator.h"
+
+namespace apiary {
+
+// CRC-32 (IEEE 802.3, reflected, init/xorout 0xffffffff).
+uint32_t Crc32(std::span<const uint8_t> data);
+
+class ChecksumAccelerator : public Accelerator {
+ public:
+  explicit ChecksumAccelerator(uint32_t bytes_per_cycle = 8)
+      : bytes_per_cycle_(bytes_per_cycle) {}
+
+  void OnMessage(const Message& msg, TileApi& api) override;
+  void Tick(TileApi& api) override;
+
+  std::string name() const override { return "checksum"; }
+  uint32_t LogicCellCost() const override { return 4000; }
+  uint64_t served() const { return served_; }
+
+ private:
+  struct Job {
+    Message request;
+    uint32_t crc;
+    Cycle done_at;
+  };
+
+  uint32_t bytes_per_cycle_;
+  std::deque<Job> jobs_;
+  Cycle engine_free_at_ = 0;
+  uint64_t served_ = 0;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_ACCEL_CHECKSUM_H_

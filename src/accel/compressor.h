@@ -1,0 +1,70 @@
+// Compression accelerator: the "third-party accelerator" of the paper's
+// Section 2 pipeline ("the encoding accelerator could be composed with a
+// compression accelerator to produce a compressed, encoded video stream").
+//
+// Implements a real LZ77-family compressor (hash-chain match finder,
+// length/distance tokens, literal runs) with a matching decompressor, plus a
+// byte-rate compute model so pipeline experiments see realistic occupancy.
+#ifndef SRC_ACCEL_COMPRESSOR_H_
+#define SRC_ACCEL_COMPRESSOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/accel/accel_opcodes.h"
+#include "src/core/accelerator.h"
+#include "src/stats/summary.h"
+
+namespace apiary {
+
+// --- Pure codec functions (unit-testable). ---
+std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input);
+std::vector<uint8_t> LzDecompress(const std::vector<uint8_t>& compressed);
+
+class CompressorAccelerator : public Accelerator {
+ public:
+  // `bytes_per_cycle` models the match-finder throughput (4 B/cycle is a
+  // typical FPGA LZ engine datapath).
+  explicit CompressorAccelerator(uint32_t bytes_per_cycle = 4)
+      : bytes_per_cycle_(bytes_per_cycle) {}
+
+  // Pipeline composition: forward compressed output instead of replying.
+  void SetNextStage(CapRef endpoint, uint16_t opcode) {
+    next_stage_ = endpoint;
+    next_opcode_ = opcode;
+  }
+
+  void OnMessage(const Message& msg, TileApi& api) override;
+  void Tick(TileApi& api) override;
+
+  std::string name() const override { return "compressor"; }
+  uint32_t LogicCellCost() const override { return 30000; }
+
+  uint64_t chunks_compressed() const { return chunks_compressed_; }
+  uint64_t bytes_in() const { return bytes_in_; }
+  uint64_t bytes_out() const { return bytes_out_; }
+  const CounterSet& counters() const { return counters_; }
+
+ private:
+  struct Job {
+    Message request;
+    std::vector<uint8_t> output;
+    bool decompress = false;
+    Cycle done_at;
+  };
+
+  uint32_t bytes_per_cycle_;
+  CapRef next_stage_ = kInvalidCapRef;
+  uint16_t next_opcode_ = 0;
+  std::deque<Job> jobs_;
+  Cycle engine_free_at_ = 0;
+  uint64_t chunks_compressed_ = 0;
+  uint64_t bytes_in_ = 0;
+  uint64_t bytes_out_ = 0;
+  CounterSet counters_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_ACCEL_COMPRESSOR_H_

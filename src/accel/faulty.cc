@@ -1,0 +1,187 @@
+#include "src/accel/faulty.h"
+
+#include "src/core/service_ids.h"
+
+namespace apiary {
+
+void WedgeAccelerator::OnBoot(TileApi& api) {
+  if (mgmt_cap_ == kInvalidCapRef) {
+    mgmt_cap_ = api.LookupService(kMgmtService);
+  }
+  if (mgmt_cap_ != kInvalidCapRef) {
+    // Register with the watchdog: if we stop heartbeating, fail-stop us.
+    Message watch;
+    watch.opcode = kOpMgmtWatch;
+    PutU64(watch.payload, heartbeat_period_ * 4);
+    api.Send(std::move(watch), mgmt_cap_);
+  }
+}
+
+void WedgeAccelerator::OnMessage(const Message& msg, TileApi& api) {
+  if (msg.kind != MsgKind::kRequest) {
+    return;
+  }
+  if (wedged()) {
+    return;  // Livelocked: requests pile up and are never answered.
+  }
+  ++served_;
+  Message reply;
+  reply.opcode = msg.opcode;
+  reply.payload = msg.payload;
+  api.Reply(msg, std::move(reply));
+}
+
+void WedgeAccelerator::Tick(TileApi& api) {
+  if (wedged() || mgmt_cap_ == kInvalidCapRef) {
+    return;  // A wedged accelerator stops heartbeating too.
+  }
+  if (api.now() >= last_heartbeat_ + heartbeat_period_) {
+    Message hb;
+    hb.opcode = kOpMgmtHeartbeat;
+    if (api.Send(std::move(hb), mgmt_cap_).ok()) {
+      last_heartbeat_ = api.now();
+    }
+  }
+}
+
+void CrashAccelerator::OnMessage(const Message& msg, TileApi& api) {
+  if (msg.kind != MsgKind::kRequest) {
+    return;
+  }
+  if (served_ >= healthy_requests_) {
+    api.RaiseFault("internal assertion failed");
+    return;
+  }
+  ++served_;
+  Message reply;
+  reply.opcode = msg.opcode;
+  reply.payload = msg.payload;
+  api.Reply(msg, std::move(reply));
+}
+
+void FlooderAccelerator::OnMessage(const Message& msg, TileApi& api) {
+  (void)msg;
+  (void)api;  // Responses and errors are ignored; the flood continues.
+}
+
+void FlooderAccelerator::Tick(TileApi& api) {
+  if (victim_ == kInvalidCapRef) {
+    return;
+  }
+  // Saturate: keep sending until the monitor or NI refuses.
+  while (true) {
+    Message msg;
+    msg.opcode = kOpEcho;
+    msg.payload.assign(message_bytes_, 0xab);
+    const SendResult r = api.Send(std::move(msg), victim_);
+    if (r.ok()) {
+      ++sent_;
+      continue;
+    }
+    if (r.status == MsgStatus::kRateLimited) {
+      ++rate_limited_;
+    } else if (r.status == MsgStatus::kBackpressure) {
+      ++backpressured_;
+    }
+    break;
+  }
+}
+
+void SnooperAccelerator::OnMessage(const Message& msg, TileApi& api) {
+  (void)api;
+  if (msg.kind != MsgKind::kResponse) {
+    return;
+  }
+  // Any successful data-bearing response to a snoop is a leak.
+  if (msg.status == MsgStatus::kOk && !msg.payload.empty()) {
+    ++leaked_;
+  } else {
+    ++denied_remote_;
+  }
+}
+
+void SnooperAccelerator::Tick(TileApi& api) {
+  if (api.now() < next_attempt_) {
+    return;
+  }
+  next_attempt_ = api.now() + period_;
+
+  // Attempt 1: forge endpoint capability references and try to message a
+  // tile we were never granted (cycling through slots and generations).
+  ++attempts_;
+  Message probe;
+  probe.opcode = kOpEcho;
+  probe.payload = {0xde, 0xad};
+  const CapRef forged = MakeCapRef(probe_tile_ % 64, (probe_tile_ / 64) % 16);
+  probe_tile_ = (probe_tile_ + 1) % (num_tiles_ * 64);
+  if (!api.Send(std::move(probe), forged).ok()) {
+    ++denied_local_;
+  }
+
+  // Attempt 2: forge a memory grant in the message body and ask the memory
+  // service to read someone else's segment. The monitor scrubs untrusted
+  // grant fields, so the service must see grant.valid == false.
+  const CapRef memsvc = api.LookupService(kMemoryService);
+  if (memsvc != kInvalidCapRef) {
+    ++attempts_;
+    Message forged_read;
+    forged_read.opcode = kOpMemRead;
+    PutU64(forged_read.payload, 0);
+    PutU32(forged_read.payload, 64);
+    forged_read.grant.valid = true;  // Forged: not backed by any capability.
+    forged_read.grant.can_read = true;
+    forged_read.grant.segment = Segment{0, 1ull << 30};
+    // Deliberately present no memory capability.
+    api.Send(std::move(forged_read), memsvc);
+  }
+}
+
+void WildWriterAccelerator::OnBoot(TileApi& api) {
+  memsvc_cap_ = api.LookupService(kMemoryService);
+  if (memsvc_cap_ != kInvalidCapRef && !alloc_requested_) {
+    Message alloc;
+    alloc.opcode = kOpMemAlloc;
+    PutU64(alloc.payload, segment_bytes_);
+    PutU32(alloc.payload, kRightRead | kRightWrite);
+    if (api.Send(std::move(alloc), memsvc_cap_).ok()) {
+      alloc_requested_ = true;
+    }
+  }
+}
+
+void WildWriterAccelerator::OnMessage(const Message& msg, TileApi& api) {
+  (void)api;
+  if (msg.kind != MsgKind::kResponse) {
+    return;
+  }
+  if (msg.opcode == kOpMemAlloc && msg.status == MsgStatus::kOk && msg.payload.size() >= 4) {
+    mem_cap_ = GetU32(msg.payload, 0);
+    return;
+  }
+  if (msg.opcode == kOpMemWrite || msg.opcode == kOpMemRead) {
+    if (msg.status == MsgStatus::kSegFault) {
+      ++seg_faults_;
+    } else if (msg.status == MsgStatus::kOk) {
+      ++in_bounds_ok_;
+    }
+  }
+}
+
+void WildWriterAccelerator::Tick(TileApi& api) {
+  if (mem_cap_ == kInvalidCapRef || api.now() < next_attempt_) {
+    return;
+  }
+  next_attempt_ = api.now() + period_;
+  ++attempts_;
+  Message write;
+  write.opcode = kOpMemWrite;
+  // Alternate a legitimate in-bounds write with a far out-of-bounds one; the
+  // latter must bounce with kSegFault and never corrupt a neighbour.
+  const uint64_t offset = wild_phase_ ? segment_bytes_ * 16 : 0;
+  wild_phase_ = !wild_phase_;
+  PutU64(write.payload, offset);
+  write.payload.insert(write.payload.end(), 32, 0x5a);
+  api.Send(std::move(write), memsvc_cap_, mem_cap_);
+}
+
+}  // namespace apiary

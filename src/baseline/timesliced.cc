@@ -1,0 +1,48 @@
+#include "src/baseline/timesliced.h"
+
+namespace apiary {
+
+uint64_t TimeSlicedFpga::total_completed() const {
+  uint64_t total = 0;
+  for (uint32_t a = 0; a < config_.num_apps; ++a) {
+    total += completed_[a];
+  }
+  return total;
+}
+
+void TimeSlicedFpga::Tick(Cycle now) {
+  if (now < reconfig_until_) {
+    return;  // Bitstream swap in progress: the region serves nobody.
+  }
+
+  // Quantum expiry: rotate to the next app that has work (or just the next
+  // app — a simple round-robin scheduler), paying the reconfiguration cost.
+  const bool quantum_over = now >= slice_started_at_ + config_.slice_cycles;
+  if (quantum_over && config_.num_apps > 1) {
+    // Only switch if some other app has queued work; otherwise keep running
+    // (work-conserving).
+    for (uint32_t step = 1; step < config_.num_apps; ++step) {
+      const uint32_t candidate = (active_app_ + step) % config_.num_apps;
+      if (!queues_[candidate].empty()) {
+        active_app_ = candidate;
+        reconfig_until_ = now + config_.reconfig_cycles;
+        slice_started_at_ = reconfig_until_;
+        busy_until_ = reconfig_until_;
+        ++reconfigurations_;
+        return;
+      }
+    }
+    slice_started_at_ = now;  // Nobody else is waiting; extend the slice.
+  }
+
+  // Serve the active app's queue, one request at a time.
+  if (now >= busy_until_ && !queues_[active_app_].empty()) {
+    const Cycle arrival = queues_[active_app_].front();
+    queues_[active_app_].pop_front();
+    busy_until_ = now + config_.service_cycles;
+    latencies_[active_app_].Record(busy_until_ - arrival);
+    ++completed_[active_app_];
+  }
+}
+
+}  // namespace apiary

@@ -1,0 +1,81 @@
+#include "src/core/capability.h"
+
+namespace apiary {
+
+namespace {
+constexpr uint32_t kSlotBits = 20;
+constexpr uint32_t kSlotMask = (1u << kSlotBits) - 1;
+constexpr uint32_t kGenMask = 0xfff;
+}  // namespace
+
+CapRef MakeCapRef(uint32_t slot, uint32_t generation) {
+  return (slot & kSlotMask) | ((generation & kGenMask) << kSlotBits);
+}
+
+uint32_t CapRefSlot(CapRef ref) { return ref & kSlotMask; }
+
+uint32_t CapRefGeneration(CapRef ref) { return (ref >> kSlotBits) & kGenMask; }
+
+CapabilityTable::CapabilityTable(uint32_t max_entries) : slots_(max_entries) {}
+
+CapRef CapabilityTable::Install(const Capability& cap) {
+  for (uint32_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].cap.has_value()) {
+      slots_[i].cap = cap;
+      ++live_count_;
+      return MakeCapRef(i, slots_[i].generation);
+    }
+  }
+  return kInvalidCapRef;
+}
+
+const Capability* CapabilityTable::Lookup(CapRef ref) const {
+  if (ref == kInvalidCapRef) {
+    return nullptr;
+  }
+  const uint32_t slot = CapRefSlot(ref);
+  if (slot >= slots_.size() || !slots_[slot].cap.has_value()) {
+    return nullptr;
+  }
+  if ((slots_[slot].generation & 0xfff) != CapRefGeneration(ref)) {
+    return nullptr;  // Revoked and possibly reused: stale reference.
+  }
+  return &*slots_[slot].cap;
+}
+
+bool CapabilityTable::Revoke(CapRef ref) {
+  const uint32_t slot = CapRefSlot(ref);
+  if (slot >= slots_.size() || !slots_[slot].cap.has_value()) {
+    return false;
+  }
+  if ((slots_[slot].generation & 0xfff) != CapRefGeneration(ref)) {
+    return false;
+  }
+  slots_[slot].cap.reset();
+  ++slots_[slot].generation;
+  --live_count_;
+  return true;
+}
+
+void CapabilityTable::RevokeAll() {
+  for (auto& slot : slots_) {
+    if (slot.cap.has_value()) {
+      slot.cap.reset();
+      ++slot.generation;
+    }
+  }
+  live_count_ = 0;
+}
+
+CapRef CapabilityTable::FindEndpointForService(ServiceId service) const {
+  for (uint32_t i = 0; i < slots_.size(); ++i) {
+    const auto& slot = slots_[i];
+    if (slot.cap.has_value() && slot.cap->kind == CapKind::kEndpoint &&
+        slot.cap->dst_service == service) {
+      return MakeCapRef(i, slot.generation);
+    }
+  }
+  return kInvalidCapRef;
+}
+
+}  // namespace apiary

@@ -1,0 +1,40 @@
+// Energy proxy model used by experiment E1.
+//
+// The paper's Section 1 claim: direct-attached FPGAs reduce energy versus
+// CPU-mediated communication. We account energy as activity counts times
+// per-event costs. Constants are order-of-magnitude figures from the NoC and
+// datacenter-accounting literature (flit-hop energies in the low pJ on-chip;
+// a mediating host CPU core burns tens of watts while busy) — the experiment
+// only relies on the relative gap, not the absolute values.
+#ifndef SRC_CORE_ENERGY_H_
+#define SRC_CORE_ENERGY_H_
+
+#include <cstdint>
+
+namespace apiary {
+
+struct EnergyModel {
+  // On-chip NoC: energy per flit per hop (router traversal + link).
+  double pj_per_flit_hop = 6.0;
+  // Monitor capability check per message.
+  double pj_per_monitor_check = 15.0;
+  // DRAM access energy per 64B burst.
+  double pj_per_dram_burst = 2000.0;
+  // Accelerator compute proxy: per active cycle of a tile.
+  double pj_per_accel_cycle = 50.0;
+  // PCIe transfer energy per byte (both directions combined, link+PHY).
+  double pj_per_pcie_byte = 25.0;
+  // Host CPU mediation: joules per second while a core is busy mediating.
+  double host_cpu_watts = 15.0;
+
+  // Convenience: microjoules consumed by `busy_cycles` of host CPU time at
+  // `clock_mhz`.
+  double HostCpuMicrojoules(uint64_t busy_cycles, double clock_mhz) const {
+    const double seconds = static_cast<double>(busy_cycles) / (clock_mhz * 1e6);
+    return host_cpu_watts * seconds * 1e6;
+  }
+};
+
+}  // namespace apiary
+
+#endif  // SRC_CORE_ENERGY_H_

@@ -1,0 +1,244 @@
+#include "src/core/kernel.h"
+
+#include "src/sim/logging.h"
+
+namespace apiary {
+namespace {
+
+uint64_t SegmentKey(TileId tile, CapRef ref) {
+  return (static_cast<uint64_t>(tile) << 32) | ref;
+}
+
+}  // namespace
+
+ApiaryOs::ApiaryOs(Board& board, MonitorConfig monitor_config)
+    : board_(&board), monitor_config_(monitor_config) {
+  if (!board.ok()) {
+    ok_ = false;
+    error_ = "board failed to build: " + board.build_error();
+    return;
+  }
+  const uint32_t n = board.num_tiles();
+  // Each tile's monitor is static trusted logic; charge it to the budget.
+  const uint64_t monitor_cells =
+      MonitorCellCost(ResourceCosts{}, monitor_config_.cap_entries);
+  if (!board.budget().ChargeStatic("monitors", monitor_cells * n)) {
+    ok_ = false;
+    error_ = "monitors do not fit on the part";
+    return;
+  }
+  tiles_.reserve(n);
+  for (TileId t = 0; t < n; ++t) {
+    tiles_.push_back(std::make_unique<Tile>(t, &board.mesh().ni(t), monitor_config_,
+                                            board.config().partial_reconfig_cycles));
+    board.sim().Register(tiles_.back().get());
+  }
+  segments_ = std::make_unique<SegmentAllocator>(0, board.memory().capacity());
+}
+
+AppId ApiaryOs::CreateApp(const std::string& name) {
+  apps_.push_back(AppInfo{name, {}});
+  return static_cast<AppId>(apps_.size() - 1);
+}
+
+const std::string& ApiaryOs::AppName(AppId app) const { return apps_[app].name; }
+
+const std::vector<TileId>& ApiaryOs::AppTiles(AppId app) const { return apps_[app].tiles; }
+
+TileId ApiaryOs::FindVacantTile() const {
+  for (TileId t = 0; t < tiles_.size(); ++t) {
+    if (tiles_[t]->vacant()) {
+      return t;
+    }
+  }
+  return kInvalidTile;
+}
+
+TileId ApiaryOs::DeployInternal(AppId app, ServiceId service,
+                                std::unique_ptr<Accelerator> accel,
+                                const DeployOptions& options) {
+  const TileId t = options.tile.value_or(FindVacantTile());
+  if (t == kInvalidTile || t >= tiles_.size()) {
+    return kInvalidTile;
+  }
+  if (!tiles_[t]->vacant()) {
+    return kInvalidTile;
+  }
+  if (accel->LogicCellCost() > board_->config().tile_region_cells) {
+    APIARY_LOG(kWarn) << accel->name() << " (" << accel->LogicCellCost()
+                      << " cells) exceeds the tile region ("
+                      << board_->config().tile_region_cells << ")";
+    return kInvalidTile;
+  }
+  tiles_[t]->set_fault_policy(options.fault_policy);
+  tiles_[t]->monitor().SetIdentity(app, service);
+  tiles_[t]->Configure(std::move(accel), options.immediate);
+  service_registry_[service] = t;
+  if (app != kInvalidApp) {
+    apps_[app].tiles.push_back(t);
+  }
+  return t;
+}
+
+TileId ApiaryOs::DeployService(ServiceId service, std::unique_ptr<Accelerator> accel,
+                               DeployOptions options) {
+  return DeployInternal(kInvalidApp, service, std::move(accel), options);
+}
+
+TileId ApiaryOs::Deploy(AppId app, std::unique_ptr<Accelerator> accel, ServiceId* out_service,
+                        DeployOptions options) {
+  const ServiceId service = next_app_service_++;
+  if (out_service != nullptr) {
+    *out_service = service;
+  }
+  return DeployInternal(app, service, std::move(accel), options);
+}
+
+bool ApiaryOs::Reconfigure(TileId tile, std::unique_ptr<Accelerator> accel, bool immediate) {
+  if (tile >= tiles_.size()) {
+    return false;
+  }
+  if (accel != nullptr && accel->LogicCellCost() > board_->config().tile_region_cells) {
+    return false;
+  }
+  tiles_[tile]->Configure(std::move(accel), immediate);
+  return true;
+}
+
+void ApiaryOs::RebindService(ServiceId service, TileId tile) {
+  if (tile >= tiles_.size()) {
+    return;
+  }
+  service_registry_[service] = tile;
+  // The standby answers under the service's logical identity from now on.
+  tiles_[tile]->monitor().SetIdentity(tiles_[tile]->monitor().app(), service);
+}
+
+TileId ApiaryOs::LookupServiceTile(ServiceId service) const {
+  auto it = service_registry_.find(service);
+  return it == service_registry_.end() ? kInvalidTile : it->second;
+}
+
+CapRef ApiaryOs::GrantSendToService(TileId src, ServiceId dst) {
+  const TileId dst_tile = LookupServiceTile(dst);
+  if (dst_tile == kInvalidTile || src >= tiles_.size()) {
+    return kInvalidCapRef;
+  }
+  Capability cap;
+  cap.kind = CapKind::kEndpoint;
+  cap.rights = kRightSend;
+  cap.dst_tile = dst_tile;
+  cap.dst_service = dst;
+  const CapRef ref = tiles_[src]->monitor().InstallCap(cap);
+  if (ref != kInvalidCapRef) {
+    tiles_[dst_tile]->monitor().AllowSender(src);
+  }
+  return ref;
+}
+
+CapRef ApiaryOs::GrantSend(TileId src, TileId dst) {
+  if (src >= tiles_.size() || dst >= tiles_.size()) {
+    return kInvalidCapRef;
+  }
+  Capability cap;
+  cap.kind = CapKind::kEndpoint;
+  cap.rights = kRightSend;
+  cap.dst_tile = dst;
+  // Physical grants still carry the destination's logical name so replies
+  // and tracing stay meaningful.
+  for (const auto& [service, tile] : service_registry_) {
+    if (tile == dst) {
+      cap.dst_service = service;
+      break;
+    }
+  }
+  const CapRef ref = tiles_[src]->monitor().InstallCap(cap);
+  if (ref != kInvalidCapRef) {
+    tiles_[dst]->monitor().AllowSender(src);
+  }
+  return ref;
+}
+
+std::optional<CapRef> ApiaryOs::GrantMemory(TileId tile, uint64_t bytes, uint32_t rights) {
+  if (tile >= tiles_.size()) {
+    return std::nullopt;
+  }
+  auto segment = segments_->Allocate(bytes);
+  if (!segment.has_value()) {
+    return std::nullopt;
+  }
+  Capability cap;
+  cap.kind = CapKind::kMemory;
+  cap.rights = rights;
+  cap.segment = *segment;
+  const CapRef ref = tiles_[tile]->monitor().InstallCap(cap);
+  if (ref == kInvalidCapRef) {
+    segments_->Free(*segment);
+    return std::nullopt;
+  }
+  owned_segments_[SegmentKey(tile, ref)] = *segment;
+  return ref;
+}
+
+CapRef ApiaryOs::GrantExistingSegment(TileId tile, const Segment& segment, uint32_t rights) {
+  if (tile >= tiles_.size()) {
+    return kInvalidCapRef;
+  }
+  Capability cap;
+  cap.kind = CapKind::kMemory;
+  cap.rights = rights;
+  cap.segment = segment;
+  return tiles_[tile]->monitor().InstallCap(cap);
+}
+
+bool ApiaryOs::Revoke(TileId tile, CapRef ref) {
+  if (tile >= tiles_.size()) {
+    return false;
+  }
+  if (!tiles_[tile]->monitor().RevokeCap(ref)) {
+    return false;
+  }
+  auto it = owned_segments_.find(SegmentKey(tile, ref));
+  if (it != owned_segments_.end()) {
+    segments_->Free(it->second);
+    owned_segments_.erase(it);
+  }
+  return true;
+}
+
+void ApiaryOs::SetRateLimit(TileId tile, uint64_t flits_per_1k_cycles, uint64_t burst_flits) {
+  if (tile < tiles_.size()) {
+    tiles_[tile]->monitor().SetRateLimit(flits_per_1k_cycles, burst_flits);
+  }
+}
+
+void ApiaryOs::FailStop(TileId tile, const std::string& reason) {
+  if (tile < tiles_.size()) {
+    tiles_[tile]->monitor().FailStop(reason);
+  }
+}
+
+bool ApiaryOs::PreemptSwap(TileId tile, std::unique_ptr<Accelerator> replacement) {
+  if (tile >= tiles_.size()) {
+    return false;
+  }
+  return tiles_[tile]->PreemptSwap(std::move(replacement));
+}
+
+CounterSet ApiaryOs::AggregateMonitorCounters() const {
+  CounterSet total;
+  for (const auto& tile : tiles_) {
+    total.Merge(tile->monitor().counters());
+  }
+  return total;
+}
+
+uint64_t ApiaryOs::TotalMonitorCells() const {
+  uint64_t total = 0;
+  for (const auto& tile : tiles_) {
+    total += tile->monitor().MonitorLogicCells();
+  }
+  return total;
+}
+
+}  // namespace apiary

@@ -1,0 +1,155 @@
+#include "src/core/message.h"
+
+namespace apiary {
+namespace {
+
+// Fixed header layout (little-endian):
+//   u32 dst_service, u8 kind, u16 opcode, u8 status, u64 request_id,
+//   u32 dst_process, u32 src_tile, u32 src_service, u32 src_app,
+//   2 x (u64 grant.base, u64 grant.length, u8 grant flags), u32 payload_len
+constexpr size_t kHeaderBytes = 4 + 1 + 2 + 1 + 8 + 4 + 4 + 4 + 4 + 2 * (8 + 8 + 1) + 4;
+
+void PutU16(std::vector<uint8_t>& buf, uint16_t v) {
+  buf.push_back(static_cast<uint8_t>(v));
+  buf.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+uint16_t GetU16(const std::vector<uint8_t>& buf, size_t offset) {
+  return static_cast<uint16_t>(buf[offset]) | (static_cast<uint16_t>(buf[offset + 1]) << 8);
+}
+
+}  // namespace
+
+void PutU32(std::vector<uint8_t>& buf, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>& buf, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint32_t GetU32(const std::vector<uint8_t>& buf, size_t offset) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(buf[offset + i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const std::vector<uint8_t>& buf, size_t offset) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(buf[offset + i]) << (8 * i);
+  }
+  return v;
+}
+
+const char* MsgStatusName(MsgStatus status) {
+  switch (status) {
+    case MsgStatus::kOk:
+      return "ok";
+    case MsgStatus::kNoCapability:
+      return "no_capability";
+    case MsgStatus::kRateLimited:
+      return "rate_limited";
+    case MsgStatus::kBackpressure:
+      return "backpressure";
+    case MsgStatus::kNoSuchService:
+      return "no_such_service";
+    case MsgStatus::kDestFailed:
+      return "dest_failed";
+    case MsgStatus::kDenied:
+      return "denied";
+    case MsgStatus::kBadRequest:
+      return "bad_request";
+    case MsgStatus::kSegFault:
+      return "seg_fault";
+    case MsgStatus::kNoMemory:
+      return "no_memory";
+    case MsgStatus::kRevoked:
+      return "revoked";
+    case MsgStatus::kTileStopped:
+      return "tile_stopped";
+    case MsgStatus::kNotFound:
+      return "not_found";
+  }
+  return "unknown";
+}
+
+size_t Message::WireBytes() const { return kHeaderBytes + payload.size(); }
+
+std::vector<uint8_t> SerializeMessage(const Message& msg) {
+  std::vector<uint8_t> out;
+  out.reserve(msg.WireBytes());
+  PutU32(out, msg.dst_service);
+  out.push_back(static_cast<uint8_t>(msg.kind));
+  PutU16(out, msg.opcode);
+  out.push_back(static_cast<uint8_t>(msg.status));
+  PutU64(out, msg.request_id);
+  PutU32(out, msg.dst_process);
+  PutU32(out, msg.src_tile);
+  PutU32(out, msg.src_service);
+  PutU32(out, msg.src_app);
+  for (const SegmentGrant* grant : {&msg.grant, &msg.grant2}) {
+    PutU64(out, grant->segment.base);
+    PutU64(out, grant->segment.length);
+    const uint8_t flags = static_cast<uint8_t>(
+        (grant->valid ? 1 : 0) | (grant->can_read ? 2 : 0) | (grant->can_write ? 4 : 0) |
+        (grant->can_grant ? 8 : 0));
+    out.push_back(flags);
+  }
+  PutU32(out, static_cast<uint32_t>(msg.payload.size()));
+  out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+  return out;
+}
+
+std::optional<Message> DeserializeMessage(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    return std::nullopt;
+  }
+  Message msg;
+  size_t off = 0;
+  msg.dst_service = GetU32(bytes, off);
+  off += 4;
+  msg.kind = static_cast<MsgKind>(bytes[off]);
+  off += 1;
+  msg.opcode = GetU16(bytes, off);
+  off += 2;
+  msg.status = static_cast<MsgStatus>(bytes[off]);
+  off += 1;
+  msg.request_id = GetU64(bytes, off);
+  off += 8;
+  msg.dst_process = GetU32(bytes, off);
+  off += 4;
+  msg.src_tile = GetU32(bytes, off);
+  off += 4;
+  msg.src_service = GetU32(bytes, off);
+  off += 4;
+  msg.src_app = GetU32(bytes, off);
+  off += 4;
+  for (SegmentGrant* grant : {&msg.grant, &msg.grant2}) {
+    grant->segment.base = GetU64(bytes, off);
+    off += 8;
+    grant->segment.length = GetU64(bytes, off);
+    off += 8;
+    const uint8_t flags = bytes[off];
+    off += 1;
+    grant->valid = (flags & 1) != 0;
+    grant->can_read = (flags & 2) != 0;
+    grant->can_write = (flags & 4) != 0;
+    grant->can_grant = (flags & 8) != 0;
+  }
+  const uint32_t payload_len = GetU32(bytes, off);
+  off += 4;
+  if (bytes.size() != kHeaderBytes + payload_len) {
+    return std::nullopt;
+  }
+  msg.payload.assign(bytes.begin() + static_cast<ptrdiff_t>(off), bytes.end());
+  return msg;
+}
+
+}  // namespace apiary

@@ -1,0 +1,96 @@
+// The Apiary message: the single IPC primitive (Section 4.5).
+//
+// Accelerators compose a Message and hand it to their monitor together with
+// a capability reference; the monitor validates, stamps the trusted header
+// fields, and injects it onto the NoC. The wire format packs the header into
+// the head flit and the payload into body flits.
+#ifndef SRC_CORE_MESSAGE_H_
+#define SRC_CORE_MESSAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/mem/segment_allocator.h"
+#include "src/noc/packet.h"
+#include "src/sim/types.h"
+
+namespace apiary {
+
+// Result/status codes carried by responses and returned by Send().
+enum class MsgStatus : uint8_t {
+  kOk = 0,
+  kNoCapability = 1,     // Sender holds no valid capability for this send.
+  kRateLimited = 2,      // Monitor token bucket exhausted.
+  kBackpressure = 3,     // NI injection queue full; retry.
+  kNoSuchService = 4,    // Logical name does not resolve.
+  kDestFailed = 5,       // Destination tile is fail-stopped.
+  kDenied = 6,           // Destination monitor rejected the sender.
+  kBadRequest = 7,       // Malformed request payload.
+  kSegFault = 8,         // Memory access outside the presented segment.
+  kNoMemory = 9,         // Allocation failure.
+  kRevoked = 10,         // Capability generation is stale.
+  kTileStopped = 11,     // Local tile is fail-stopped; send refused.
+  kNotFound = 12,        // Application-level lookup miss (e.g. KV GET).
+};
+
+const char* MsgStatusName(MsgStatus status);
+
+// Message kinds; requests travel on the request VC, responses on the
+// response VC (breaking message-dependent deadlock, Section 4.5).
+enum class MsgKind : uint8_t {
+  kRequest = 0,
+  kResponse = 1,
+};
+
+// A memory-segment grant attached by the *sending* monitor when the sender
+// presents a memory capability alongside a send. Receivers (e.g. the memory
+// service) trust it because only monitors can populate the field: the
+// monitor overwrites whatever the untrusted accelerator wrote here.
+struct SegmentGrant {
+  Segment segment;
+  bool can_read = false;
+  bool can_write = false;
+  // Dennis & Van Horn delegation: the holder may mint attenuated copies of
+  // this capability for other tiles (through the memory service).
+  bool can_grant = false;
+  bool valid = false;
+};
+
+struct Message {
+  // --- Untrusted fields (set by the sender's application logic). ---
+  ServiceId dst_service = kInvalidService;
+  MsgKind kind = MsgKind::kRequest;
+  uint16_t opcode = 0;
+  MsgStatus status = MsgStatus::kOk;  // Meaningful on responses.
+  uint64_t request_id = 0;            // Request/response correlation.
+  ProcessId dst_process = 0;          // Context within the destination.
+  std::vector<uint8_t> payload;
+
+  // --- Trusted fields (stamped by the sending monitor; receivers may rely
+  //     on them for policy). ---
+  TileId src_tile = kInvalidTile;
+  ServiceId src_service = kInvalidService;
+  AppId src_app = kInvalidApp;
+  SegmentGrant grant;
+  // Second grant for two-segment operations (e.g. DMA copy: source + dest).
+  SegmentGrant grant2;
+
+  // Serialized size in bytes (header + payload), determining flit count.
+  size_t WireBytes() const;
+};
+
+// Little-endian wire encoding.
+std::vector<uint8_t> SerializeMessage(const Message& msg);
+std::optional<Message> DeserializeMessage(const std::vector<uint8_t>& bytes);
+
+// Payload helpers used by services and accelerators.
+void PutU64(std::vector<uint8_t>& buf, uint64_t v);
+void PutU32(std::vector<uint8_t>& buf, uint32_t v);
+uint64_t GetU64(const std::vector<uint8_t>& buf, size_t offset);
+uint32_t GetU32(const std::vector<uint8_t>& buf, size_t offset);
+
+}  // namespace apiary
+
+#endif  // SRC_CORE_MESSAGE_H_

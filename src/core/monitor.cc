@@ -1,0 +1,292 @@
+#include "src/core/monitor.h"
+
+#include "src/fpga/resource_model.h"
+
+namespace apiary {
+
+Monitor::Monitor(TileId tile, NetworkInterface* ni, MonitorConfig config)
+    : tile_(tile),
+      ni_(ni),
+      config_(config),
+      cap_table_(config.cap_entries),
+      trace_(config.trace_capacity) {}
+
+uint64_t Monitor::MonitorLogicCells() const {
+  return MonitorCellCost(ResourceCosts{}, config_.cap_entries);
+}
+
+CapRef Monitor::InstallCap(const Capability& cap) { return cap_table_.Install(cap); }
+
+bool Monitor::RevokeCap(CapRef ref) { return cap_table_.Revoke(ref); }
+
+void Monitor::RevokeAllCaps() { cap_table_.RevokeAll(); }
+
+void Monitor::SetRateLimit(uint64_t flits_per_1k_cycles, uint64_t burst_flits) {
+  limiter_ = TokenBucket(flits_per_1k_cycles, burst_flits);
+}
+
+void Monitor::SetIdentity(AppId app, ServiceId service) {
+  app_ = app;
+  service_ = service;
+}
+
+void Monitor::FailStop(const std::string& reason) {
+  fault_state_ = TileFaultState::kStopped;
+  fault_reason_ = reason;
+  // Drain: in-flight work addressed to or queued by the dead accelerator is
+  // discarded; peers that keep talking to us get bounced in BeginCycle.
+  counters_.Add("monitor.drained_inbox", inbox_.size());
+  counters_.Add("monitor.drained_outbox", outbox_.size());
+  inbox_.clear();
+  outbox_.clear();
+  Trace(TraceEvent::kFault, kInvalidTile, service_, 0, MsgStatus::kDestFailed);
+  counters_.Add("monitor.fail_stops");
+}
+
+void Monitor::Restart() {
+  fault_state_ = TileFaultState::kHealthy;
+  fault_reason_.clear();
+  accelerator_faulted_ = false;
+  inbox_.clear();
+  outbox_.clear();
+  reply_rights_.clear();
+  pending_responses_.clear();
+  counters_.Add("monitor.restarts");
+}
+
+void Monitor::RaiseFault(const std::string& reason) {
+  accelerator_faulted_ = true;
+  counters_.Add("monitor.accel_faults");
+  // The owning Tile decides between fail-stop and preemption based on the
+  // accelerator's capabilities; record the reason for it.
+  fault_reason_ = reason;
+}
+
+void Monitor::Trace(TraceEvent event, TileId peer, ServiceId service, uint16_t opcode,
+                    MsgStatus status) {
+  trace_.Record(TraceRecord{now_, event, tile_, peer, service, opcode, status});
+}
+
+CapRef Monitor::LookupService(ServiceId service) {
+  return cap_table_.FindEndpointForService(service);
+}
+
+bool Monitor::EnqueuePacket(const Message& msg, TileId dst_tile) {
+  if (outbox_.size() >= config_.outbox_messages) {
+    return false;
+  }
+  outbox_.push_back(Outbound{now_ + config_.send_pipeline_cycles, dst_tile, msg});
+  return true;
+}
+
+SendResult Monitor::Send(Message msg, CapRef endpoint, CapRef mem, CapRef mem2) {
+  if (fault_state_ != TileFaultState::kHealthy) {
+    counters_.Add("monitor.send_tile_stopped");
+    return SendResult{MsgStatus::kTileStopped};
+  }
+  const Capability* cap = cap_table_.Lookup(endpoint);
+  if (cap == nullptr || cap->kind != CapKind::kEndpoint || !cap->HasRights(kRightSend)) {
+    counters_.Add("monitor.send_no_cap");
+    Trace(TraceEvent::kDenySend, kInvalidTile, msg.dst_service, msg.opcode,
+          MsgStatus::kNoCapability);
+    return SendResult{MsgStatus::kNoCapability};
+  }
+  // The capability *is* the authority: destination naming comes from the
+  // monitor-held capability, not from untrusted accelerator fields.
+  msg.dst_service = cap->dst_service;
+  msg.kind = MsgKind::kRequest;
+  return SendInternal(std::move(msg), cap->dst_tile, mem, mem2);
+}
+
+SendResult Monitor::Reply(const Message& request, Message response, CapRef mem) {
+  if (fault_state_ != TileFaultState::kHealthy) {
+    counters_.Add("monitor.send_tile_stopped");
+    return SendResult{MsgStatus::kTileStopped};
+  }
+  auto it = reply_rights_.find(request.src_tile);
+  if (it == reply_rights_.end() || it->second == 0) {
+    counters_.Add("monitor.reply_no_right");
+    Trace(TraceEvent::kDenySend, request.src_tile, request.src_service, response.opcode,
+          MsgStatus::kNoCapability);
+    return SendResult{MsgStatus::kNoCapability};
+  }
+  response.kind = MsgKind::kResponse;
+  response.dst_service = request.src_service;
+  response.dst_process = request.dst_process;
+  if (response.request_id == 0) {
+    response.request_id = request.request_id;
+  }
+  SendResult result = SendInternal(std::move(response), request.src_tile, mem, kInvalidCapRef);
+  if (result.ok()) {
+    --it->second;
+  }
+  return result;
+}
+
+bool Monitor::FillGrant(CapRef mem, SegmentGrant* out) {
+  const Capability* mem_cap = cap_table_.Lookup(mem);
+  if (mem_cap == nullptr || mem_cap->kind != CapKind::kMemory) {
+    return false;
+  }
+  out->segment = mem_cap->segment;
+  out->can_read = mem_cap->HasRights(kRightRead);
+  out->can_write = mem_cap->HasRights(kRightWrite);
+  out->can_grant = mem_cap->HasRights(kRightGrant);
+  out->valid = true;
+  return true;
+}
+
+SendResult Monitor::SendInternal(Message msg, TileId dst_tile, CapRef mem, CapRef mem2) {
+  // Attach segment grants iff the accelerator presented memory capabilities;
+  // otherwise scrub whatever the untrusted logic wrote there.
+  msg.grant = SegmentGrant{};
+  msg.grant2 = SegmentGrant{};
+  if (mem != kInvalidCapRef && !FillGrant(mem, &msg.grant)) {
+    counters_.Add("monitor.send_bad_mem_cap");
+    return SendResult{MsgStatus::kNoCapability};
+  }
+  if (mem2 != kInvalidCapRef && !FillGrant(mem2, &msg.grant2)) {
+    counters_.Add("monitor.send_bad_mem_cap");
+    return SendResult{MsgStatus::kNoCapability};
+  }
+  // Stamp the trusted identity fields.
+  msg.src_tile = tile_;
+  msg.src_service = service_;
+  msg.src_app = app_;
+  if (msg.request_id == 0) {
+    msg.request_id = (static_cast<uint64_t>(tile_) << 48) | next_auto_request_id_++;
+  }
+
+  const uint32_t flits =
+      1 + static_cast<uint32_t>((msg.WireBytes() + kFlitBytes - 1) / kFlitBytes);
+  if (flits > ni_->max_packet_flits()) {
+    // Larger than the NI could ever inject: fail fast rather than wedge.
+    counters_.Add("monitor.send_too_large");
+    return SendResult{MsgStatus::kBadRequest};
+  }
+  if (!limiter_.TryConsume(now_, flits)) {
+    counters_.Add("monitor.send_rate_limited");
+    Trace(TraceEvent::kDenySend, dst_tile, msg.dst_service, msg.opcode,
+          MsgStatus::kRateLimited);
+    return SendResult{MsgStatus::kRateLimited};
+  }
+  if (!EnqueuePacket(msg, dst_tile)) {
+    counters_.Add("monitor.send_backpressure");
+    return SendResult{MsgStatus::kBackpressure};
+  }
+  if (msg.kind == MsgKind::kRequest) {
+    ++pending_responses_[dst_tile];
+  }
+  counters_.Add("monitor.sends");
+  Trace(TraceEvent::kSend, dst_tile, msg.dst_service, msg.opcode, MsgStatus::kOk);
+  return SendResult{MsgStatus::kOk};
+}
+
+void Monitor::FlushOutbox() {
+  while (!outbox_.empty() && outbox_.front().ready_at <= now_) {
+    Outbound& out = outbox_.front();
+    auto packet = std::make_shared<NocPacket>();
+    packet->src = tile_;
+    packet->dst = out.dst_tile;
+    packet->vc = out.msg.kind == MsgKind::kResponse ? Vc::kResponse : Vc::kRequest;
+    packet->payload = SerializeMessage(out.msg);
+    if (!ni_->Inject(std::move(packet), now_)) {
+      // NoC backpressure: retry next cycle, preserving order.
+      break;
+    }
+    outbox_.pop_front();
+  }
+}
+
+void Monitor::BounceWithError(const Message& request, MsgStatus status) {
+  if (request.kind != MsgKind::kRequest) {
+    return;  // Never bounce a response: avoids error loops.
+  }
+  Message err;
+  err.kind = MsgKind::kResponse;
+  err.dst_service = request.src_service;
+  err.opcode = request.opcode;
+  err.status = status;
+  err.request_id = request.request_id;
+  err.src_tile = tile_;
+  err.src_service = service_;
+  err.src_app = app_;
+  counters_.Add("monitor.error_bounces");
+  // Bypasses the rate limiter (the error path is monitor-owned) but still
+  // respects the outbox bound so a flood cannot amplify unboundedly.
+  EnqueuePacket(err, request.src_tile);
+}
+
+void Monitor::DeliverIncoming(Message msg) {
+  if (inbox_.size() >= config_.inbox_messages) {
+    counters_.Add("monitor.inbox_overflow");
+    BounceWithError(msg, MsgStatus::kBackpressure);
+    return;
+  }
+  if (msg.kind == MsgKind::kRequest) {
+    ++reply_rights_[msg.src_tile];
+  }
+  counters_.Add("monitor.delivered");
+  Trace(TraceEvent::kDeliver, msg.src_tile, msg.src_service, msg.opcode, msg.status);
+  inbox_.push_back(std::move(msg));
+}
+
+void Monitor::BeginCycle(Cycle now) {
+  now_ = now;
+  while (true) {
+    auto packet = ni_->Retrieve();
+    if (packet == nullptr) {
+      break;
+    }
+    auto msg = DeserializeMessage(packet->payload);
+    if (!msg.has_value()) {
+      counters_.Add("monitor.malformed");
+      continue;
+    }
+    // Defense in depth: the wire src must match the NoC-level source the
+    // trusted routers carried.
+    if (msg->src_tile != packet->src) {
+      counters_.Add("monitor.spoofed_src");
+      continue;
+    }
+    if (fault_state_ != TileFaultState::kHealthy) {
+      counters_.Add("monitor.recv_while_stopped");
+      Trace(TraceEvent::kDenyReceive, msg->src_tile, msg->src_service, msg->opcode,
+            MsgStatus::kDestFailed);
+      BounceWithError(*msg, MsgStatus::kDestFailed);
+      continue;
+    }
+    if (msg->kind == MsgKind::kResponse) {
+      auto it = pending_responses_.find(msg->src_tile);
+      if (it == pending_responses_.end() || it->second == 0) {
+        counters_.Add("monitor.recv_unsolicited_response");
+        Trace(TraceEvent::kDenyReceive, msg->src_tile, msg->src_service, msg->opcode,
+              MsgStatus::kDenied);
+        continue;
+      }
+      --it->second;
+      DeliverIncoming(std::move(*msg));
+      continue;
+    }
+    // Requests require the sender to be on the kernel-installed accept list.
+    if (allowed_senders_.find(msg->src_tile) == allowed_senders_.end()) {
+      counters_.Add("monitor.recv_denied");
+      Trace(TraceEvent::kDenyReceive, msg->src_tile, msg->src_service, msg->opcode,
+            MsgStatus::kDenied);
+      BounceWithError(*msg, MsgStatus::kDenied);
+      continue;
+    }
+    DeliverIncoming(std::move(*msg));
+  }
+}
+
+std::optional<Message> Monitor::Receive() {
+  if (fault_state_ != TileFaultState::kHealthy || inbox_.empty()) {
+    return std::nullopt;
+  }
+  Message msg = std::move(inbox_.front());
+  inbox_.pop_front();
+  return msg;
+}
+
+}  // namespace apiary

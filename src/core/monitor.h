@@ -1,0 +1,148 @@
+// The per-tile Apiary monitor: the trusted interposition point between an
+// untrusted accelerator and the NoC (Figure 1).
+//
+// "The Apiary monitor serves [as] an accelerator's interface to the OS, so
+// all messages go through it" (Section 4.1). The monitor implements:
+//   * the standard TileApi every accelerator programs against (4.3),
+//   * capability-checked sends with monitor-held capability tables (4.6),
+//   * the service-name -> physical-tile indirection (4.3),
+//   * per-flow token-bucket rate limiting (4.5),
+//   * incoming access control with implicit request/reply rights (4.5),
+//   * fail-stop fault containment: drain, sink, and bounce with errors (4.4),
+//   * message-level tracing (Section 3, programmability goal).
+#ifndef SRC_CORE_MONITOR_H_
+#define SRC_CORE_MONITOR_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/core/accelerator.h"
+#include "src/core/capability.h"
+#include "src/core/message.h"
+#include "src/core/trace.h"
+#include "src/noc/network_interface.h"
+#include "src/noc/rate_limiter.h"
+#include "src/stats/histogram.h"
+#include "src/stats/summary.h"
+
+namespace apiary {
+
+enum class TileFaultState : uint8_t {
+  kHealthy = 0,
+  kStopped = 1,  // Fail-stopped: messages sunk, senders bounced with errors.
+};
+
+struct MonitorConfig {
+  uint32_t cap_entries = 64;
+  uint32_t inbox_messages = 256;
+  uint32_t outbox_messages = 16;
+  // Pipeline latency the monitor adds to each outgoing message (capability
+  // CAM lookup + header stamp). Two cycles matches a small two-stage check.
+  Cycle send_pipeline_cycles = 2;
+  size_t trace_capacity = 256;
+};
+
+class Monitor : public TileApi {
+ public:
+  Monitor(TileId tile, NetworkInterface* ni, MonitorConfig config);
+
+  // ------------------------------------------------------------------
+  // Trusted (kernel-side) configuration interface.
+  // ------------------------------------------------------------------
+  CapRef InstallCap(const Capability& cap);
+  bool RevokeCap(CapRef ref);
+  void RevokeAllCaps();
+  void AllowSender(TileId src) { allowed_senders_[src] = true; }
+  void DisallowSender(TileId src) { allowed_senders_.erase(src); }
+  void SetRateLimit(uint64_t flits_per_1k_cycles, uint64_t burst_flits);
+  void ClearRateLimit() { limiter_ = TokenBucket(); }
+  void SetIdentity(AppId app, ServiceId service);
+
+  // Fail-stop: sink the inbox/outbox and bounce future traffic (4.4).
+  void FailStop(const std::string& reason);
+  // Clears the fault state after the tile is reconfigured with fresh logic.
+  void Restart();
+  TileFaultState fault_state() const { return fault_state_; }
+  const std::string& fault_reason() const { return fault_reason_; }
+
+  // ------------------------------------------------------------------
+  // Per-cycle processing, driven by the owning Tile.
+  // ------------------------------------------------------------------
+  // Updates the monitor's clock, drains the NI, applies incoming policy.
+  void BeginCycle(Cycle now);
+  // Moves pipeline-ready outbound messages into the NI.
+  void FlushOutbox();
+
+  // ------------------------------------------------------------------
+  // TileApi (the untrusted accelerator side).
+  // ------------------------------------------------------------------
+  SendResult Send(Message msg, CapRef endpoint, CapRef mem, CapRef mem2) override;
+  using TileApi::Send;
+  SendResult Reply(const Message& request, Message response, CapRef mem) override;
+  using TileApi::Reply;
+  std::optional<Message> Receive() override;
+  CapRef LookupService(ServiceId service) override;
+  Cycle now() const override { return now_; }
+  TileId tile() const override { return tile_; }
+  AppId app() const override { return app_; }
+  ServiceId service() const override { return service_; }
+  void RaiseFault(const std::string& reason) override;
+
+  // ------------------------------------------------------------------
+  // Introspection.
+  // ------------------------------------------------------------------
+  const CounterSet& counters() const { return counters_; }
+  const TraceRing& trace() const { return trace_; }
+  const CapabilityTable& cap_table() const { return cap_table_; }
+  bool accelerator_faulted() const { return accelerator_faulted_; }
+  uint64_t MonitorLogicCells() const;
+
+ private:
+  SendResult SendInternal(Message msg, TileId dst_tile, CapRef mem, CapRef mem2);
+  // Fills `out` from a presented memory capability; false if invalid.
+  bool FillGrant(CapRef mem, SegmentGrant* out);
+  void DeliverIncoming(Message msg);
+  void BounceWithError(const Message& request, MsgStatus status);
+  bool EnqueuePacket(const Message& msg, TileId dst_tile);
+  void Trace(TraceEvent event, TileId peer, ServiceId service, uint16_t opcode,
+             MsgStatus status);
+
+  TileId tile_;
+  NetworkInterface* ni_;
+  MonitorConfig config_;
+  Cycle now_ = 0;
+
+  AppId app_ = kInvalidApp;
+  ServiceId service_ = kInvalidService;
+
+  CapabilityTable cap_table_;
+  std::map<TileId, bool> allowed_senders_;
+  // Implicit IPC rights: requests we delivered confer reply rights; requests
+  // we sent make us willing to accept responses.
+  std::map<TileId, uint64_t> reply_rights_;
+  std::map<TileId, uint64_t> pending_responses_;
+
+  TokenBucket limiter_;
+  TileFaultState fault_state_ = TileFaultState::kHealthy;
+  std::string fault_reason_;
+  bool accelerator_faulted_ = false;
+
+  std::deque<Message> inbox_;
+  struct Outbound {
+    Cycle ready_at;
+    TileId dst_tile;
+    Message msg;
+  };
+  std::deque<Outbound> outbox_;
+
+  uint64_t next_auto_request_id_ = 1;
+  CounterSet counters_;
+  TraceRing trace_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_CORE_MONITOR_H_

@@ -1,0 +1,84 @@
+#include "src/core/tile.h"
+
+#include "src/sim/logging.h"
+
+namespace apiary {
+
+Tile::Tile(TileId id, NetworkInterface* ni, MonitorConfig config, Cycle reconfig_cycles)
+    : id_(id), monitor_(id, ni, config), reconfig_cycles_(reconfig_cycles) {}
+
+std::string Tile::DebugName() const {
+  return "tile" + std::to_string(id_) + (accel_ ? ":" + accel_->name() : ":empty");
+}
+
+void Tile::Configure(std::unique_ptr<Accelerator> accel, bool immediate) {
+  pending_accel_ = std::move(accel);
+  reconfiguring_ = true;
+  booted_ = false;
+  if (immediate) {
+    reconfig_done_at_ = 0;  // Completes on the next tick.
+  } else {
+    reconfig_done_at_ = monitor_.now() + reconfig_cycles_;
+  }
+}
+
+bool Tile::PreemptSwap(std::unique_ptr<Accelerator> replacement) {
+  if (accel_ == nullptr || !accel_->IsPreemptible()) {
+    return false;
+  }
+  std::vector<uint8_t> state = accel_->SaveState();
+  APIARY_LOG(kInfo) << "tile " << id_ << ": preempting " << accel_->name() << " ("
+                    << state.size() << "B of context)";
+  accel_ = std::move(replacement);
+  if (accel_ != nullptr) {
+    accel_->RestoreState(state);
+    accel_->OnBoot(monitor_);
+  }
+  monitor_.Restart();
+  return true;
+}
+
+void Tile::HandleAcceleratorFault() {
+  if (fault_policy_ == FaultPolicy::kPreempt && accel_ != nullptr &&
+      accel_->IsPreemptible()) {
+    // The kernel's management plane normally supplies the replacement; at
+    // tile level, a detected fault on a preemptible accelerator swaps the
+    // faulty context out and lets fresh logic take over with saved state.
+    // Without a replacement queued, degrade to fail-stop.
+  }
+  monitor_.FailStop("accelerator fault: " + monitor_.fault_reason());
+}
+
+void Tile::Tick(Cycle now) {
+  monitor_.BeginCycle(now);
+
+  if (reconfiguring_ && now >= reconfig_done_at_) {
+    reconfiguring_ = false;
+    accel_ = std::move(pending_accel_);
+    monitor_.Restart();
+    booted_ = false;
+  }
+
+  if (accel_ != nullptr && !reconfiguring_ &&
+      monitor_.fault_state() == TileFaultState::kHealthy) {
+    if (!booted_) {
+      accel_->OnBoot(monitor_);
+      booted_ = true;
+    }
+    accel_->Tick(monitor_);
+    // Deliver all queued messages; accelerators are event-driven.
+    while (auto msg = monitor_.Receive()) {
+      accel_->OnMessage(*msg, monitor_);
+      if (monitor_.accelerator_faulted()) {
+        break;
+      }
+    }
+    if (monitor_.accelerator_faulted()) {
+      HandleAcceleratorFault();
+    }
+  }
+
+  monitor_.FlushOutbox();
+}
+
+}  // namespace apiary

@@ -1,0 +1,93 @@
+// Message-level tracing: a bounded ring buffer of send/receive/deny events
+// kept by each monitor (design goal: "debugging and tracing support at the
+// message passing layer", Section 3).
+#ifndef SRC_CORE_TRACE_H_
+#define SRC_CORE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/message.h"
+#include "src/sim/types.h"
+
+namespace apiary {
+
+enum class TraceEvent : uint8_t {
+  kSend = 0,
+  kDeliver = 1,
+  kDenySend = 2,
+  kDenyReceive = 3,
+  kFault = 4,
+};
+
+struct TraceRecord {
+  Cycle cycle = 0;
+  TraceEvent event = TraceEvent::kSend;
+  TileId local_tile = kInvalidTile;
+  TileId peer_tile = kInvalidTile;
+  ServiceId service = kInvalidService;
+  uint16_t opcode = 0;
+  MsgStatus status = MsgStatus::kOk;
+};
+
+std::string TraceRecordToString(const TraceRecord& record);
+
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 256) : capacity_(capacity) {}
+
+  void Record(const TraceRecord& record);
+
+  // Oldest-first snapshot of retained records.
+  std::vector<TraceRecord> Snapshot() const;
+
+  uint64_t total_recorded() const { return total_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::vector<TraceRecord> ring_;
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+};
+
+inline void TraceRing::Record(const TraceRecord& record) {
+  if (capacity_ == 0) {
+    return;
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[next_] = record;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+inline std::vector<TraceRecord> TraceRing::Snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+inline std::string TraceRecordToString(const TraceRecord& record) {
+  const char* names[] = {"send", "deliver", "deny_send", "deny_recv", "fault"};
+  std::string out = "c=" + std::to_string(record.cycle);
+  out += " ev=";
+  out += names[static_cast<int>(record.event)];
+  out += " tile=" + std::to_string(record.local_tile);
+  out += " peer=" + std::to_string(record.peer_tile);
+  out += " svc=" + std::to_string(record.service);
+  out += " op=" + std::to_string(record.opcode);
+  out += " st=";
+  out += MsgStatusName(record.status);
+  return out;
+}
+
+}  // namespace apiary
+
+#endif  // SRC_CORE_TRACE_H_

@@ -1,0 +1,31 @@
+#include "src/fpga/part_catalog.h"
+
+namespace apiary {
+
+const std::vector<FpgaPart>& PartCatalog() {
+  // The first four rows reproduce the paper's Table 1 exactly: smallest and
+  // largest parts of the previous (7 series) and current (UltraScale+)
+  // Virtex families. The remaining rows are additional public parts used to
+  // sweep the monitor-overhead experiment across device sizes.
+  static const std::vector<FpgaPart> kCatalog = {
+      {"Virtex 7", 2010, "XC7V585T", 582720, true},
+      {"Virtex 7", 2010, "XC7VH870T", 876160, true},
+      {"Virtex UltraScale+", 2016, "VU3P", 862000, true},
+      {"Virtex UltraScale+", 2018, "VU29P", 3780000, true},
+      {"Virtex UltraScale+", 2017, "VU9P", 2586000, false},
+      {"Virtex UltraScale+", 2018, "VU13P", 3456000, false},
+      {"Alveo (VU47P-class)", 2019, "U55C", 2607000, false},
+  };
+  return kCatalog;
+}
+
+std::optional<FpgaPart> FindPart(const std::string& part_number) {
+  for (const FpgaPart& part : PartCatalog()) {
+    if (part.part_number == part_number) {
+      return part;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace apiary

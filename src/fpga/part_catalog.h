@@ -1,0 +1,30 @@
+// FPGA part catalog. The four parts from Table 1 of the paper, plus a few
+// additional parts used by the resource-scaling experiments.
+#ifndef SRC_FPGA_PART_CATALOG_H_
+#define SRC_FPGA_PART_CATALOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace apiary {
+
+struct FpgaPart {
+  std::string family;
+  uint32_t year_released;
+  std::string part_number;
+  uint64_t logic_cells;
+  // True for the rows that appear verbatim in the paper's Table 1.
+  bool in_paper_table;
+};
+
+// Returns the full catalog (paper rows first, in paper order).
+const std::vector<FpgaPart>& PartCatalog();
+
+// Looks up a part by part number (e.g. "VU29P"). Returns nullopt if unknown.
+std::optional<FpgaPart> FindPart(const std::string& part_number);
+
+}  // namespace apiary
+
+#endif  // SRC_FPGA_PART_CATALOG_H_

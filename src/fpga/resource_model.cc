@@ -1,0 +1,29 @@
+#include "src/fpga/resource_model.h"
+
+namespace apiary {
+
+ResourceBudget::ResourceBudget(FpgaPart part, ResourceCosts costs)
+    : part_(std::move(part)), costs_(costs) {}
+
+bool ResourceBudget::ChargeStatic(const std::string& label, uint64_t cells) {
+  if (cells > free_cells()) {
+    return false;
+  }
+  static_cells_ += cells;
+  breakdown_[label] += cells;
+  return true;
+}
+
+bool ResourceBudget::ReserveTileRegion(uint64_t cells) {
+  if (cells > free_cells()) {
+    return false;
+  }
+  tile_region_cells_ += cells;
+  return true;
+}
+
+uint64_t MonitorCellCost(const ResourceCosts& costs, uint32_t cap_entries) {
+  return costs.monitor + static_cast<uint64_t>(costs.monitor_per_cap) * cap_entries;
+}
+
+}  // namespace apiary

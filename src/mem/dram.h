@@ -1,0 +1,77 @@
+// Banked DRAM timing model with an open-row policy.
+//
+// The model captures the behaviour accelerators specialize for (Section 4.6
+// of the paper): sequential accesses hit the open row and are fast, random
+// accesses pay a precharge+activate penalty, and concurrent streams contend
+// on banks.
+#ifndef SRC_MEM_DRAM_H_
+#define SRC_MEM_DRAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/sim/clocked.h"
+#include "src/stats/summary.h"
+
+namespace apiary {
+
+struct DramConfig {
+  uint64_t capacity_bytes = 4ull << 30;  // 4 GiB channel.
+  uint32_t num_banks = 16;
+  uint32_t row_bytes = 4096;       // Row buffer size.
+  uint32_t burst_bytes = 64;       // Bytes transferred per burst.
+  Cycle row_hit_cycles = 8;        // CAS latency for an open-row access.
+  Cycle row_miss_cycles = 28;      // Precharge + activate + CAS.
+  Cycle burst_cycles = 2;          // Data transfer time per extra burst.
+  uint32_t per_bank_queue_depth = 16;
+};
+
+// A single DRAM channel. Requests complete asynchronously via callback; the
+// channel services one request per bank at a time, banks in parallel.
+class DramChannel : public Clocked {
+ public:
+  using Completion = std::function<void(Cycle)>;
+
+  explicit DramChannel(DramConfig config);
+
+  // Enqueues an access of `bytes` starting at `addr`. Returns false if the
+  // target bank queue is full (caller must retry / apply backpressure).
+  bool Enqueue(uint64_t addr, uint32_t bytes, bool is_write, Completion done);
+
+  void Tick(Cycle now) override;
+  std::string DebugName() const override { return "dram"; }
+
+  const DramConfig& config() const { return config_; }
+  const CounterSet& counters() const { return counters_; }
+
+  // Address decomposition helpers (row-major interleave across banks).
+  uint32_t BankOf(uint64_t addr) const;
+  uint64_t RowOf(uint64_t addr) const;
+
+ private:
+  struct Request {
+    uint64_t addr;
+    uint32_t bytes;
+    bool is_write;
+    Completion done;
+  };
+  struct Bank {
+    std::deque<Request> queue;
+    uint64_t open_row = ~0ull;
+    Cycle busy_until = 0;
+    bool in_flight = false;
+    Request current;
+  };
+
+  Cycle ServiceLatency(Bank& bank, const Request& req);
+
+  DramConfig config_;
+  std::vector<Bank> banks_;
+  CounterSet counters_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_MEM_DRAM_H_

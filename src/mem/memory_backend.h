@@ -1,0 +1,36 @@
+// Abstract memory backend: what the memory/DMA services program against.
+// Implemented by the single-channel MemoryController and by the
+// multi-channel InterleavedMemory (HBM-style).
+#ifndef SRC_MEM_MEMORY_BACKEND_H_
+#define SRC_MEM_MEMORY_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace apiary {
+
+class MemoryBackend {
+ public:
+  virtual ~MemoryBackend() = default;
+
+  // Asynchronous accesses; `done` fires when the DRAM timing completes.
+  // Return false on backpressure (caller retries next cycle).
+  virtual bool SubmitRead(uint64_t addr, std::span<uint8_t> out,
+                          std::function<void(Cycle)> done) = 0;
+  virtual bool SubmitWrite(uint64_t addr, std::span<const uint8_t> data,
+                           std::function<void(Cycle)> done) = 0;
+
+  // Zero-latency debug access for tests and initial state.
+  virtual void DebugWrite(uint64_t addr, std::span<const uint8_t> data) = 0;
+  virtual std::vector<uint8_t> DebugRead(uint64_t addr, uint64_t len) const = 0;
+
+  virtual uint64_t capacity() const = 0;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_MEM_MEMORY_BACKEND_H_

@@ -1,0 +1,53 @@
+// Memory controller: couples a byte-addressable backing store (so simulated
+// accelerators move real data) with the DRAM timing model.
+#ifndef SRC_MEM_MEMORY_CONTROLLER_H_
+#define SRC_MEM_MEMORY_CONTROLLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/mem/dram.h"
+#include "src/mem/memory_backend.h"
+#include "src/sim/clocked.h"
+
+namespace apiary {
+
+class MemoryController : public Clocked, public MemoryBackend {
+ public:
+  explicit MemoryController(DramConfig config);
+
+  // Asynchronous read: `out` must stay alive until `done` runs. Returns
+  // false on backpressure (bank queue full); the caller retries next cycle.
+  bool SubmitRead(uint64_t addr, std::span<uint8_t> out,
+                  std::function<void(Cycle)> done) override;
+
+  // Asynchronous write: data is copied into the store immediately (the model
+  // has no reorder window); `done` fires when the DRAM timing completes.
+  bool SubmitWrite(uint64_t addr, std::span<const uint8_t> data,
+                   std::function<void(Cycle)> done) override;
+
+  // Zero-latency debug access for tests and for constructing initial state.
+  void DebugWrite(uint64_t addr, std::span<const uint8_t> data) override;
+  std::vector<uint8_t> DebugRead(uint64_t addr, uint64_t len) const override;
+
+  void Tick(Cycle now) override { dram_.Tick(now); }
+  std::string DebugName() const override { return "memctl"; }
+
+  uint64_t capacity() const override { return store_.size(); }
+  const CounterSet& counters() const { return dram_.counters(); }
+  DramChannel& dram() { return dram_; }
+
+ private:
+  bool InBounds(uint64_t addr, uint64_t len) const {
+    return addr <= store_.size() && len <= store_.size() - addr;
+  }
+
+  DramChannel dram_;
+  std::vector<uint8_t> store_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_MEM_MEMORY_CONTROLLER_H_

@@ -1,0 +1,52 @@
+#include "src/mem/page_allocator.h"
+
+namespace apiary {
+
+PageAllocator::PageAllocator(uint64_t capacity_bytes, uint64_t page_bytes)
+    : page_bytes_(page_bytes), total_pages_(capacity_bytes / page_bytes) {
+  free_list_.reserve(total_pages_);
+  // Hand out low frames first for determinism.
+  for (uint64_t f = total_pages_; f > 0; --f) {
+    free_list_.push_back(f - 1);
+  }
+  frame_requested_share_.assign(total_pages_, 0);
+}
+
+std::optional<std::vector<uint64_t>> PageAllocator::Allocate(uint64_t bytes) {
+  if (bytes == 0) {
+    counters_.Add("pagealloc.bad_request");
+    return std::nullopt;
+  }
+  const uint64_t pages = (bytes + page_bytes_ - 1) / page_bytes_;
+  if (pages > free_list_.size()) {
+    counters_.Add("pagealloc.failures");
+    return std::nullopt;
+  }
+  std::vector<uint64_t> frames;
+  frames.reserve(pages);
+  const uint64_t share = bytes / pages;
+  uint64_t remainder = bytes - share * pages;
+  for (uint64_t i = 0; i < pages; ++i) {
+    const uint64_t frame = free_list_.back();
+    free_list_.pop_back();
+    frames.push_back(frame);
+    frame_requested_share_[frame] = share + (i == 0 ? remainder : 0);
+  }
+  bytes_requested_ += bytes;
+  bytes_granted_ += pages * page_bytes_;
+  counters_.Add("pagealloc.allocs");
+  counters_.Add("pagealloc.pages_served", pages);
+  return frames;
+}
+
+void PageAllocator::Free(const std::vector<uint64_t>& frames) {
+  for (uint64_t frame : frames) {
+    bytes_requested_ -= frame_requested_share_[frame];
+    bytes_granted_ -= page_bytes_;
+    frame_requested_share_[frame] = 0;
+    free_list_.push_back(frame);
+  }
+  counters_.Add("pagealloc.frees");
+}
+
+}  // namespace apiary

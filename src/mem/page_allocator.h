@@ -1,0 +1,54 @@
+// Page-based allocation — the CPU-style baseline Apiary argues against for
+// FPGA memory isolation (Section 4.6). Used by experiment E5.
+#ifndef SRC_MEM_PAGE_ALLOCATOR_H_
+#define SRC_MEM_PAGE_ALLOCATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/stats/summary.h"
+
+namespace apiary {
+
+// Allocates fixed-size physical pages from a frame pool. Pages backing one
+// logical allocation need not be contiguous (that is the point of paging);
+// the allocator reports internal fragmentation: bytes granted minus bytes
+// requested, rounded up to whole pages.
+class PageAllocator {
+ public:
+  PageAllocator(uint64_t capacity_bytes, uint64_t page_bytes);
+
+  // Allocates enough pages to hold `bytes`. Returns the physical frame
+  // numbers, or nullopt if the pool is exhausted.
+  std::optional<std::vector<uint64_t>> Allocate(uint64_t bytes);
+
+  void Free(const std::vector<uint64_t>& frames);
+
+  uint64_t page_bytes() const { return page_bytes_; }
+  uint64_t total_pages() const { return total_pages_; }
+  uint64_t free_pages() const { return free_list_.size(); }
+  uint64_t bytes_requested() const { return bytes_requested_; }
+  uint64_t bytes_granted() const { return bytes_granted_; }
+
+  // Internal fragmentation across live allocations: granted - requested.
+  uint64_t InternalFragmentationBytes() const { return bytes_granted_ - bytes_requested_; }
+
+  const CounterSet& counters() const { return counters_; }
+
+ private:
+  uint64_t page_bytes_;
+  uint64_t total_pages_;
+  std::vector<uint64_t> free_list_;
+  // Parallel bookkeeping so Free() can subtract the right request size:
+  // per-frame share of the original request, in bytes (the first frame of an
+  // allocation absorbs the rounding remainder).
+  std::vector<uint64_t> frame_requested_share_;
+  uint64_t bytes_requested_ = 0;
+  uint64_t bytes_granted_ = 0;
+  CounterSet counters_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_MEM_PAGE_ALLOCATOR_H_

@@ -1,0 +1,61 @@
+// Multi-level page table walk + TLB cost model, the translation-side
+// baseline for experiment E5 (segments translate with a single bounds check;
+// pages pay a TLB lookup and, on miss, a multi-level walk).
+#ifndef SRC_MEM_PAGE_TABLE_H_
+#define SRC_MEM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/types.h"
+#include "src/stats/summary.h"
+
+namespace apiary {
+
+struct PageTableConfig {
+  uint64_t page_bytes = 4096;
+  uint32_t levels = 4;             // x86-64-style radix depth.
+  Cycle cycles_per_level = 20;     // Memory access per level of the walk.
+  uint32_t tlb_entries = 64;
+  Cycle tlb_hit_cycles = 1;
+};
+
+// Per-address-space translation structure mapping virtual page numbers to
+// physical frame numbers, with an LRU TLB in front.
+class PageTable {
+ public:
+  explicit PageTable(PageTableConfig config);
+
+  void Map(uint64_t vpn, uint64_t pfn);
+  void Unmap(uint64_t vpn);
+
+  struct Translation {
+    uint64_t physical_addr;
+    Cycle latency;  // TLB hit cost, or full walk cost on a miss.
+    bool tlb_hit;
+  };
+
+  // Translates a virtual address; nullopt on an unmapped page (a fault).
+  std::optional<Translation> Translate(uint64_t vaddr);
+
+  uint64_t page_bytes() const { return config_.page_bytes; }
+  const CounterSet& counters() const { return counters_; }
+
+ private:
+  void TouchTlb(uint64_t vpn);
+  bool TlbLookup(uint64_t vpn);
+
+  PageTableConfig config_;
+  std::unordered_map<uint64_t, uint64_t> mappings_;
+  // LRU TLB: front = most recent.
+  std::list<uint64_t> tlb_lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> tlb_index_;
+  CounterSet counters_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_MEM_PAGE_TABLE_H_

@@ -1,0 +1,98 @@
+#include "src/noc/mesh.h"
+
+#include <cstdlib>
+
+namespace apiary {
+
+Mesh::Mesh(MeshConfig config) : config_(config) {
+  const uint32_t n = num_tiles();
+  routers_.reserve(n);
+  nis_.reserve(n);
+  for (uint32_t y = 0; y < config_.height; ++y) {
+    for (uint32_t x = 0; x < config_.width; ++x) {
+      routers_.push_back(std::make_unique<Router>(x, y, config_.width, config_.height,
+                                                  config_.router_buffer_depth));
+    }
+  }
+  for (uint32_t t = 0; t < n; ++t) {
+    nis_.push_back(std::make_unique<NetworkInterface>(
+        t, routers_[t].get(), config_.ni_inject_queue_flits, config_.force_single_vc));
+    routers_[t]->SetLocalInterface(nis_[t].get());
+  }
+  // Wire up the grid.
+  for (uint32_t y = 0; y < config_.height; ++y) {
+    for (uint32_t x = 0; x < config_.width; ++x) {
+      Router* r = routers_[y * config_.width + x].get();
+      if (y > 0) {
+        r->SetNeighbor(kPortNorth, routers_[(y - 1) * config_.width + x].get());
+      }
+      if (y + 1 < config_.height) {
+        r->SetNeighbor(kPortSouth, routers_[(y + 1) * config_.width + x].get());
+      }
+      if (x + 1 < config_.width) {
+        r->SetNeighbor(kPortEast, routers_[y * config_.width + x + 1].get());
+      }
+      if (x > 0) {
+        r->SetNeighbor(kPortWest, routers_[y * config_.width + x - 1].get());
+      }
+    }
+  }
+}
+
+void Mesh::Tick(Cycle now) {
+  // Phase 1: flits staged last cycle become visible everywhere.
+  for (auto& r : routers_) {
+    r->CommitStaged();
+  }
+  // Phase 2: route one flit per output port per router.
+  for (auto& r : routers_) {
+    r->RouteCycle(now);
+  }
+  // Phase 3: NIs feed the local input ports (visible next cycle).
+  for (auto& ni : nis_) {
+    ni->InjectCycle(now);
+  }
+}
+
+uint32_t Mesh::Hops(TileId a, TileId b) const {
+  const int ax = static_cast<int>(a % config_.width);
+  const int ay = static_cast<int>(a / config_.width);
+  const int bx = static_cast<int>(b % config_.width);
+  const int by = static_cast<int>(b / config_.width);
+  return static_cast<uint32_t>(std::abs(ax - bx) + std::abs(ay - by));
+}
+
+CounterSet Mesh::AggregateCounters() const {
+  CounterSet total;
+  for (const auto& r : routers_) {
+    total.Merge(r->counters());
+  }
+  for (const auto& ni : nis_) {
+    total.Merge(ni->counters());
+  }
+  return total;
+}
+
+Histogram Mesh::AggregateLatency() const {
+  Histogram total;
+  for (const auto& ni : nis_) {
+    total.Merge(ni->latency_histogram());
+  }
+  return total;
+}
+
+uint64_t Mesh::TotalFlitsRouted() const {
+  uint64_t total = 0;
+  for (const auto& r : routers_) {
+    total += r->flits_routed();
+  }
+  return total;
+}
+
+uint64_t Mesh::LogicCellCost() const {
+  return static_cast<uint64_t>(num_tiles()) *
+         (Router::LogicCellCost(config_.router_buffer_depth) +
+          NetworkInterface::LogicCellCost());
+}
+
+}  // namespace apiary

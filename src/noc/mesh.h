@@ -1,0 +1,65 @@
+// 2-D mesh NoC: owns the routers and network interfaces for a board and
+// orchestrates their per-cycle phases.
+//
+// Modern FPGAs offer hardened NoCs (Versal, Agilex — Section 4.3); this
+// class models such a NoC at flit granularity so the monitor layer above it
+// experiences realistic latency, bandwidth and contention.
+#ifndef SRC_NOC_MESH_H_
+#define SRC_NOC_MESH_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/noc/network_interface.h"
+#include "src/noc/packet.h"
+#include "src/noc/router.h"
+#include "src/sim/clocked.h"
+
+namespace apiary {
+
+struct MeshConfig {
+  uint32_t width = 4;
+  uint32_t height = 4;
+  uint32_t router_buffer_depth = 8;    // Flits per input VC buffer.
+  uint32_t ni_inject_queue_flits = 512;  // Must hold the largest message.
+  // Ablation knob: force all traffic onto one VC (responses share the
+  // request channel), reproducing the head-of-line blocking the two-VC
+  // design exists to avoid (Section 4.5).
+  bool force_single_vc = false;
+};
+
+class Mesh : public Clocked {
+ public:
+  explicit Mesh(MeshConfig config);
+
+  void Tick(Cycle now) override;
+  std::string DebugName() const override { return "mesh"; }
+
+  uint32_t width() const { return config_.width; }
+  uint32_t height() const { return config_.height; }
+  uint32_t num_tiles() const { return config_.width * config_.height; }
+
+  NetworkInterface& ni(TileId tile) { return *nis_[tile]; }
+  const NetworkInterface& ni(TileId tile) const { return *nis_[tile]; }
+  Router& router(TileId tile) { return *routers_[tile]; }
+
+  // Minimal hop count between two tiles under XY routing.
+  uint32_t Hops(TileId a, TileId b) const;
+
+  // Aggregate statistics across all routers/NIs.
+  CounterSet AggregateCounters() const;
+  Histogram AggregateLatency() const;
+  uint64_t TotalFlitsRouted() const;
+
+  // Total logic-cell cost of the NoC fabric (routers + NIs).
+  uint64_t LogicCellCost() const;
+
+ private:
+  MeshConfig config_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_NOC_MESH_H_

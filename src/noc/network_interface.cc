@@ -1,0 +1,74 @@
+#include "src/noc/network_interface.h"
+
+namespace apiary {
+
+NetworkInterface::NetworkInterface(TileId tile, Router* router, uint32_t inject_queue_flits,
+                                   bool force_single_vc)
+    : tile_(tile),
+      router_(router),
+      inject_queue_flits_(inject_queue_flits),
+      force_single_vc_(force_single_vc) {}
+
+uint32_t NetworkInterface::LogicCellCost() {
+  // Packetization, reassembly and queue logic; roughly half a router.
+  return 2000;
+}
+
+bool NetworkInterface::CanInject(uint32_t flits, Vc vc) const {
+  return inject_queues_[static_cast<int>(vc)].size() + flits <= inject_queue_flits_;
+}
+
+bool NetworkInterface::Inject(std::shared_ptr<NocPacket> packet, Cycle now) {
+  if (force_single_vc_) {
+    packet->vc = Vc::kRequest;  // Single-VC ablation: everything shares VC0.
+  }
+  const uint32_t flits = FlitCount(*packet);
+  if (!CanInject(flits, packet->vc)) {
+    counters_.Add("ni.inject_backpressure");
+    return false;
+  }
+  packet->inject_cycle = now;
+  auto& queue = inject_queues_[static_cast<int>(packet->vc)];
+  for (uint32_t i = 0; i < flits; ++i) {
+    queue.push_back(Flit{packet, i});
+  }
+  counters_.Add("ni.packets_injected");
+  counters_.Add("ni.flits_injected", flits);
+  return true;
+}
+
+void NetworkInterface::InjectCycle(Cycle now) {
+  (void)now;
+  // One flit per cycle onto the local port, round-robin across VCs.
+  for (int i = 0; i < kNumVcs; ++i) {
+    auto& queue = inject_queues_[(inject_rr_ + i) % kNumVcs];
+    if (queue.empty()) {
+      continue;
+    }
+    if (router_->AcceptFlit(kPortLocal, queue.front())) {
+      queue.pop_front();
+      inject_rr_ = (inject_rr_ + i + 1) % kNumVcs;
+      return;
+    }
+  }
+}
+
+void NetworkInterface::EjectFlit(const Flit& flit, Cycle now) {
+  counters_.Add("ni.flits_ejected");
+  if (flit.is_tail()) {
+    latency_.Record(now - flit.packet->inject_cycle);
+    counters_.Add("ni.packets_delivered");
+    delivered_.push_back(flit.packet);
+  }
+}
+
+std::shared_ptr<NocPacket> NetworkInterface::Retrieve() {
+  if (delivered_.empty()) {
+    return nullptr;
+  }
+  auto packet = delivered_.front();
+  delivered_.pop_front();
+  return packet;
+}
+
+}  // namespace apiary

@@ -1,0 +1,71 @@
+// Per-tile network interface: packetizes outbound messages into flits,
+// injects them into the local router port, and reassembles inbound packets.
+//
+// The NI is mechanical plumbing; all policy (naming, capabilities, rate
+// limits) is applied by the Apiary monitor before a packet reaches Inject().
+#ifndef SRC_NOC_NETWORK_INTERFACE_H_
+#define SRC_NOC_NETWORK_INTERFACE_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "src/noc/packet.h"
+#include "src/noc/router.h"
+#include "src/stats/histogram.h"
+#include "src/stats/summary.h"
+
+namespace apiary {
+
+class NetworkInterface {
+ public:
+  NetworkInterface(TileId tile, Router* router, uint32_t inject_queue_flits,
+                   bool force_single_vc = false);
+
+  // Queues a packet for injection. Returns false when the packet's VC
+  // injection queue cannot hold its flits (backpressure to the monitor).
+  bool Inject(std::shared_ptr<NocPacket> packet, Cycle now);
+
+  // True if a packet of `flits` flits would fit in the given VC's queue.
+  bool CanInject(uint32_t flits, Vc vc = Vc::kRequest) const;
+
+  // Called by the Mesh each cycle: moves up to one flit from the injection
+  // queue into the router's local input port.
+  void InjectCycle(Cycle now);
+
+  // Called by the local router when a flit is ejected to this tile.
+  void EjectFlit(const Flit& flit, Cycle now);
+
+  // Pops the next fully reassembled inbound packet, if any.
+  std::shared_ptr<NocPacket> Retrieve();
+
+  bool HasDeliverable() const { return !delivered_.empty(); }
+  TileId tile() const { return tile_; }
+
+  // Largest packet (in flits) that can ever be injected; senders must
+  // segment above this.
+  uint32_t max_packet_flits() const { return inject_queue_flits_; }
+
+  const CounterSet& counters() const { return counters_; }
+  const Histogram& latency_histogram() const { return latency_; }
+
+  static uint32_t LogicCellCost();
+
+ private:
+  TileId tile_;
+  Router* router_;
+  uint32_t inject_queue_flits_;
+  bool force_single_vc_;
+  // Per-VC injection queues so response traffic never queues behind a
+  // request backlog (mirrors the router's VC separation).
+  std::deque<Flit> inject_queues_[kNumVcs];
+  int inject_rr_ = 0;
+  std::deque<std::shared_ptr<NocPacket>> delivered_;
+  CounterSet counters_;
+  Histogram latency_;  // Injection-to-tail-ejection latency, in cycles.
+};
+
+}  // namespace apiary
+
+#endif  // SRC_NOC_NETWORK_INTERFACE_H_

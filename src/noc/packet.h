@@ -1,0 +1,59 @@
+// NoC wire format: packets and flits.
+//
+// The NoC layer is deliberately ignorant of Apiary message semantics: it
+// moves opaque payload bytes between tiles. Service naming, capabilities and
+// policy all live one layer up in the monitor (Section 4.3: "the NoC allows
+// us to move service naming to an API-layer interface").
+#ifndef SRC_NOC_PACKET_H_
+#define SRC_NOC_PACKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace apiary {
+
+// Virtual channels. Two VCs break message-dependent (request-response)
+// deadlock cycles, per the deadlock literature the paper cites in 4.5.
+enum class Vc : uint8_t {
+  kRequest = 0,
+  kResponse = 1,
+};
+inline constexpr int kNumVcs = 2;
+
+struct NocPacket {
+  TileId src = kInvalidTile;
+  TileId dst = kInvalidTile;
+  Vc vc = Vc::kRequest;
+  uint64_t packet_id = 0;
+  Cycle inject_cycle = 0;
+  std::vector<uint8_t> payload;
+};
+
+// Width of a flit's data path. One head flit carries the header; payload
+// flits carry kFlitBytes each.
+inline constexpr uint32_t kFlitBytes = 32;
+
+// Number of flits a packet occupies on the wire.
+inline uint32_t FlitCount(const NocPacket& packet) {
+  return 1 + static_cast<uint32_t>((packet.payload.size() + kFlitBytes - 1) / kFlitBytes);
+}
+
+// A flit in flight: a reference into its parent packet. The packet object is
+// shared by all of its flits and handed to the destination NI when the tail
+// arrives.
+struct Flit {
+  std::shared_ptr<NocPacket> packet;
+  uint32_t index = 0;
+
+  bool is_head() const { return index == 0; }
+  bool is_tail() const { return index + 1 == FlitCount(*packet); }
+  TileId dst() const { return packet->dst; }
+  Vc vc() const { return packet->vc; }
+};
+
+}  // namespace apiary
+
+#endif  // SRC_NOC_PACKET_H_

@@ -1,0 +1,42 @@
+#include "src/noc/rate_limiter.h"
+
+#include <algorithm>
+
+namespace apiary {
+
+TokenBucket::TokenBucket(uint64_t tokens_per_1k_cycles, uint64_t burst_tokens)
+    : unlimited_(false),
+      rate_per_1k_(tokens_per_1k_cycles),
+      burst_(burst_tokens),
+      milli_tokens_(burst_tokens * 1000) {}
+
+void TokenBucket::Refill(Cycle now) {
+  if (now <= last_refill_) {
+    return;
+  }
+  const Cycle elapsed = now - last_refill_;
+  last_refill_ = now;
+  milli_tokens_ = std::min(burst_ * 1000, milli_tokens_ + elapsed * rate_per_1k_);
+}
+
+bool TokenBucket::TryConsume(Cycle now, uint64_t cost) {
+  if (unlimited_) {
+    return true;
+  }
+  Refill(now);
+  if (milli_tokens_ >= cost * 1000) {
+    milli_tokens_ -= cost * 1000;
+    return true;
+  }
+  return false;
+}
+
+bool TokenBucket::WouldAllow(Cycle now, uint64_t cost) {
+  if (unlimited_) {
+    return true;
+  }
+  Refill(now);
+  return milli_tokens_ >= cost * 1000;
+}
+
+}  // namespace apiary

@@ -1,0 +1,44 @@
+// Token-bucket rate limiter. Instantiated per flow by the Apiary monitor to
+// bound an accelerator's injection rate (Section 4.5: "having permissioned
+// access and rate limiting are necessary to prevent malicious accelerators
+// from ... causing resource exhaustion").
+#ifndef SRC_NOC_RATE_LIMITER_H_
+#define SRC_NOC_RATE_LIMITER_H_
+
+#include <cstdint>
+
+#include "src/sim/types.h"
+
+namespace apiary {
+
+class TokenBucket {
+ public:
+  // `tokens_per_1k_cycles` is the refill rate (tokens are flits);
+  // `burst_tokens` caps the bucket. A default-constructed bucket is
+  // unlimited.
+  TokenBucket() = default;
+  TokenBucket(uint64_t tokens_per_1k_cycles, uint64_t burst_tokens);
+
+  // True if `cost` tokens are available at `now`; if so, consumes them.
+  bool TryConsume(Cycle now, uint64_t cost);
+
+  // Peek without consuming.
+  bool WouldAllow(Cycle now, uint64_t cost);
+
+  bool unlimited() const { return unlimited_; }
+  uint64_t rate_per_1k() const { return rate_per_1k_; }
+
+ private:
+  void Refill(Cycle now);
+
+  bool unlimited_ = true;
+  uint64_t rate_per_1k_ = 0;
+  uint64_t burst_ = 0;
+  // Token count scaled by 1000 to avoid fractional refill loss.
+  uint64_t milli_tokens_ = 0;
+  Cycle last_refill_ = 0;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_NOC_RATE_LIMITER_H_

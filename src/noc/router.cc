@@ -1,0 +1,150 @@
+#include "src/noc/router.h"
+
+#include "src/noc/network_interface.h"
+
+namespace apiary {
+
+Router::Router(uint32_t x, uint32_t y, uint32_t mesh_width, uint32_t mesh_height,
+               uint32_t buffer_depth)
+    : x_(x), y_(y), mesh_width_(mesh_width), mesh_height_(mesh_height),
+      buffer_depth_(buffer_depth) {}
+
+uint32_t Router::LogicCellCost(uint32_t buffer_depth) {
+  // Calibrated against published soft-NoC routers (e.g. CONNECT-style 5-port,
+  // 2-VC, 32B links land around 4-8k LUTs depending on buffering). Base
+  // crossbar+allocators plus per-flit-slot buffer cost.
+  return 4500 + 150 * buffer_depth * kNumVcs;
+}
+
+RouterPort Router::RoutePort(TileId dst) const {
+  const uint32_t dx = dst % mesh_width_;
+  const uint32_t dy = dst / mesh_width_;
+  if (dx > x_) {
+    return kPortEast;
+  }
+  if (dx < x_) {
+    return kPortWest;
+  }
+  if (dy > y_) {
+    return kPortSouth;
+  }
+  if (dy < y_) {
+    return kPortNorth;
+  }
+  return kPortLocal;
+}
+
+uint32_t Router::FreeSlots(RouterPort in_port, Vc vc) const {
+  const InputBuffer& buf = inputs_[in_port][static_cast<int>(vc)];
+  const uint32_t used = static_cast<uint32_t>(buf.flits.size() + buf.staged.size());
+  return used >= buffer_depth_ ? 0 : buffer_depth_ - used;
+}
+
+bool Router::AcceptFlit(RouterPort in_port, const Flit& flit) {
+  if (FreeSlots(in_port, flit.vc()) == 0) {
+    return false;
+  }
+  inputs_[in_port][static_cast<int>(flit.vc())].staged.push_back(flit);
+  return true;
+}
+
+void Router::CommitStaged() {
+  for (auto& port_bufs : inputs_) {
+    for (auto& buf : port_bufs) {
+      while (!buf.staged.empty()) {
+        buf.flits.push_back(buf.staged.front());
+        buf.staged.pop_front();
+      }
+    }
+  }
+}
+
+bool Router::DownstreamHasSpace(RouterPort out, Vc vc) const {
+  if (out == kPortLocal) {
+    // Ejection is always accepted: the NI reassembly buffer is sized for the
+    // maximum packet and delivery queues are modeled at the monitor level.
+    return true;
+  }
+  Router* next = neighbors_[out];
+  if (next == nullptr) {
+    return false;
+  }
+  // The flit will arrive on the neighbor's opposite port.
+  static constexpr RouterPort kOpposite[4] = {kPortSouth, kPortNorth, kPortWest, kPortEast};
+  return next->FreeSlots(kOpposite[out], vc) > 0;
+}
+
+void Router::SendDownstream(RouterPort out, const Flit& flit, Cycle now) {
+  if (out == kPortLocal) {
+    if (ni_ != nullptr) {
+      ni_->EjectFlit(flit, now);
+    }
+    return;
+  }
+  static constexpr RouterPort kOpposite[4] = {kPortSouth, kPortNorth, kPortWest, kPortEast};
+  neighbors_[out]->AcceptFlit(kOpposite[out], flit);
+}
+
+bool Router::TryForward(RouterPort out, int in, int vc, Cycle now) {
+  InputBuffer& buf = inputs_[in][vc];
+  if (buf.flits.empty()) {
+    return false;
+  }
+  const Flit& flit = buf.flits.front();
+  if (RoutePort(flit.dst()) != out || static_cast<int>(flit.vc()) != vc) {
+    return false;
+  }
+  if (!DownstreamHasSpace(out, flit.vc())) {
+    counters_.Add("router.stalls");
+    return false;
+  }
+  OutputVcState& state = outputs_[out][vc];
+  if (state.owner_port == -1) {
+    if (!flit.is_head()) {
+      // Body flit whose ownership was released by an earlier tail: cannot
+      // happen within one packet, but guard against interleaving bugs.
+      return false;
+    }
+    state.owner_port = in;
+  } else if (state.owner_port != in) {
+    // Output vc is held by another packet (wormhole).
+    counters_.Add("router.vc_blocked");
+    return false;
+  }
+  SendDownstream(out, flit, now);
+  if (flit.is_tail()) {
+    state.owner_port = -1;
+  }
+  buf.flits.pop_front();
+  ++flits_routed_;
+  return true;
+}
+
+void Router::RouteCycle(Cycle now) {
+  // One flit per output port per cycle (the physical link constraint).
+  for (int out = 0; out < kNumPorts; ++out) {
+    bool sent = false;
+    // VC-level round robin, then input-port round robin within a vc.
+    for (int vci = 0; vci < kNumVcs && !sent; ++vci) {
+      const int vc = (rr_vc_[out] + vci) % kNumVcs;
+      const OutputVcState& state = outputs_[out][vc];
+      if (state.owner_port != -1) {
+        // Continue the packet that owns this output vc.
+        sent = TryForward(static_cast<RouterPort>(out), state.owner_port, vc, now);
+        continue;
+      }
+      for (int pi = 0; pi < kNumPorts && !sent; ++pi) {
+        const int in = (rr_input_[out] + pi) % kNumPorts;
+        sent = TryForward(static_cast<RouterPort>(out), in, vc, now);
+        if (sent) {
+          rr_input_[out] = (in + 1) % kNumPorts;
+        }
+      }
+    }
+    if (sent) {
+      rr_vc_[out] = (rr_vc_[out] + 1) % kNumVcs;
+    }
+  }
+}
+
+}  // namespace apiary

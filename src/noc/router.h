@@ -1,0 +1,106 @@
+// Input-buffered 5-port mesh router with wormhole switching, two virtual
+// channels, XY dimension-order routing, and round-robin arbitration.
+//
+// The Mesh orchestrates all routers in two phases per cycle (commit staged
+// flits, then route), which gives every router a consistent view of
+// downstream buffer occupancy without explicit credit wires.
+#ifndef SRC_NOC_ROUTER_H_
+#define SRC_NOC_ROUTER_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "src/noc/packet.h"
+#include "src/stats/summary.h"
+
+namespace apiary {
+
+class NetworkInterface;
+
+enum RouterPort : int {
+  kPortNorth = 0,
+  kPortSouth = 1,
+  kPortEast = 2,
+  kPortWest = 3,
+  kPortLocal = 4,
+};
+inline constexpr int kNumPorts = 5;
+
+class Router {
+ public:
+  Router(uint32_t x, uint32_t y, uint32_t mesh_width, uint32_t mesh_height,
+         uint32_t buffer_depth);
+
+  // Wiring (done once by the Mesh).
+  void SetNeighbor(RouterPort port, Router* neighbor) { neighbors_[port] = neighbor; }
+  void SetLocalInterface(NetworkInterface* ni) { ni_ = ni; }
+
+  // Phase 1: staged flits (arrived last cycle) become visible.
+  void CommitStaged();
+
+  // Phase 2: forward up to one flit per output port.
+  void RouteCycle(Cycle now);
+
+  // Returns true and stages the flit if input buffer (port, vc) has space.
+  bool AcceptFlit(RouterPort in_port, const Flit& flit);
+
+  // Free slots in input buffer (port, vc), counting staged flits.
+  uint32_t FreeSlots(RouterPort in_port, Vc vc) const;
+
+  uint32_t x() const { return x_; }
+  uint32_t y() const { return y_; }
+  TileId tile() const { return y_ * mesh_width_ + x_; }
+
+  const CounterSet& counters() const { return counters_; }
+  uint64_t flits_routed() const { return flits_routed_; }
+
+  // Estimated logic-cell cost of this router instance (for the FPGA resource
+  // model; see src/fpga/resource_model.h for calibration notes).
+  static uint32_t LogicCellCost(uint32_t buffer_depth);
+
+ private:
+  struct InputBuffer {
+    std::deque<Flit> flits;
+    std::deque<Flit> staged;
+  };
+  struct OutputVcState {
+    // Wormhole ownership: the (input port, vc) whose packet currently holds
+    // this output vc; -1 when free.
+    int owner_port = -1;
+  };
+
+  // XY dimension-order route computation for a destination tile.
+  RouterPort RoutePort(TileId dst) const;
+
+  // Attempts to forward the head-of-line flit from inputs_[in][vc] through
+  // `out`. Returns true on success.
+  bool TryForward(RouterPort out, int in, int vc, Cycle now);
+
+  bool DownstreamHasSpace(RouterPort out, Vc vc) const;
+  void SendDownstream(RouterPort out, const Flit& flit, Cycle now);
+
+  uint32_t x_;
+  uint32_t y_;
+  uint32_t mesh_width_;
+  uint32_t mesh_height_;
+  uint32_t buffer_depth_;
+
+  std::array<Router*, 4> neighbors_{};
+  NetworkInterface* ni_ = nullptr;
+
+  InputBuffer inputs_[kNumPorts][kNumVcs];
+  OutputVcState outputs_[kNumPorts][kNumVcs];
+  // Round-robin pointers: per output port, the next input port to consider.
+  std::array<int, kNumPorts> rr_input_{};
+  // Per output port, the next vc to consider (VC-level interleaving).
+  std::array<int, kNumPorts> rr_vc_{};
+
+  uint64_t flits_routed_ = 0;
+  CounterSet counters_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_NOC_ROUTER_H_

@@ -1,0 +1,70 @@
+#include "src/services/load_balancer.h"
+
+namespace apiary {
+
+size_t LoadBalancer::PickBackend() {
+  // Least-outstanding with round-robin tie breaking: spreads load evenly and
+  // adapts when one replica slows down.
+  size_t best = rr_next_ % backends_.size();
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    const size_t idx = (rr_next_ + i) % backends_.size();
+    if (backends_[idx].outstanding < backends_[best].outstanding) {
+      best = idx;
+    }
+  }
+  rr_next_ = (best + 1) % backends_.size();
+  return best;
+}
+
+void LoadBalancer::OnMessage(const Message& msg, TileApi& api) {
+  if (msg.kind == MsgKind::kResponse) {
+    auto it = in_flight_.find(msg.request_id);
+    if (it == in_flight_.end()) {
+      counters_.Add("lb.orphan_responses");
+      return;
+    }
+    auto [original, backend_idx] = std::move(it->second);
+    in_flight_.erase(it);
+    if (backends_[backend_idx].outstanding > 0) {
+      --backends_[backend_idx].outstanding;
+    }
+    Message reply;
+    reply.opcode = msg.opcode;
+    reply.status = msg.status;
+    reply.payload = msg.payload;
+    if (!api.Reply(original, std::move(reply)).ok()) {
+      counters_.Add("lb.reply_failures");
+    }
+    counters_.Add("lb.responses");
+    return;
+  }
+
+  if (backends_.empty()) {
+    Message err;
+    err.opcode = msg.opcode;
+    err.status = MsgStatus::kNoSuchService;
+    api.Reply(msg, std::move(err));
+    return;
+  }
+  const size_t idx = PickBackend();
+  Message fwd;
+  fwd.opcode = msg.opcode;
+  fwd.payload = msg.payload;
+  fwd.dst_process = msg.dst_process;
+  fwd.request_id = next_forward_id_++;
+  const uint64_t fwd_id = fwd.request_id;
+  const SendResult r = api.Send(std::move(fwd), backends_[idx].endpoint);
+  if (!r.ok()) {
+    counters_.Add("lb.forward_failures");
+    Message err;
+    err.opcode = msg.opcode;
+    err.status = r.status;
+    api.Reply(msg, std::move(err));
+    return;
+  }
+  ++backends_[idx].outstanding;
+  in_flight_.emplace(fwd_id, std::make_pair(msg, idx));
+  counters_.Add("lb.forwards");
+}
+
+}  // namespace apiary

@@ -1,0 +1,47 @@
+// Load balancer: fans requests out across replicated backend accelerators
+// and routes responses back — the paper's scale-out story ("a replicated
+// accelerator with internal load balancing for higher bandwidth", 4.1).
+#ifndef SRC_SERVICES_LOAD_BALANCER_H_
+#define SRC_SERVICES_LOAD_BALANCER_H_
+
+#include <map>
+#include <vector>
+
+#include "src/core/accelerator.h"
+#include "src/stats/summary.h"
+
+namespace apiary {
+
+class LoadBalancer : public Accelerator {
+ public:
+  // Adds a backend by the endpoint capability this tile holds for it
+  // (minted by the kernel during wiring).
+  void AddBackend(CapRef endpoint) { backends_.push_back(Backend{endpoint, 0}); }
+
+  void OnMessage(const Message& msg, TileApi& api) override;
+
+  std::string name() const override { return "load_balancer"; }
+  uint32_t LogicCellCost() const override { return 8000; }
+
+  const CounterSet& counters() const { return counters_; }
+  size_t num_backends() const { return backends_.size(); }
+
+ private:
+  struct Backend {
+    CapRef endpoint;
+    uint64_t outstanding;
+  };
+
+  size_t PickBackend();
+
+  std::vector<Backend> backends_;
+  size_t rr_next_ = 0;
+  uint64_t next_forward_id_ = 1;
+  // Forwarded request id -> (original request, backend index).
+  std::map<uint64_t, std::pair<Message, size_t>> in_flight_;
+  CounterSet counters_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_SERVICES_LOAD_BALANCER_H_

@@ -1,0 +1,69 @@
+#include "src/services/mgmt_service.h"
+
+namespace apiary {
+
+void MgmtService::Watch(TileId tile, Cycle deadline_cycles) {
+  watched_[tile] = WatchEntry{deadline_cycles, 0, false};
+}
+
+void MgmtService::OnMessage(const Message& msg, TileApi& api) {
+  if (msg.kind != MsgKind::kRequest) {
+    return;
+  }
+  Message reply;
+  reply.opcode = msg.opcode;
+  switch (msg.opcode) {
+    case kOpMgmtHeartbeat: {
+      auto it = watched_.find(msg.src_tile);
+      if (it != watched_.end()) {
+        it->second.last_heartbeat = api.now();
+      }
+      counters_.Add("mgmt.heartbeats");
+      // Heartbeats are fire-and-forget; no reply keeps the watchdog cheap.
+      return;
+    }
+    case kOpMgmtWatch: {
+      if (msg.payload.size() < 8) {
+        reply.status = MsgStatus::kBadRequest;
+        break;
+      }
+      Watch(msg.src_tile, GetU64(msg.payload, 0));
+      watched_[msg.src_tile].last_heartbeat = api.now();
+      counters_.Add("mgmt.watches");
+      break;
+    }
+    case kOpMgmtReport: {
+      fault_log_.emplace_back("tile " + std::to_string(msg.src_tile) + ": " +
+                              std::string(msg.payload.begin(), msg.payload.end()));
+      counters_.Add("mgmt.reports");
+      break;
+    }
+    case kOpMgmtQuery: {
+      const std::string text = counters_.ToString();
+      reply.payload.assign(text.begin(), text.end());
+      break;
+    }
+    default:
+      reply.status = MsgStatus::kBadRequest;
+      break;
+  }
+  api.Reply(msg, std::move(reply));
+}
+
+void MgmtService::Tick(TileApi& api) {
+  // Watchdog sweep: fail-stop any watched tile that missed its deadline.
+  for (auto& [tile, entry] : watched_) {
+    if (entry.tripped || entry.deadline_cycles == 0) {
+      continue;
+    }
+    if (api.now() > entry.last_heartbeat + entry.deadline_cycles) {
+      entry.tripped = true;
+      counters_.Add("mgmt.watchdog_trips");
+      fault_log_.emplace_back("watchdog: tile " + std::to_string(tile) +
+                              " missed heartbeat deadline");
+      os_->FailStop(tile, "watchdog timeout");
+    }
+  }
+}
+
+}  // namespace apiary

@@ -1,0 +1,54 @@
+// The Apiary management service: heartbeat watchdog, fault reporting, and
+// cluster-visible counters — the "debugging/monitoring support [that] is
+// essential in practice" (Section 1).
+//
+// Tiles under watch must heartbeat within their deadline; a missed deadline
+// is treated as a wedged accelerator and the tile is fail-stopped through
+// the kernel (Section 4.4's error-detection path for concurrent-only
+// accelerators that will "never yield").
+#ifndef SRC_SERVICES_MGMT_SERVICE_H_
+#define SRC_SERVICES_MGMT_SERVICE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/accelerator.h"
+#include "src/core/kernel.h"
+#include "src/services/opcodes.h"
+#include "src/stats/summary.h"
+
+namespace apiary {
+
+class MgmtService : public Accelerator {
+ public:
+  explicit MgmtService(ApiaryOs* os) : os_(os) {}
+
+  void OnMessage(const Message& msg, TileApi& api) override;
+  void Tick(TileApi& api) override;
+
+  std::string name() const override { return "mgmt_service"; }
+  uint32_t LogicCellCost() const override { return 6000; }
+
+  const CounterSet& counters() const { return counters_; }
+  const std::vector<std::string>& fault_log() const { return fault_log_; }
+
+  // Kernel-side configuration: watch `tile` with the given deadline.
+  void Watch(TileId tile, Cycle deadline_cycles);
+
+ private:
+  struct WatchEntry {
+    Cycle deadline_cycles = 0;
+    Cycle last_heartbeat = 0;
+    bool tripped = false;
+  };
+
+  ApiaryOs* os_;
+  std::map<TileId, WatchEntry> watched_;
+  std::vector<std::string> fault_log_;
+  CounterSet counters_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_SERVICES_MGMT_SERVICE_H_

@@ -1,0 +1,42 @@
+#include "src/services/name_service.h"
+
+namespace apiary {
+
+void NameService::OnMessage(const Message& msg, TileApi& api) {
+  if (msg.kind != MsgKind::kRequest) {
+    return;
+  }
+  Message reply;
+  reply.opcode = msg.opcode;
+  switch (msg.opcode) {
+    case kOpNameRegister: {
+      if (msg.payload.size() < 5) {
+        reply.status = MsgStatus::kBadRequest;
+        break;
+      }
+      const ServiceId id = GetU32(msg.payload, 0);
+      const std::string svc_name(msg.payload.begin() + 4, msg.payload.end());
+      registry_[svc_name] = id;
+      counters_.Add("namesvc.registrations");
+      break;
+    }
+    case kOpNameLookup: {
+      const std::string svc_name(msg.payload.begin(), msg.payload.end());
+      auto it = registry_.find(svc_name);
+      if (it == registry_.end()) {
+        counters_.Add("namesvc.misses");
+        reply.status = MsgStatus::kNoSuchService;
+      } else {
+        counters_.Add("namesvc.hits");
+        PutU32(reply.payload, it->second);
+      }
+      break;
+    }
+    default:
+      reply.status = MsgStatus::kBadRequest;
+      break;
+  }
+  api.Reply(msg, std::move(reply));
+}
+
+}  // namespace apiary

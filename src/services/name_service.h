@@ -1,0 +1,31 @@
+// The Apiary name service: string names -> logical service ids, so loosely
+// coupled accelerators can discover each other without compile-time wiring.
+#ifndef SRC_SERVICES_NAME_SERVICE_H_
+#define SRC_SERVICES_NAME_SERVICE_H_
+
+#include <map>
+#include <string>
+
+#include "src/core/accelerator.h"
+#include "src/services/opcodes.h"
+#include "src/stats/summary.h"
+
+namespace apiary {
+
+class NameService : public Accelerator {
+ public:
+  void OnMessage(const Message& msg, TileApi& api) override;
+
+  std::string name() const override { return "name_service"; }
+  uint32_t LogicCellCost() const override { return 5000; }
+
+  const CounterSet& counters() const { return counters_; }
+
+ private:
+  std::map<std::string, ServiceId> registry_;
+  CounterSet counters_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_SERVICES_NAME_SERVICE_H_

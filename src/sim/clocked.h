@@ -1,0 +1,28 @@
+// Interface for cycle-driven hardware blocks.
+#ifndef SRC_SIM_CLOCKED_H_
+#define SRC_SIM_CLOCKED_H_
+
+#include <string>
+
+#include "src/sim/types.h"
+
+namespace apiary {
+
+// A Clocked object models a synchronous hardware block: it is ticked once per
+// simulated clock cycle. The simulator ticks all registered objects in
+// registration order; blocks that need two-phase (compute/commit) semantics
+// implement it internally by latching outputs.
+class Clocked {
+ public:
+  virtual ~Clocked() = default;
+
+  // Advance one cycle. `now` is the cycle being executed.
+  virtual void Tick(Cycle now) = 0;
+
+  // Human-readable name for tracing and debug dumps.
+  virtual std::string DebugName() const { return "clocked"; }
+};
+
+}  // namespace apiary
+
+#endif  // SRC_SIM_CLOCKED_H_

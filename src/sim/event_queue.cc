@@ -1,0 +1,20 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace apiary {
+
+void EventQueue::ScheduleAt(Cycle when, Callback cb) {
+  heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::RunUntil(Cycle now) {
+  while (!heap_.empty() && heap_.top().when <= now) {
+    // Copy out before pop so the callback may schedule new events.
+    Event ev = heap_.top();
+    heap_.pop();
+    ev.cb(ev.when);
+  }
+}
+
+}  // namespace apiary

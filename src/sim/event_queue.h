@@ -1,0 +1,53 @@
+// Discrete-event queue used alongside the cycle-driven model for sparse,
+// timed actions (reconfiguration completion, request arrivals, timeouts).
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace apiary {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(Cycle)>;
+
+  // Schedules `cb` to run at cycle `when`. Events scheduled for the same
+  // cycle run in scheduling order (stable via a sequence number).
+  void ScheduleAt(Cycle when, Callback cb);
+
+  // Runs every event due at or before `now`, in time order.
+  void RunUntil(Cycle now);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // Cycle of the earliest pending event; only valid when !empty().
+  Cycle NextEventCycle() const { return heap_.top().when; }
+
+ private:
+  struct Event {
+    Cycle when;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,49 @@
+// Minimal leveled logging for the simulator. Logging is off by default so
+// tests and benchmarks stay quiet; examples turn it on for narration.
+#ifndef SRC_SIM_LOGGING_H_
+#define SRC_SIM_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace apiary {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Global log threshold. Messages below this level are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one log line (with level prefix) to stderr if enabled.
+void LogMessage(LogLevel level, const std::string& msg);
+
+// Stream-style helper: APIARY_LOG(kInfo) << "tile " << id << " booted";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= GetLogLevel()) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace apiary
+
+#define APIARY_LOG(level) ::apiary::LogLine(::apiary::LogLevel::level)
+
+#endif  // SRC_SIM_LOGGING_H_

@@ -1,0 +1,112 @@
+#include "src/sim/random.h"
+
+#include <cmath>
+
+namespace apiary {
+namespace {
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : state_) {
+    s = sm.Next();
+  }
+  // Guard against the all-zero state, which is a fixed point of xoshiro.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Lemire's nearly-divisionless bounded generation, simplified: the modulo
+  // bias is negligible for simulation purposes when bound << 2^64.
+  return Next() % bound;
+}
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) {
+  return lo + NextBelow(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  // Avoid log(0).
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double theta) {
+  // Gray et al. "Quickly generating billion-record synthetic databases"
+  // closed-form approximation, as used by YCSB.
+  if (n <= 1) {
+    return 0;
+  }
+  const double alpha = 1.0 / (1.0 - theta);
+  double zetan = 0.0;
+  // Cache-free direct computation is O(n); cap the exact sum and extrapolate
+  // for large n (adequate for workload generation).
+  const uint64_t exact = n < 10000 ? n : 10000;
+  for (uint64_t i = 1; i <= exact; ++i) {
+    zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  if (exact < n) {
+    // Integral tail approximation of the generalized harmonic number.
+    zetan += (std::pow(static_cast<double>(n), 1.0 - theta) -
+              std::pow(static_cast<double>(exact), 1.0 - theta)) /
+             (1.0 - theta);
+  }
+  const double zeta2 = 1.0 + std::pow(2.0, -theta);
+  const double eta =
+      (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2 / zetan);
+  const double u = NextDouble();
+  const double uz = u * zetan;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta)) {
+    return 1;
+  }
+  const uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n) * std::pow(eta * u - eta + 1.0, alpha));
+  return v >= n ? n - 1 : v;
+}
+
+}  // namespace apiary

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// All randomness in the simulation flows through these generators so that a
+// run is fully reproducible from its seed. SplitMix64 is used for seeding
+// and Xoshiro256** for the main stream (both public-domain algorithms by
+// Blackman & Vigna).
+#ifndef SRC_SIM_RANDOM_H_
+#define SRC_SIM_RANDOM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace apiary {
+
+// SplitMix64: a tiny, fast 64-bit generator; primarily used to expand one
+// 64-bit seed into the larger state Xoshiro needs.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256**: the simulator's workhorse generator. Satisfies the
+// UniformRandomBitGenerator concept so it can also drive <random>
+// distributions when needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() { return Next(); }
+
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Exponentially distributed value with the given mean (for Poisson
+  // inter-arrival times in the workload generators).
+  double NextExponential(double mean);
+
+  // Geometric-like Zipf(theta) sample over [0, n) using the standard
+  // rejection-free approximation (used by the YCSB-style KV workload).
+  uint64_t NextZipf(uint64_t n, double theta);
+
+ private:
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_SIM_RANDOM_H_

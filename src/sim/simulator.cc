@@ -1,0 +1,51 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+
+namespace apiary {
+
+void Simulator::Register(Clocked* block) { blocks_.push_back(block); }
+
+void Simulator::Unregister(Clocked* block) { pending_removals_.push_back(block); }
+
+void Simulator::ApplyPendingRemovals() {
+  if (pending_removals_.empty()) {
+    return;
+  }
+  for (Clocked* dead : pending_removals_) {
+    blocks_.erase(std::remove(blocks_.begin(), blocks_.end(), dead), blocks_.end());
+  }
+  pending_removals_.clear();
+}
+
+void Simulator::Step() {
+  events_.RunUntil(now_);
+  // Index-based loop: callbacks and ticks may register new blocks, which then
+  // start ticking on the next cycle.
+  const size_t count = blocks_.size();
+  for (size_t i = 0; i < count; ++i) {
+    blocks_[i]->Tick(now_);
+  }
+  ApplyPendingRemovals();
+  ++now_;
+}
+
+void Simulator::Run(Cycle cycles) {
+  const Cycle end = now_ + cycles;
+  while (now_ < end) {
+    Step();
+  }
+}
+
+bool Simulator::RunUntil(const std::function<bool()>& pred, Cycle max_cycles) {
+  const Cycle end = now_ + max_cycles;
+  while (now_ < end) {
+    if (pred()) {
+      return true;
+    }
+    Step();
+  }
+  return pred();
+}
+
+}  // namespace apiary

@@ -1,0 +1,69 @@
+// The top-level simulation driver: a single global clock domain plus a
+// discrete-event queue.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/sim/clocked.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/types.h"
+
+namespace apiary {
+
+class Simulator {
+ public:
+  // `frequency_mhz` maps cycles to wall time for reporting (default matches a
+  // typical FPGA fabric clock).
+  explicit Simulator(double frequency_mhz = 250.0) : frequency_mhz_(frequency_mhz) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Registers a block to be ticked every cycle. The simulator does not own
+  // the block; callers keep it alive for the duration of the run.
+  void Register(Clocked* block);
+
+  // Removes a previously registered block (e.g. a reconfigured-away
+  // accelerator). Safe to call during a tick; removal takes effect before
+  // the next cycle.
+  void Unregister(Clocked* block);
+
+  // Schedules a timed callback on the event queue.
+  void ScheduleAt(Cycle when, EventQueue::Callback cb) {
+    events_.ScheduleAt(when, std::move(cb));
+  }
+  void ScheduleAfter(Cycle delay, EventQueue::Callback cb) {
+    events_.ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  // Runs `cycles` additional cycles.
+  void Run(Cycle cycles);
+
+  // Runs until `pred` returns true (checked once per cycle) or `max_cycles`
+  // additional cycles have elapsed. Returns true if `pred` fired.
+  bool RunUntil(const std::function<bool()>& pred, Cycle max_cycles);
+
+  Cycle now() const { return now_; }
+  double frequency_mhz() const { return frequency_mhz_; }
+
+  // Converts a cycle count to nanoseconds at the configured frequency.
+  double CyclesToNs(Cycle cycles) const {
+    return static_cast<double>(cycles) * 1000.0 / frequency_mhz_;
+  }
+
+ private:
+  void Step();
+  void ApplyPendingRemovals();
+
+  double frequency_mhz_;
+  Cycle now_ = 0;
+  std::vector<Clocked*> blocks_;
+  std::vector<Clocked*> pending_removals_;
+  EventQueue events_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_SIM_SIMULATOR_H_

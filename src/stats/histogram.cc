@@ -1,0 +1,116 @@
+#include "src/stats/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace apiary {
+
+Histogram::Histogram() : buckets_(static_cast<size_t>(kMajorBuckets) * kSubBuckets, 0) {}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<size_t>(value);
+  }
+  const int msb = 63 - std::countl_zero(value);
+  const int major = msb - kSubBucketBits + 1;
+  const uint64_t sub = (value >> (msb - kSubBucketBits)) - kSubBuckets;
+  return static_cast<size_t>(major) * kSubBuckets + static_cast<size_t>(sub) + kSubBuckets;
+}
+
+uint64_t Histogram::BucketValue(size_t index) {
+  if (index < kSubBuckets) {
+    return index;
+  }
+  index -= kSubBuckets;
+  const size_t major = index / kSubBuckets;
+  const size_t sub = index % kSubBuckets;
+  // A bucket with msb m = major + kSubBucketBits - 1 covers values in
+  // [(kSubBuckets + sub) << (major - 1), ((kSubBuckets + sub + 1) << (major - 1)) - 1].
+  const int shift = static_cast<int>(major) - 1;
+  return ((static_cast<uint64_t>(kSubBuckets) + sub + 1) << shift) - 1;
+}
+
+void Histogram::Record(uint64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(uint64_t value, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  const size_t idx = BucketIndex(value);
+  if (idx < buckets_.size()) {
+    buckets_[idx] += count;
+  } else {
+    buckets_.back() += count;
+  }
+  count_ += count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  const double v = static_cast<double>(value);
+  sum_ += v * static_cast<double>(count);
+  sum_sq_ += v * v * static_cast<double>(count);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size() && i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+  sum_ = 0;
+  sum_sq_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::StdDev() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  const double var = sum_sq_ / static_cast<double>(count_) - mean * mean;
+  return var <= 0 ? 0.0 : std::sqrt(var);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(BucketValue(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f p50=%llu p99=%llu p99.9=%llu max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(P50()),
+                static_cast<unsigned long long>(P99()),
+                static_cast<unsigned long long>(P999()),
+                static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+}  // namespace apiary

@@ -1,0 +1,52 @@
+// Named-counter registry: each simulated component exposes its event counts
+// through a CounterSet so experiments can dump machine-readable metrics.
+#ifndef SRC_STATS_SUMMARY_H_
+#define SRC_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace apiary {
+
+class CounterSet {
+ public:
+  void Add(const std::string& name, uint64_t delta = 1) { counters_[name] += delta; }
+  void Set(const std::string& name, uint64_t value) { counters_[name] = value; }
+  uint64_t Get(const std::string& name) const;
+  void Reset() { counters_.clear(); }
+
+  // Merge `other` into this set (summing matching names).
+  void Merge(const CounterSet& other);
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+
+  // "name=value name=value ..." in sorted order.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+// Basic running statistics over doubles (for rates, utilizations).
+class RunningStat {
+ public:
+  void Record(double x);
+  uint64_t count() const { return n_; }
+  double Mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  double Min() const { return n_ == 0 ? 0.0 : min_; }
+  double Max() const { return n_ == 0 ? 0.0 : max_; }
+  double StdDev() const;
+
+ private:
+  uint64_t n_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_STATS_SUMMARY_H_

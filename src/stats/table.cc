@@ -1,0 +1,83 @@
+#include "src/stats/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace apiary {
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Int(uint64_t v) {
+  // Groups digits with commas for readability (123,456,789).
+  std::string digits = std::to_string(v);
+  std::string out;
+  int counter = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (counter != 0 && counter % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(*it);
+    ++counter;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void Table::Print(std::FILE* out) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c >= widths.size()) {
+        widths.resize(c + 1, 0);
+      }
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 3;
+  }
+  std::fprintf(out, "\n=== %s ===\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%-*s", static_cast<int>(widths[c] + 3), row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    std::fprintf(out, "%s\n", std::string(total, '-').c_str());
+  }
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        out << ',';
+      }
+      out << row[c];
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out.str();
+}
+
+}  // namespace apiary

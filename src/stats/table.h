@@ -1,0 +1,41 @@
+// Plain-text table renderer used by every bench binary to print paper-style
+// rows (and optional CSV for post-processing).
+#ifndef SRC_STATS_TABLE_H_
+#define SRC_STATS_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace apiary {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  // Sets the column headers. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(uint64_t v);
+
+  // Renders with aligned columns to `out` (default stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  // Renders as CSV (header + rows).
+  std::string ToCsv() const;
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_STATS_TABLE_H_

@@ -1,0 +1,137 @@
+#include "src/workload/client.h"
+
+#include "src/core/message.h"
+
+namespace apiary {
+
+ClientHost::ClientHost(ClientConfig config, ExternalNetwork* network, RequestFactory factory)
+    : config_(config),
+      network_(network),
+      factory_(std::move(factory)),
+      transport_(config.transport),
+      rng_(config.seed) {
+  my_endpoint_ = network_->RegisterEndpoint(this);
+}
+
+void ClientHost::Transmit(uint64_t id, uint16_t opcode, const std::vector<uint8_t>& payload,
+                          Cycle now) {
+  std::vector<uint8_t> app;
+  PutU32(app, config_.dst_service);
+  PutU64(app, id);
+  app.push_back(static_cast<uint8_t>(opcode));
+  app.push_back(static_cast<uint8_t>(opcode >> 8));
+  app.insert(app.end(), payload.begin(), payload.end());
+  if (config_.reliable) {
+    transport_.SendData(config_.server_endpoint, std::move(app), now);
+    return;
+  }
+  EthFrame frame;
+  frame.src_endpoint = my_endpoint_;
+  frame.dst_endpoint = config_.server_endpoint;
+  frame.payload = std::move(app);
+  network_->Send(std::move(frame), now);
+}
+
+void ClientHost::SendOne(Cycle now) {
+  const uint64_t id = next_id_++;
+  ClientRequest req = factory_(issued_, rng_);
+  ++issued_;
+  ++sent_;
+  Transmit(id, req.opcode, req.payload, now);
+  outstanding_[id] = Outstanding{now, now, req.opcode, std::move(req.payload)};
+}
+
+void ClientHost::OnFrame(EthFrame frame, Cycle now) {
+  if (config_.reliable && ReliableTransport::IsTransportFrame(frame.payload)) {
+    for (const auto& payload : transport_.OnFrame(frame.src_endpoint, frame.payload, now)) {
+      HandleResponsePayload(payload, now);
+    }
+    return;
+  }
+  HandleResponsePayload(frame.payload, now);
+}
+
+void ClientHost::HandleResponsePayload(const std::vector<uint8_t>& payload, Cycle now) {
+  // Response: u64 client_id | u8 status | payload. The hosted baseline
+  // echoes our request frame verbatim (including the leading service word),
+  // so probe both layouts by looking for a known id.
+  uint64_t id = 0;
+  size_t body = 0;
+  uint8_t status = 0;
+  if (payload.size() >= 9) {
+    id = GetU64(payload, 0);
+    status = payload[8];
+    body = 9;
+  }
+  if (outstanding_.find(id) == outstanding_.end() && payload.size() >= 12) {
+    // Hosted echo layout: u32 dst_service | u64 client_id | u16 op | ...
+    id = GetU64(payload, 4);
+    status = 0;
+    body = payload.size() >= 14 ? 14 : payload.size();
+  }
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) {
+    ++stray_responses_;
+    return;
+  }
+  latency_.Record(now - it->second.first_issued);
+  outstanding_.erase(it);
+  ++received_;
+  ++status_counts_[status];
+  if (status != 0) {
+    ++errors_;
+  } else {
+    last_response_.assign(payload.begin() + static_cast<ptrdiff_t>(body), payload.end());
+  }
+  if (!config_.open_loop && !DoneIssuing()) {
+    SendOne(now);
+  }
+}
+
+void ClientHost::Tick(Cycle now) {
+  // Reliable mode: the ARQ layer owns retransmission; flush its frames.
+  if (config_.reliable) {
+    for (auto& out : transport_.Poll(now)) {
+      EthFrame frame;
+      frame.src_endpoint = my_endpoint_;
+      frame.dst_endpoint = out.peer;
+      frame.payload = std::move(out.bytes);
+      network_->Send(std::move(frame), now);
+    }
+  }
+  // At-least-once delivery: retransmit anything outstanding for too long
+  // (covers frames dropped during link bring-up). In reliable mode the
+  // transport owns loss recovery, so the application-level timer is off.
+  for (auto it = outstanding_.begin(); !config_.reliable && it != outstanding_.end();) {
+    if (now - it->second.issued > config_.retry_timeout_cycles) {
+      const uint64_t new_id = next_id_++;
+      Outstanding retry = std::move(it->second);
+      it = outstanding_.erase(it);
+      ++timeouts_;
+      retry.issued = now;
+      Transmit(new_id, retry.opcode, retry.payload, now);
+      outstanding_[new_id] = std::move(retry);
+    } else {
+      ++it;
+    }
+  }
+  if (DoneIssuing()) {
+    return;
+  }
+  if (config_.open_loop) {
+    if (next_send_at_ == 0) {
+      next_send_at_ = now + 1;
+    }
+    while (now >= next_send_at_ && !DoneIssuing()) {
+      SendOne(now);
+      const double mean_gap = 1000.0 / config_.requests_per_1k_cycles;
+      next_send_at_ += static_cast<Cycle>(rng_.NextExponential(mean_gap)) + 1;
+    }
+  } else {
+    while (outstanding_.size() < config_.concurrency && !DoneIssuing()) {
+      SendOne(now);
+    }
+  }
+}
+
+}  // namespace apiary

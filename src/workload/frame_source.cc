@@ -1,0 +1,47 @@
+#include "src/workload/frame_source.h"
+
+#include <cmath>
+
+#include "src/core/message.h"
+#include "src/sim/random.h"
+
+namespace apiary {
+
+std::vector<uint8_t> GenerateFrame(uint32_t width, uint32_t height, uint64_t seed,
+                                   uint64_t frame_index) {
+  std::vector<uint8_t> pixels(static_cast<size_t>(width) * height);
+  Rng rng(seed * 1315423911u + frame_index);
+  // Scene parameters: a diagonal gradient, a moving bright square, and a
+  // band of texture noise.
+  const uint32_t sq = width / 4 == 0 ? 1 : width / 4;
+  const uint32_t sx = static_cast<uint32_t>((frame_index * 3) % (width > sq ? width - sq : 1));
+  const uint32_t sy = static_cast<uint32_t>((frame_index * 2) % (height > sq ? height - sq : 1));
+  for (uint32_t y = 0; y < height; ++y) {
+    for (uint32_t x = 0; x < width; ++x) {
+      int v = static_cast<int>((x * 96) / width + (y * 96) / height) + 32;
+      if (x >= sx && x < sx + sq && y >= sy && y < sy + sq) {
+        v += 80;  // The moving object.
+      }
+      if (y > (height * 3) / 4) {
+        v += static_cast<int>(rng.NextBelow(32));  // Textured floor.
+      }
+      if (v > 255) {
+        v = 255;
+      }
+      pixels[static_cast<size_t>(y) * width + x] = static_cast<uint8_t>(v);
+    }
+  }
+  return pixels;
+}
+
+std::vector<uint8_t> FrameToRequestPayload(uint32_t width, uint32_t height,
+                                           const std::vector<uint8_t>& pixels) {
+  std::vector<uint8_t> payload;
+  payload.reserve(8 + pixels.size());
+  PutU32(payload, width);
+  PutU32(payload, height);
+  payload.insert(payload.end(), pixels.begin(), pixels.end());
+  return payload;
+}
+
+}  // namespace apiary

@@ -1,0 +1,26 @@
+// Synthetic video frame generation — the substitute for real video traces
+// (see DESIGN.md's substitution table). Frames mix smooth gradients (highly
+// compressible, like flat regions), moving edges and pseudo-random texture,
+// so the DCT encoder and LZ compressor see realistic coefficient and match
+// statistics.
+#ifndef SRC_WORKLOAD_FRAME_SOURCE_H_
+#define SRC_WORKLOAD_FRAME_SOURCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace apiary {
+
+// Returns width*height grayscale pixels for frame `frame_index` of a scene
+// seeded by `seed`. Consecutive indices produce temporally coherent motion.
+std::vector<uint8_t> GenerateFrame(uint32_t width, uint32_t height, uint64_t seed,
+                                   uint64_t frame_index);
+
+// Serializes a frame into the video encoder's request payload
+// (u32 width, u32 height, pixels).
+std::vector<uint8_t> FrameToRequestPayload(uint32_t width, uint32_t height,
+                                           const std::vector<uint8_t>& pixels);
+
+}  // namespace apiary
+
+#endif  // SRC_WORKLOAD_FRAME_SOURCE_H_

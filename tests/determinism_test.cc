@@ -1,0 +1,135 @@
+// Determinism regression: two runs of an identical, nontrivial scenario must
+// produce bit-identical results — the reproducibility guarantee every other
+// experiment relies on — plus tests for hot-standby service rebinding.
+#include <gtest/gtest.h>
+
+#include "src/accel/echo.h"
+#include "src/accel/kv_store.h"
+#include "src/core/service_ids.h"
+#include "src/services/gateway.h"
+#include "src/services/memory_service.h"
+#include "src/services/network_service.h"
+#include "src/workload/client.h"
+#include "src/workload/kv_workload.h"
+#include "tests/test_util.h"
+
+namespace apiary {
+namespace {
+
+struct ScenarioResult {
+  uint64_t received;
+  uint64_t errors;
+  uint64_t flits;
+  std::string monitor_counters;
+  uint64_t p50;
+  uint64_t p999;
+  std::vector<uint8_t> last_response;
+};
+
+ScenarioResult RunScenario(uint64_t seed) {
+  TestBoard tb;
+  tb.net.SetLossRate(0.02, 7);  // Loss + retries stress the determinism.
+  tb.os.DeployService(kMemoryService,
+                      std::make_unique<MemoryService>(&tb.os, &tb.board.memory()));
+  tb.os.DeployService(
+      kNetworkService,
+      std::make_unique<NetworkService>(&tb.os,
+                                       std::make_unique<Mac100GAdapter>(tb.board.mac100g()),
+                                       /*reliable=*/true));
+  AppId app = tb.os.CreateApp("kv");
+  auto* kv = new KvStoreAccelerator(1 << 18, 4096);
+  ServiceId kv_svc = 0;
+  const TileId kt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(kv), &kv_svc);
+  tb.os.GrantSendToService(kt, kMemoryService);
+  auto* gw = new NetGateway();
+  ServiceId gw_svc = 0;
+  const TileId gt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(gw), &gw_svc);
+  tb.os.GrantSendToService(gt, kNetworkService);
+  gw->SetBackend(tb.os.GrantSendToService(gt, kv_svc));
+
+  KvWorkloadConfig wl;
+  wl.keyspace = 50;
+  wl.read_fraction = 0.7;
+  ClientConfig ccfg;
+  ccfg.server_endpoint = tb.board.mac100g()->address();
+  ccfg.dst_service = gw_svc;
+  ccfg.open_loop = false;
+  ccfg.concurrency = 3;
+  ccfg.max_requests = 60;
+  ccfg.reliable = true;
+  ccfg.seed = seed;
+  ClientHost client(ccfg, &tb.net, MakeKvRequestFactory(wl));
+  tb.sim.Register(&client);
+  tb.sim.RunUntil([&] { return client.received() >= 60; }, 20'000'000);
+
+  ScenarioResult r;
+  r.received = client.received();
+  r.errors = client.errors();
+  r.flits = tb.board.mesh().TotalFlitsRouted();
+  r.monitor_counters = tb.os.AggregateMonitorCounters().ToString();
+  r.p50 = client.latency().P50();
+  r.p999 = client.latency().P999();
+  r.last_response = client.last_response();
+  return r;
+}
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalResults) {
+  const ScenarioResult a = RunScenario(11);
+  const ScenarioResult b = RunScenario(11);
+  EXPECT_EQ(a.received, b.received);
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_EQ(a.flits, b.flits);
+  EXPECT_EQ(a.monitor_counters, b.monitor_counters);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p999, b.p999);
+  EXPECT_EQ(a.last_response, b.last_response);
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  const ScenarioResult a = RunScenario(11);
+  const ScenarioResult b = RunScenario(12);
+  // Different client op mixes must leave different traffic footprints.
+  EXPECT_NE(a.flits, b.flits);
+}
+
+TEST(RebindServiceTest, ClientFollowsLogicalNameToStandby) {
+  TestBoard tb;
+  AppId app = tb.os.CreateApp("svc");
+  ServiceId svc = 0;
+  auto* primary = new EchoAccelerator(5);
+  const TileId pt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(primary), &svc);
+  ServiceId spare_svc = 0;
+  auto* standby = new EchoAccelerator(5);
+  const TileId st = tb.os.Deploy(app, std::unique_ptr<Accelerator>(standby), &spare_svc);
+
+  auto* probe = new ProbeAccelerator();
+  const TileId ct = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef cap = tb.os.GrantSendToService(ct, svc);
+  Message msg;
+  msg.opcode = kOpEcho;
+  probe->EnqueueSend(msg, cap);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !probe->received.empty(); }, 10000));
+  EXPECT_EQ(primary->served(), 1u);
+  probe->received.clear();
+
+  // Fail the primary; rebind the logical name; regrant.
+  tb.os.FailStop(pt, "gone");
+  const CapRef old = tb.os.monitor(ct).cap_table().FindEndpointForService(svc);
+  tb.os.Revoke(ct, old);
+  tb.os.RebindService(svc, st);
+  const CapRef fresh = tb.os.GrantSendToService(ct, svc);
+  ASSERT_NE(fresh, kInvalidCapRef);
+
+  Message msg2;
+  msg2.opcode = kOpEcho;
+  msg2.payload = {7};
+  probe->EnqueueSend(msg2, fresh);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !probe->received.empty(); }, 10000));
+  EXPECT_EQ(probe->received[0].status, MsgStatus::kOk);
+  EXPECT_EQ(standby->served(), 1u);
+  // The response carries the *logical* identity the client asked for.
+  EXPECT_EQ(probe->received[0].src_service, svc);
+}
+
+}  // namespace
+}  // namespace apiary

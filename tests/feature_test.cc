@@ -1,0 +1,318 @@
+// Tests for the second wave of extensions: XTEA crypto accelerator,
+// capability delegation (kOpMemShare), and multi-channel interleaved memory.
+#include <gtest/gtest.h>
+
+#include "src/accel/crypto.h"
+#include "src/core/service_ids.h"
+#include "src/mem/interleaved_memory.h"
+#include "src/services/memory_service.h"
+#include "src/sim/random.h"
+#include "tests/test_util.h"
+
+namespace apiary {
+namespace {
+
+// ---------------------------------------------------------------------
+// XTEA primitives.
+// ---------------------------------------------------------------------
+
+TEST(XteaTest, KnownVector) {
+  // Canonical XTEA test vector: key 00010203 04050607 08090a0b 0c0d0e0f,
+  // plaintext 41424344 45464748 -> ciphertext 497df3d0 72612cb5.
+  const std::array<uint32_t, 4> key = {0x00010203, 0x04050607, 0x08090a0b, 0x0c0d0e0f};
+  uint32_t v[2] = {0x41424344, 0x45464748};
+  XteaEncryptBlock(key, v);
+  EXPECT_EQ(v[0], 0x497df3d0u);
+  EXPECT_EQ(v[1], 0x72612cb5u);
+}
+
+TEST(XteaTest, CtrIsItsOwnInverse) {
+  const std::array<uint32_t, 4> key = {1, 2, 3, 4};
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint8_t> plain(rng.NextBelow(500) + 1);
+    for (auto& b : plain) {
+      b = static_cast<uint8_t>(rng.NextBelow(256));
+    }
+    const auto cipher = XteaCtr(key, 0xdeadbeef, plain);
+    EXPECT_NE(cipher, plain);
+    EXPECT_EQ(XteaCtr(key, 0xdeadbeef, cipher), plain);
+  }
+}
+
+TEST(XteaTest, DifferentNoncesDifferentStreams) {
+  const std::array<uint32_t, 4> key = {1, 2, 3, 4};
+  const std::vector<uint8_t> plain(64, 0);
+  EXPECT_NE(XteaCtr(key, 1, plain), XteaCtr(key, 2, plain));
+}
+
+TEST(XteaTest, DifferentKeysDifferentStreams) {
+  const std::vector<uint8_t> plain(64, 0);
+  EXPECT_NE(XteaCtr({1, 2, 3, 4}, 7, plain), XteaCtr({1, 2, 3, 5}, 7, plain));
+}
+
+TEST(CryptoAcceleratorTest, EncryptDecryptOverMessages) {
+  TestBoard tb;
+  const std::array<uint32_t, 4> key = {9, 9, 9, 9};
+  AppId app = tb.os.CreateApp("sec");
+  ServiceId svc = 0;
+  tb.os.Deploy(app, std::make_unique<CryptoAccelerator>(key), &svc);
+  auto* probe = new ProbeAccelerator();
+  const TileId pt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef cap = tb.os.GrantSendToService(pt, svc);
+
+  const std::vector<uint8_t> secret = {'t', 'o', 'p', ' ', 's', 'e', 'c', 'r', 'e', 't'};
+  Message enc;
+  enc.opcode = kOpEncrypt;
+  PutU64(enc.payload, 42);  // nonce
+  enc.payload.insert(enc.payload.end(), secret.begin(), secret.end());
+  probe->EnqueueSend(enc, cap);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !probe->received.empty(); }, 50000));
+  const auto cipher = probe->received[0].payload;
+  EXPECT_NE(cipher, secret);
+  EXPECT_EQ(cipher, XteaCtr(key, 42, secret));
+  probe->received.clear();
+
+  // Same nonce through the accelerator decrypts.
+  Message dec;
+  dec.opcode = kOpEncrypt;
+  PutU64(dec.payload, 42);
+  dec.payload.insert(dec.payload.end(), cipher.begin(), cipher.end());
+  probe->EnqueueSend(dec, cap);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !probe->received.empty(); }, 50000));
+  EXPECT_EQ(probe->received[0].payload, secret);
+}
+
+// ---------------------------------------------------------------------
+// Capability delegation through the memory service.
+// ---------------------------------------------------------------------
+
+struct ShareFixture {
+  explicit ShareFixture(TestBoard& tb) {
+    tb.os.DeployService(kMemoryService,
+                        std::make_unique<MemoryService>(&tb.os, &tb.board.memory()));
+    app = tb.os.CreateApp("sharing");
+    owner = new ProbeAccelerator();
+    owner_tile = tb.os.Deploy(app, std::unique_ptr<Accelerator>(owner), &owner_svc);
+    peer = new ProbeAccelerator();
+    peer_tile = tb.os.Deploy(app, std::unique_ptr<Accelerator>(peer), &peer_svc);
+    owner_to_mem = tb.os.GrantSendToService(owner_tile, kMemoryService);
+    peer_to_mem = tb.os.GrantSendToService(peer_tile, kMemoryService);
+    // The owner holds a grant-right capability over 8KiB.
+    owner_cap = *tb.os.GrantMemory(owner_tile, 8192,
+                                   kRightRead | kRightWrite | kRightGrant);
+  }
+
+  AppId app = kInvalidApp;
+  ProbeAccelerator* owner = nullptr;
+  ProbeAccelerator* peer = nullptr;
+  ServiceId owner_svc = 0;
+  ServiceId peer_svc = 0;
+  TileId owner_tile = kInvalidTile;
+  TileId peer_tile = kInvalidTile;
+  CapRef owner_to_mem = kInvalidCapRef;
+  CapRef peer_to_mem = kInvalidCapRef;
+  CapRef owner_cap = kInvalidCapRef;
+};
+
+TEST(DelegationTest, SharedSubRangeReadableByPeer) {
+  TestBoard tb;
+  ShareFixture fx(tb);
+  // Owner writes a pattern at offset 1000.
+  Message write;
+  write.opcode = kOpMemWrite;
+  PutU64(write.payload, 1000);
+  const std::vector<uint8_t> pattern = {5, 6, 7, 8};
+  write.payload.insert(write.payload.end(), pattern.begin(), pattern.end());
+  fx.owner->EnqueueSend(write, fx.owner_to_mem, fx.owner_cap);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !fx.owner->received.empty(); }, 50000));
+  fx.owner->received.clear();
+
+  // Owner delegates a read-only view of [1000, 1000+64) to the peer.
+  Message share;
+  share.opcode = kOpMemShare;
+  PutU64(share.payload, 1000);
+  PutU64(share.payload, 64);
+  PutU32(share.payload, fx.peer_svc);
+  PutU32(share.payload, kRightRead);
+  fx.owner->EnqueueSend(share, fx.owner_to_mem, fx.owner_cap);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !fx.owner->received.empty(); }, 50000));
+  ASSERT_EQ(fx.owner->received[0].status, MsgStatus::kOk);
+  const CapRef peer_cap = GetU32(fx.owner->received[0].payload, 0);
+
+  // Peer reads through the delegated capability: offset is relative to the
+  // shared sub-range.
+  Message read;
+  read.opcode = kOpMemRead;
+  PutU64(read.payload, 0);
+  PutU32(read.payload, 4);
+  fx.peer->EnqueueSend(read, fx.peer_to_mem, peer_cap);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !fx.peer->received.empty(); }, 50000));
+  EXPECT_EQ(fx.peer->received[0].status, MsgStatus::kOk);
+  EXPECT_EQ(fx.peer->received[0].payload, pattern);
+}
+
+TEST(DelegationTest, AttenuationEnforced) {
+  TestBoard tb;
+  ShareFixture fx(tb);
+  // Delegate read-only, then the peer tries to write: kNoCapability.
+  Message share;
+  share.opcode = kOpMemShare;
+  PutU64(share.payload, 0);
+  PutU64(share.payload, 4096);
+  PutU32(share.payload, fx.peer_svc);
+  PutU32(share.payload, kRightRead | kRightWrite | kRightGrant);  // Asks too much...
+  fx.owner->EnqueueSend(share, fx.owner_to_mem, fx.owner_cap);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !fx.owner->received.empty(); }, 50000));
+  const CapRef peer_cap = GetU32(fx.owner->received[0].payload, 0);
+  // ...but grant-right is never re-delegated through kOpMemShare: a further
+  // share by the peer must fail.
+  Message reshare;
+  reshare.opcode = kOpMemShare;
+  PutU64(reshare.payload, 0);
+  PutU64(reshare.payload, 64);
+  PutU32(reshare.payload, fx.owner_svc);
+  PutU32(reshare.payload, kRightRead);
+  fx.peer->EnqueueSend(reshare, fx.peer_to_mem, peer_cap);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !fx.peer->received.empty(); }, 50000));
+  EXPECT_EQ(fx.peer->received[0].status, MsgStatus::kNoCapability);
+}
+
+TEST(DelegationTest, OutOfRangeShareRefused) {
+  TestBoard tb;
+  ShareFixture fx(tb);
+  Message share;
+  share.opcode = kOpMemShare;
+  PutU64(share.payload, 8000);
+  PutU64(share.payload, 1000);  // 8000+1000 > 8192.
+  PutU32(share.payload, fx.peer_svc);
+  PutU32(share.payload, kRightRead);
+  fx.owner->EnqueueSend(share, fx.owner_to_mem, fx.owner_cap);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !fx.owner->received.empty(); }, 50000));
+  EXPECT_EQ(fx.owner->received[0].status, MsgStatus::kSegFault);
+}
+
+TEST(DelegationTest, ShareWithoutGrantRightRefused) {
+  TestBoard tb;
+  ShareFixture fx(tb);
+  // A capability without kRightGrant cannot delegate.
+  const CapRef plain = *tb.os.GrantMemory(fx.owner_tile, 4096, kRightRead | kRightWrite);
+  Message share;
+  share.opcode = kOpMemShare;
+  PutU64(share.payload, 0);
+  PutU64(share.payload, 64);
+  PutU32(share.payload, fx.peer_svc);
+  PutU32(share.payload, kRightRead);
+  fx.owner->EnqueueSend(share, fx.owner_to_mem, plain);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !fx.owner->received.empty(); }, 50000));
+  EXPECT_EQ(fx.owner->received[0].status, MsgStatus::kNoCapability);
+}
+
+// ---------------------------------------------------------------------
+// Interleaved (multi-channel) memory.
+// ---------------------------------------------------------------------
+
+TEST(InterleavedMemoryTest, ReadBackAcrossStripes) {
+  Simulator sim;
+  DramConfig per_channel;
+  per_channel.capacity_bytes = 1 << 20;
+  InterleavedMemory mem(per_channel, 4, /*stripe=*/256);
+  sim.Register(&mem);
+  EXPECT_EQ(mem.capacity(), 4u << 20);
+
+  // A write spanning several stripes (and thus several channels).
+  std::vector<uint8_t> data(2000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 13);
+  }
+  bool wrote = false;
+  ASSERT_TRUE(mem.SubmitWrite(100, data, [&](Cycle) { wrote = true; }));
+  ASSERT_TRUE(sim.RunUntil([&] { return wrote; }, 10000));
+  std::vector<uint8_t> out(2000);
+  bool read = false;
+  ASSERT_TRUE(mem.SubmitRead(100, out, [&](Cycle) { read = true; }));
+  ASSERT_TRUE(sim.RunUntil([&] { return read; }, 10000));
+  EXPECT_EQ(out, data);
+}
+
+TEST(InterleavedMemoryTest, DebugPathMatchesTimedPath) {
+  Simulator sim;
+  DramConfig per_channel;
+  per_channel.capacity_bytes = 1 << 20;
+  InterleavedMemory mem(per_channel, 3, 512);
+  sim.Register(&mem);
+  std::vector<uint8_t> data(5000, 0);
+  Rng rng(3);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.NextBelow(256));
+  }
+  mem.DebugWrite(777, data);
+  EXPECT_EQ(mem.DebugRead(777, data.size()), data);
+  std::vector<uint8_t> out(5000);
+  bool read = false;
+  ASSERT_TRUE(mem.SubmitRead(777, out, [&](Cycle) { read = true; }));
+  ASSERT_TRUE(sim.RunUntil([&] { return read; }, 10000));
+  EXPECT_EQ(out, data);
+}
+
+TEST(InterleavedMemoryTest, OutOfBoundsRejected) {
+  DramConfig per_channel;
+  per_channel.capacity_bytes = 1 << 20;
+  InterleavedMemory mem(per_channel, 2, 4096);
+  std::vector<uint8_t> buf(64);
+  EXPECT_FALSE(mem.SubmitRead((2u << 20) - 32, buf, nullptr));
+  EXPECT_TRUE(mem.DebugRead(3u << 20, 4).empty());
+}
+
+TEST(InterleavedMemoryTest, MoreChannelsMoreBandwidth) {
+  // Stream many independent 4KiB reads; wall-clock cycles to drain should
+  // drop substantially with channel count.
+  auto run = [](uint32_t channels) {
+    Simulator sim;
+    DramConfig per_channel;
+    per_channel.capacity_bytes = 8 << 20;
+    InterleavedMemory mem(per_channel, channels, 4096);
+    sim.Register(&mem);
+    int done = 0;
+    std::vector<std::vector<uint8_t>> bufs(64, std::vector<uint8_t>(4096));
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_TRUE(mem.SubmitRead(static_cast<uint64_t>(i) * 4096,
+                                 std::span<uint8_t>(bufs[i]), [&](Cycle) { ++done; }));
+    }
+    sim.RunUntil([&] { return done == 64; }, 1'000'000);
+    return sim.now();
+  };
+  const Cycle one = run(1);
+  const Cycle four = run(4);
+  EXPECT_LT(four * 2, one);  // At least 2x faster with 4 channels.
+}
+
+TEST(InterleavedBoardTest, BoardWithHbmServesKv) {
+  Simulator sim(250.0);
+  BoardConfig cfg;
+  cfg.part_number = "VU29P";
+  cfg.mesh = MeshConfig{2, 2, 8, 512};
+  cfg.dram.capacity_bytes = 8 << 20;
+  cfg.memory_channels = 8;
+  cfg.mac_kind = MacKind::kNone;
+  Board board(cfg, sim, nullptr);
+  ASSERT_TRUE(board.ok()) << board.build_error();
+  EXPECT_EQ(board.memory().capacity(), 64u << 20);
+  ApiaryOs os(board);
+  auto* probe = new ProbeAccelerator();
+  os.DeployService(kMemoryService, std::make_unique<MemoryService>(&os, &board.memory()));
+  AppId app = os.CreateApp("a");
+  const TileId pt = os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef cap = os.GrantSendToService(pt, kMemoryService);
+  const CapRef mem = *os.GrantMemory(pt, 1 << 20, kRightRead | kRightWrite);
+  Message write;
+  write.opcode = kOpMemWrite;
+  PutU64(write.payload, 12345);
+  write.payload.insert(write.payload.end(), {1, 2, 3});
+  probe->EnqueueSend(write, cap, mem);
+  ASSERT_TRUE(sim.RunUntil([&] { return !probe->received.empty(); }, 100000));
+  EXPECT_EQ(probe->received[0].status, MsgStatus::kOk);
+}
+
+}  // namespace
+}  // namespace apiary

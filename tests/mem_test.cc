@@ -1,0 +1,351 @@
+// Unit and property tests for the memory substrate: segment allocator,
+// page allocator, page table and DRAM model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/mem/dram.h"
+#include "src/mem/memory_controller.h"
+#include "src/mem/page_allocator.h"
+#include "src/mem/page_table.h"
+#include "src/mem/segment_allocator.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace apiary {
+namespace {
+
+TEST(SegmentTest, ContainsBounds) {
+  Segment s{100, 50};
+  EXPECT_TRUE(s.Contains(100, 50));
+  EXPECT_TRUE(s.Contains(120, 10));
+  EXPECT_FALSE(s.Contains(99, 1));
+  EXPECT_FALSE(s.Contains(100, 51));
+  EXPECT_FALSE(s.Contains(150, 1));
+  // Overflow-safe: enormous length must not wrap.
+  EXPECT_FALSE(s.Contains(149, ~0ull));
+}
+
+TEST(SegmentAllocatorTest, AllocatesAlignedSegments) {
+  SegmentAllocator alloc(0, 1 << 20);
+  auto seg = alloc.Allocate(1000, 256);
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_EQ(seg->base % 256, 0u);
+  EXPECT_EQ(seg->length, 1000u);
+  EXPECT_EQ(alloc.bytes_allocated(), 1000u);
+}
+
+TEST(SegmentAllocatorTest, RejectsZeroAndBadAlignment) {
+  SegmentAllocator alloc(0, 4096);
+  EXPECT_FALSE(alloc.Allocate(0).has_value());
+  EXPECT_FALSE(alloc.Allocate(64, 3).has_value());
+}
+
+TEST(SegmentAllocatorTest, FailsWhenFull) {
+  SegmentAllocator alloc(0, 4096);
+  EXPECT_TRUE(alloc.Allocate(4096, 1).has_value());
+  EXPECT_FALSE(alloc.Allocate(1, 1).has_value());
+  EXPECT_EQ(alloc.counters().Get("segalloc.failures"), 1u);
+}
+
+TEST(SegmentAllocatorTest, FreeAndCoalesce) {
+  SegmentAllocator alloc(0, 4096);
+  auto a = alloc.Allocate(1024, 1);
+  auto b = alloc.Allocate(1024, 1);
+  auto c = alloc.Allocate(1024, 1);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_TRUE(alloc.Free(*b));
+  EXPECT_TRUE(alloc.Free(*a));
+  EXPECT_TRUE(alloc.Free(*c));
+  // Everything freed and coalesced back into one chunk.
+  EXPECT_EQ(alloc.free_chunks(), 1u);
+  EXPECT_EQ(alloc.LargestFreeChunk(), 4096u);
+  EXPECT_DOUBLE_EQ(alloc.ExternalFragmentation(), 0.0);
+}
+
+TEST(SegmentAllocatorTest, DoubleFreeRejected) {
+  SegmentAllocator alloc(0, 4096);
+  auto a = alloc.Allocate(128, 1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(alloc.Free(*a));
+  EXPECT_FALSE(alloc.Free(*a));
+  EXPECT_EQ(alloc.counters().Get("segalloc.bad_free"), 1u);
+}
+
+TEST(SegmentAllocatorTest, ForeignFreeRejected) {
+  SegmentAllocator alloc(0, 4096);
+  EXPECT_FALSE(alloc.Free(Segment{10, 20}));
+}
+
+TEST(SegmentAllocatorTest, BestFitPrefersSmallestChunk) {
+  SegmentAllocator alloc(0, 10000, FitPolicy::kBestFit);
+  auto a = alloc.Allocate(2000, 1);
+  auto b = alloc.Allocate(500, 1);
+  auto c = alloc.Allocate(3000, 1);
+  ASSERT_TRUE(a && b && c);
+  alloc.Free(*a);  // Hole of 2000 at base 0.
+  alloc.Free(*c);  // Hole of 3000 + tail.
+  // A 1800-byte request should carve the 2000-byte hole, not the big one.
+  auto d = alloc.Allocate(1800, 1);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->base, a->base);
+}
+
+TEST(SegmentAllocatorTest, FirstFitTakesLowestAddress) {
+  SegmentAllocator alloc(0, 10000, FitPolicy::kFirstFit);
+  auto a = alloc.Allocate(2000, 1);
+  auto b = alloc.Allocate(500, 1);
+  ASSERT_TRUE(a && b);
+  alloc.Free(*a);
+  auto c = alloc.Allocate(100, 1);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->base, 0u);
+}
+
+TEST(SegmentAllocatorTest, FragmentationMetricReflectsHoles) {
+  SegmentAllocator alloc(0, 4096);
+  auto a = alloc.Allocate(1024, 1);
+  auto b = alloc.Allocate(1024, 1);
+  auto c = alloc.Allocate(1024, 1);
+  ASSERT_TRUE(a && b && c);
+  alloc.Free(*a);
+  alloc.Free(*c);
+  // Free = 1024 + 1024 + 1024 (tail); largest = 2048 (c + tail coalesced).
+  EXPECT_GT(alloc.ExternalFragmentation(), 0.0);
+}
+
+// Property: a random alloc/free storm preserves the accounting invariants
+// (allocated + free == capacity; no overlapping live segments).
+class SegmentAllocatorStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SegmentAllocatorStressTest, InvariantsHoldUnderRandomStorm) {
+  const uint64_t capacity = 1 << 20;
+  SegmentAllocator alloc(0, capacity);
+  Rng rng(GetParam());
+  std::vector<Segment> live;
+  for (int step = 0; step < 5000; ++step) {
+    if (live.empty() || rng.NextBool(0.6)) {
+      const uint64_t bytes = rng.NextInRange(1, 8192);
+      auto seg = alloc.Allocate(bytes, 64);
+      if (seg.has_value()) {
+        live.push_back(*seg);
+      }
+    } else {
+      const size_t idx = rng.NextBelow(live.size());
+      ASSERT_TRUE(alloc.Free(live[idx]));
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  // Invariant 1: byte accounting.
+  uint64_t live_bytes = 0;
+  for (const auto& s : live) {
+    live_bytes += s.length;
+  }
+  EXPECT_EQ(alloc.bytes_allocated(), live_bytes);
+  EXPECT_EQ(alloc.bytes_free(), capacity - live_bytes);
+  // Invariant 2: live segments are disjoint.
+  std::map<uint64_t, uint64_t> sorted;
+  for (const auto& s : live) {
+    sorted[s.base] = s.length;
+  }
+  uint64_t prev_end = 0;
+  for (const auto& [base, len] : sorted) {
+    EXPECT_GE(base, prev_end);
+    prev_end = base + len;
+    EXPECT_LE(prev_end, capacity);
+  }
+  // Invariant 3: freeing everything coalesces to a single chunk.
+  for (const auto& s : live) {
+    ASSERT_TRUE(alloc.Free(s));
+  }
+  EXPECT_EQ(alloc.free_chunks(), 1u);
+  EXPECT_EQ(alloc.LargestFreeChunk(), capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentAllocatorStressTest,
+                         ::testing::Values(1, 2, 3, 42, 1337, 99991));
+
+TEST(PageAllocatorTest, RoundsUpToPages) {
+  PageAllocator alloc(1 << 20, 4096);
+  auto frames = alloc.Allocate(5000);
+  ASSERT_TRUE(frames.has_value());
+  EXPECT_EQ(frames->size(), 2u);
+  EXPECT_EQ(alloc.bytes_requested(), 5000u);
+  EXPECT_EQ(alloc.bytes_granted(), 8192u);
+  EXPECT_EQ(alloc.InternalFragmentationBytes(), 3192u);
+}
+
+TEST(PageAllocatorTest, ExhaustionFails) {
+  PageAllocator alloc(8192, 4096);
+  EXPECT_TRUE(alloc.Allocate(8192).has_value());
+  EXPECT_FALSE(alloc.Allocate(1).has_value());
+}
+
+TEST(PageAllocatorTest, FreeReturnsPagesAndAccounting) {
+  PageAllocator alloc(1 << 20, 4096);
+  auto frames = alloc.Allocate(10000);
+  ASSERT_TRUE(frames.has_value());
+  alloc.Free(*frames);
+  EXPECT_EQ(alloc.free_pages(), alloc.total_pages());
+  EXPECT_EQ(alloc.bytes_requested(), 0u);
+  EXPECT_EQ(alloc.bytes_granted(), 0u);
+}
+
+TEST(PageAllocatorTest, ZeroByteRequestRejected) {
+  PageAllocator alloc(1 << 20, 4096);
+  EXPECT_FALSE(alloc.Allocate(0).has_value());
+}
+
+TEST(PageTableTest, TranslateMappedPage) {
+  PageTable pt(PageTableConfig{});
+  pt.Map(5, 9);
+  auto t = pt.Translate(5 * 4096 + 123);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->physical_addr, 9u * 4096 + 123);
+}
+
+TEST(PageTableTest, UnmappedFaults) {
+  PageTable pt(PageTableConfig{});
+  EXPECT_FALSE(pt.Translate(0).has_value());
+  EXPECT_EQ(pt.counters().Get("pt.faults"), 1u);
+}
+
+TEST(PageTableTest, TlbMissThenHit) {
+  PageTableConfig cfg;
+  PageTable pt(cfg);
+  pt.Map(1, 2);
+  auto miss = pt.Translate(4096);
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_FALSE(miss->tlb_hit);
+  EXPECT_EQ(miss->latency, cfg.tlb_hit_cycles + cfg.levels * cfg.cycles_per_level);
+  auto hit = pt.Translate(4096 + 8);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->tlb_hit);
+  EXPECT_EQ(hit->latency, cfg.tlb_hit_cycles);
+}
+
+TEST(PageTableTest, TlbEvictsLru) {
+  PageTableConfig cfg;
+  cfg.tlb_entries = 2;
+  PageTable pt(cfg);
+  pt.Map(1, 1);
+  pt.Map(2, 2);
+  pt.Map(3, 3);
+  pt.Translate(1 * 4096);  // TLB: {1}
+  pt.Translate(2 * 4096);  // TLB: {2,1}
+  pt.Translate(3 * 4096);  // Evicts 1. TLB: {3,2}
+  auto t1 = pt.Translate(1 * 4096);
+  EXPECT_FALSE(t1->tlb_hit);
+  auto t3 = pt.Translate(3 * 4096);
+  EXPECT_TRUE(t3->tlb_hit);
+}
+
+TEST(PageTableTest, UnmapInvalidatesTlb) {
+  PageTable pt(PageTableConfig{});
+  pt.Map(1, 1);
+  pt.Translate(4096);
+  pt.Unmap(1);
+  EXPECT_FALSE(pt.Translate(4096).has_value());
+}
+
+TEST(DramTest, RowHitFasterThanMiss) {
+  Simulator sim;
+  DramConfig cfg;
+  DramChannel dram(cfg);
+  sim.Register(&dram);
+  Cycle first_done = 0;
+  Cycle second_done = 0;
+  // Two accesses to the same row: first pays the miss, second hits.
+  ASSERT_TRUE(dram.Enqueue(0, 64, false, [&](Cycle c) { first_done = c; }));
+  ASSERT_TRUE(dram.Enqueue(64, 64, false, [&](Cycle c) { second_done = c; }));
+  sim.Run(200);
+  ASSERT_GT(first_done, 0u);
+  ASSERT_GT(second_done, first_done);
+  EXPECT_EQ(second_done - first_done, cfg.row_hit_cycles);
+  EXPECT_EQ(dram.counters().Get("dram.row_hits"), 1u);
+  EXPECT_EQ(dram.counters().Get("dram.row_misses"), 1u);
+}
+
+TEST(DramTest, BanksServiceInParallel) {
+  Simulator sim;
+  DramConfig cfg;
+  DramChannel dram(cfg);
+  sim.Register(&dram);
+  int completed = 0;
+  // One request per bank: they should all complete around the same time.
+  for (uint32_t b = 0; b < cfg.num_banks; ++b) {
+    ASSERT_TRUE(dram.Enqueue(static_cast<uint64_t>(b) * cfg.row_bytes, 64, false,
+                             [&](Cycle) { ++completed; }));
+  }
+  sim.Run(cfg.row_miss_cycles + 5);
+  EXPECT_EQ(completed, static_cast<int>(cfg.num_banks));
+}
+
+TEST(DramTest, QueueBackpressure) {
+  DramConfig cfg;
+  cfg.per_bank_queue_depth = 2;
+  DramChannel dram(cfg);
+  EXPECT_TRUE(dram.Enqueue(0, 64, false, nullptr));
+  EXPECT_TRUE(dram.Enqueue(0, 64, false, nullptr));
+  EXPECT_FALSE(dram.Enqueue(0, 64, false, nullptr));
+  EXPECT_EQ(dram.counters().Get("dram.backpressure"), 1u);
+}
+
+TEST(DramTest, LargeTransferTakesBurstCycles) {
+  Simulator sim;
+  DramConfig cfg;
+  DramChannel dram(cfg);
+  sim.Register(&dram);
+  Cycle small_done = 0;
+  Cycle big_done = 0;
+  ASSERT_TRUE(dram.Enqueue(0, 64, false, [&](Cycle c) { small_done = c; }));
+  // Different bank so they run independently.
+  ASSERT_TRUE(dram.Enqueue(cfg.row_bytes, 1024, false, [&](Cycle c) { big_done = c; }));
+  sim.Run(300);
+  ASSERT_GT(small_done, 0u);
+  ASSERT_GT(big_done, 0u);
+  EXPECT_GT(big_done, small_done);
+}
+
+TEST(MemoryControllerTest, ReadBackWrittenData) {
+  Simulator sim;
+  DramConfig cfg;
+  cfg.capacity_bytes = 1 << 20;
+  MemoryController mc(cfg);
+  sim.Register(&mc);
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  bool wrote = false;
+  ASSERT_TRUE(mc.SubmitWrite(100, data, [&](Cycle) { wrote = true; }));
+  sim.Run(100);
+  EXPECT_TRUE(wrote);
+  std::vector<uint8_t> out(5);
+  bool read = false;
+  ASSERT_TRUE(mc.SubmitRead(100, out, [&](Cycle) { read = true; }));
+  sim.Run(100);
+  EXPECT_TRUE(read);
+  EXPECT_EQ(out, data);
+}
+
+TEST(MemoryControllerTest, OutOfBoundsRejected) {
+  DramConfig cfg;
+  cfg.capacity_bytes = 4096;
+  MemoryController mc(cfg);
+  std::vector<uint8_t> buf(64);
+  EXPECT_FALSE(mc.SubmitRead(4096 - 32, buf, nullptr));
+  EXPECT_FALSE(mc.SubmitWrite(1ull << 40, buf, nullptr));
+}
+
+TEST(MemoryControllerTest, DebugAccessBypassesTiming) {
+  DramConfig cfg;
+  cfg.capacity_bytes = 4096;
+  MemoryController mc(cfg);
+  std::vector<uint8_t> data = {9, 8, 7};
+  mc.DebugWrite(10, data);
+  EXPECT_EQ(mc.DebugRead(10, 3), data);
+  EXPECT_TRUE(mc.DebugRead(5000, 1).empty());
+}
+
+}  // namespace
+}  // namespace apiary

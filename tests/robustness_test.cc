@@ -1,0 +1,252 @@
+// Robustness batch: adaptive load balancing, pipelined accelerator engines,
+// concurrent DMA, monitor error-path loops, and miscellaneous hard edges.
+#include <gtest/gtest.h>
+
+#include "src/accel/compressor.h"
+#include "src/accel/echo.h"
+#include "src/accel/faulty.h"
+#include "src/accel/video_encoder.h"
+#include "src/accel/kv_store.h"
+#include "src/core/service_ids.h"
+#include "src/services/dma_service.h"
+#include "src/services/load_balancer.h"
+#include "src/services/memory_service.h"
+#include "src/workload/frame_source.h"
+#include "src/workload/kv_workload.h"
+#include "tests/test_util.h"
+
+namespace apiary {
+namespace {
+
+TEST(LoadBalancerAdaptiveTest, LeastOutstandingAvoidsSlowReplica) {
+  TestBoard tb;
+  AppId app = tb.os.CreateApp("svc");
+  auto* lb = new LoadBalancer();
+  ServiceId lb_svc = 0;
+  const TileId lt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(lb), &lb_svc);
+  auto* fast = new EchoAccelerator(10);
+  auto* slow = new EchoAccelerator(2000);  // 200x slower replica.
+  ServiceId fs = 0;
+  ServiceId ss = 0;
+  tb.os.Deploy(app, std::unique_ptr<Accelerator>(fast), &fs);
+  tb.os.Deploy(app, std::unique_ptr<Accelerator>(slow), &ss);
+  lb->AddBackend(tb.os.GrantSendToService(lt, fs));
+  lb->AddBackend(tb.os.GrantSendToService(lt, ss));
+  auto* probe = new ProbeAccelerator();
+  const TileId pt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef cap = tb.os.GrantSendToService(pt, lb_svc);
+  for (int i = 0; i < 40; ++i) {
+    Message msg;
+    msg.opcode = kOpEcho;
+    probe->EnqueueSend(msg, cap);
+  }
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return probe->received.size() >= 40; }, 1'000'000));
+  // Least-outstanding should route the bulk of the work to the fast replica.
+  EXPECT_GT(fast->served(), 3 * slow->served());
+}
+
+TEST(VideoEncoderTest, SerialEngineQueuesFrames) {
+  TestBoard tb;
+  AppId app = tb.os.CreateApp("v");
+  auto* enc = new VideoEncoderAccelerator(/*cycles_per_block=*/100, 50);
+  ServiceId svc = 0;
+  tb.os.Deploy(app, std::unique_ptr<Accelerator>(enc), &svc);
+  auto* probe = new ProbeAccelerator();
+  const TileId pt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef cap = tb.os.GrantSendToService(pt, svc);
+  // Two back-to-back 16x16 frames: 4 blocks x 100 = 400 cycles each, serial.
+  for (int i = 0; i < 2; ++i) {
+    const auto pixels = GenerateFrame(16, 16, 1, i);
+    Message msg;
+    msg.opcode = kOpEncodeFrame;
+    msg.payload = FrameToRequestPayload(16, 16, pixels);
+    probe->EnqueueSend(msg, cap);
+  }
+  const Cycle start = tb.sim.now();
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return probe->received.size() >= 2; }, 100000));
+  EXPECT_GE(tb.sim.now() - start, 800u);  // Strictly serial engine.
+  EXPECT_EQ(enc->frames_encoded(), 2u);
+}
+
+TEST(CompressorPipelineTest, ForwardsToNextStageInsteadOfReplying) {
+  TestBoard tb;
+  AppId app = tb.os.CreateApp("z");
+  auto* sink = new ProbeAccelerator();
+  ServiceId sink_svc = 0;
+  tb.os.Deploy(app, std::unique_ptr<Accelerator>(sink), &sink_svc);
+  auto* comp = new CompressorAccelerator(64);
+  ServiceId comp_svc = 0;
+  const TileId ct = tb.os.Deploy(app, std::unique_ptr<Accelerator>(comp), &comp_svc);
+  comp->SetNextStage(tb.os.GrantSendToService(ct, sink_svc), kOpEcho);
+  auto* probe = new ProbeAccelerator();
+  const TileId pt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef cap = tb.os.GrantSendToService(pt, comp_svc);
+  Message msg;
+  msg.opcode = kOpCompress;
+  msg.payload.assign(200, 'x');
+  probe->EnqueueSend(msg, cap);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !sink->received.empty(); }, 100000));
+  // The requester got nothing; the next stage got the compressed chunk.
+  EXPECT_TRUE(probe->received.empty());
+  EXPECT_EQ(LzDecompress(sink->received[0].payload), msg.payload);
+  // Decompress requests still reply to the requester even in pipeline mode.
+  Message back;
+  back.opcode = kOpDecompress;
+  back.payload = sink->received[0].payload;
+  probe->EnqueueSend(back, cap);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !probe->received.empty(); }, 100000));
+  EXPECT_EQ(probe->received[0].payload, msg.payload);
+}
+
+TEST(DmaConcurrencyTest, MultipleCopiesCompleteCorrectly) {
+  TestBoard tb;
+  tb.os.DeployService(kMemoryService,
+                      std::make_unique<MemoryService>(&tb.os, &tb.board.memory()));
+  auto* dma = new DmaService(&tb.board.memory());
+  tb.os.DeployService(kDmaService, std::unique_ptr<Accelerator>(dma));
+  AppId app = tb.os.CreateApp("u");
+  auto* probe = new ProbeAccelerator();
+  const TileId pt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef to_dma = tb.os.GrantSendToService(pt, kDmaService);
+  const CapRef src = *tb.os.GrantMemory(pt, 64 << 10, kRightRead | kRightWrite);
+  const CapRef dst = *tb.os.GrantMemory(pt, 64 << 10, kRightRead | kRightWrite);
+  const Segment src_seg = tb.os.monitor(pt).cap_table().Lookup(src)->segment;
+  const Segment dst_seg = tb.os.monitor(pt).cap_table().Lookup(dst)->segment;
+  // Four interleaved 8KiB copies at distinct offsets.
+  std::vector<std::vector<uint8_t>> patterns;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<uint8_t> p(8 << 10);
+    for (size_t k = 0; k < p.size(); ++k) {
+      p[k] = static_cast<uint8_t>(k * (i + 3));
+    }
+    tb.board.memory().DebugWrite(src_seg.base + static_cast<uint64_t>(i) * (8 << 10), p);
+    patterns.push_back(std::move(p));
+    Message copy;
+    copy.opcode = kOpDmaCopy;
+    PutU64(copy.payload, static_cast<uint64_t>(i) * (8 << 10));
+    PutU64(copy.payload, static_cast<uint64_t>(3 - i) * (8 << 10));  // Reversed layout.
+    PutU32(copy.payload, 8 << 10);
+    probe->EnqueueSend(copy, to_dma, src, dst);
+  }
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return probe->received.size() >= 4; }, 2'000'000));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tb.board.memory().DebugRead(
+                  dst_seg.base + static_cast<uint64_t>(3 - i) * (8 << 10), 8 << 10),
+              patterns[i]);
+  }
+}
+
+TEST(MonitorErrorPathTest, ErrorBouncesDoNotLoop) {
+  // A sends a request to a stopped tile; the bounce is a response. Responses
+  // to the bounce (which A never sends) cannot occur, and the stopped tile's
+  // monitor never bounces responses — so no storm.
+  TestBoard tb;
+  AppId app = tb.os.CreateApp("a");
+  ServiceId svc = 0;
+  auto* dead = new EchoAccelerator(0);
+  const TileId dt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(dead), &svc);
+  auto* probe = new ProbeAccelerator();
+  const TileId pt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef cap = tb.os.GrantSendToService(pt, svc);
+  tb.sim.Run(3);
+  tb.os.FailStop(dt, "x");
+  Message msg;
+  msg.opcode = kOpEcho;
+  probe->EnqueueSend(msg, cap);
+  tb.sim.Run(5000);
+  // Exactly one bounce, no further traffic.
+  EXPECT_EQ(tb.os.monitor(dt).counters().Get("monitor.error_bounces"), 1u);
+  EXPECT_EQ(probe->received.size(), 1u);
+  EXPECT_EQ(probe->received[0].status, MsgStatus::kDestFailed);
+}
+
+TEST(KvParallelTest, ManyOutstandingGetsAllCorrect) {
+  TestBoard tb;
+  tb.os.DeployService(kMemoryService,
+                      std::make_unique<MemoryService>(&tb.os, &tb.board.memory()));
+  AppId app = tb.os.CreateApp("kv");
+  auto* kv = new KvStoreAccelerator(1 << 18, 4096);
+  ServiceId svc = 0;
+  const TileId kt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(kv), &svc);
+  tb.os.GrantSendToService(kt, kMemoryService);
+  auto* probe = new ProbeAccelerator();
+  const TileId pt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef cap = tb.os.GrantSendToService(pt, svc);
+  tb.sim.RunUntil([&] { return kv->ready(); }, 50000);
+
+  // Load 8 keys with distinct values, then GET them all back-to-back so
+  // several DRAM reads are in flight at once (bank parallel completion).
+  for (int i = 0; i < 8; ++i) {
+    Message put;
+    put.opcode = kOpKvPut;
+    put.payload = MakeKvPutPayload("k" + std::to_string(i),
+                                   std::vector<uint8_t>(50 + i, static_cast<uint8_t>(i)));
+    probe->EnqueueSend(put, cap);
+  }
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return probe->received.size() >= 8; }, 500000));
+  probe->received.clear();
+  for (int i = 0; i < 8; ++i) {
+    Message get;
+    get.opcode = kOpKvGet;
+    get.payload = MakeKvGetPayload("k" + std::to_string(i));
+    probe->EnqueueSend(get, cap);
+  }
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return probe->received.size() >= 8; }, 500000));
+  // Values must match sizes/content regardless of completion interleaving.
+  int matched = 0;
+  for (const auto& r : probe->received) {
+    ASSERT_EQ(r.status, MsgStatus::kOk);
+    const uint8_t tag = r.payload.empty() ? 0xff : r.payload[0];
+    ASSERT_LT(tag, 8);
+    EXPECT_EQ(r.payload, std::vector<uint8_t>(50 + tag, tag));
+    ++matched;
+  }
+  EXPECT_EQ(matched, 8);
+}
+
+TEST(RouterCountersTest, StallsVisibleUnderContention) {
+  Simulator sim;
+  Mesh mesh(MeshConfig{4, 1, 2, 512});  // Tiny buffers force stalls.
+  sim.Register(&mesh);
+  // Two sources hammer one sink.
+  for (int i = 0; i < 30; ++i) {
+    auto a = std::make_shared<NocPacket>();
+    a->src = 0;
+    a->dst = 3;
+    a->payload.assign(128, 1);
+    mesh.ni(0).Inject(a, sim.now());
+    auto b = std::make_shared<NocPacket>();
+    b->src = 1;
+    b->dst = 3;
+    b->payload.assign(128, 1);
+    mesh.ni(1).Inject(b, sim.now());
+  }
+  sim.Run(5000);
+  const CounterSet agg = mesh.AggregateCounters();
+  EXPECT_GT(agg.Get("router.stalls") + agg.Get("router.vc_blocked"), 0u);
+  EXPECT_GT(mesh.TotalFlitsRouted(), 0u);
+}
+
+TEST(WedgeTest, HealthyPhaseServes) {
+  TestBoard tb;
+  AppId app = tb.os.CreateApp("a");
+  auto* wedge = new WedgeAccelerator(3, kInvalidCapRef, 1000);
+  ServiceId svc = 0;
+  tb.os.Deploy(app, std::unique_ptr<Accelerator>(wedge), &svc);
+  auto* probe = new ProbeAccelerator();
+  const TileId pt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef cap = tb.os.GrantSendToService(pt, svc);
+  for (int i = 0; i < 5; ++i) {
+    Message msg;
+    msg.opcode = kOpEcho;
+    probe->EnqueueSend(msg, cap);
+  }
+  tb.sim.Run(20000);
+  // Exactly the 3 healthy requests were answered; the rest vanished into the
+  // wedge (no watchdog deployed here, so nothing bounces).
+  EXPECT_EQ(probe->received.size(), 3u);
+  EXPECT_TRUE(wedge->wedged());
+}
+
+}  // namespace
+}  // namespace apiary

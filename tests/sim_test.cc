@@ -1,0 +1,234 @@
+// Unit tests for the simulation kernel: RNG, event queue, simulator loop.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace apiary {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = rng.NextInRange(5, 8);
+    ASSERT_GE(v, 5u);
+    ASSERT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolRoughlyMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(50.0);
+  }
+  EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextZipf(100, 0.99), 100u);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(29);
+  uint64_t low = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextZipf(1000, 0.99) < 10) {
+      ++low;
+    }
+  }
+  // Under theta=0.99 the top-10 keys should absorb a large chunk of mass.
+  EXPECT_GT(low, static_cast<uint64_t>(n) / 4);
+}
+
+TEST(RngTest, ZipfDegenerateSizes) {
+  Rng rng(31);
+  EXPECT_EQ(rng.NextZipf(0, 0.99), 0u);
+  EXPECT_EQ(rng.NextZipf(1, 0.99), 0u);
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(10, [&](Cycle) { order.push_back(2); });
+  q.ScheduleAt(5, [&](Cycle) { order.push_back(1); });
+  q.ScheduleAt(20, [&](Cycle) { order.push_back(3); });
+  q.RunUntil(20);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameCycleEventsRunInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(7, [&order, i](Cycle) { order.push_back(i); });
+  }
+  q.RunUntil(7);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, DoesNotRunFutureEvents) {
+  EventQueue q;
+  int ran = 0;
+  q.ScheduleAt(100, [&](Cycle) { ++ran; });
+  q.RunUntil(99);
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(q.size(), 1u);
+  q.RunUntil(100);
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CallbackMaySchedule) {
+  EventQueue q;
+  int ran = 0;
+  q.ScheduleAt(1, [&](Cycle now) {
+    ++ran;
+    q.ScheduleAt(now + 1, [&](Cycle) { ++ran; });
+  });
+  q.RunUntil(5);
+  EXPECT_EQ(ran, 2);
+}
+
+class CountingBlock : public Clocked {
+ public:
+  void Tick(Cycle) override { ++ticks; }
+  int ticks = 0;
+};
+
+TEST(SimulatorTest, TicksRegisteredBlocks) {
+  Simulator sim;
+  CountingBlock a;
+  CountingBlock b;
+  sim.Register(&a);
+  sim.Register(&b);
+  sim.Run(25);
+  EXPECT_EQ(a.ticks, 25);
+  EXPECT_EQ(b.ticks, 25);
+  EXPECT_EQ(sim.now(), 25u);
+}
+
+TEST(SimulatorTest, UnregisterStopsTicking) {
+  Simulator sim;
+  CountingBlock a;
+  sim.Register(&a);
+  sim.Run(10);
+  sim.Unregister(&a);
+  sim.Run(10);
+  // One extra tick may occur in the removal cycle itself; bound it tightly.
+  EXPECT_LE(a.ticks, 11);
+  EXPECT_GE(a.ticks, 10);
+}
+
+TEST(SimulatorTest, RunUntilPredicate) {
+  Simulator sim;
+  CountingBlock a;
+  sim.Register(&a);
+  const bool fired = sim.RunUntil([&] { return a.ticks >= 7; }, 100);
+  EXPECT_TRUE(fired);
+  EXPECT_LE(sim.now(), 10u);
+}
+
+TEST(SimulatorTest, RunUntilTimesOut) {
+  Simulator sim;
+  const bool fired = sim.RunUntil([] { return false; }, 50);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(SimulatorTest, ScheduledEventsRunDuringTicks) {
+  Simulator sim;
+  int fired_at = -1;
+  sim.ScheduleAt(13, [&](Cycle now) { fired_at = static_cast<int>(now); });
+  sim.Run(20);
+  EXPECT_EQ(fired_at, 13);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  sim.Run(5);
+  int fired_at = -1;
+  sim.ScheduleAfter(10, [&](Cycle now) { fired_at = static_cast<int>(now); });
+  sim.Run(20);
+  EXPECT_EQ(fired_at, 15);
+}
+
+TEST(SimulatorTest, CyclesToNsUsesFrequency) {
+  Simulator sim(250.0);
+  EXPECT_DOUBLE_EQ(sim.CyclesToNs(250), 1000.0);
+  Simulator sim2(100.0);
+  EXPECT_DOUBLE_EQ(sim2.CyclesToNs(100), 1000.0);
+}
+
+}  // namespace
+}  // namespace apiary

@@ -1,0 +1,48 @@
+// Shared helpers for board-level tests: a pre-wired simulator/board/kernel
+// bundle and a scriptable probe accelerator.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "src/accel/probe.h"
+#include "src/core/kernel.h"
+#include "src/fpga/board.h"
+#include "src/sim/simulator.h"
+
+namespace apiary {
+
+struct TestBoardOptions {
+  uint32_t width = 4;
+  uint32_t height = 4;
+  std::string part = "VU9P";
+  MacKind mac = MacKind::k100G;
+  bool with_pcie = false;
+};
+
+// Simulator + external network + board + kernel, wired in the right order.
+struct TestBoard {
+  explicit TestBoard(TestBoardOptions options = TestBoardOptions{})
+      : net(25), board(MakeConfig(options), sim, &net), os(board) {
+    sim.Register(&net);
+  }
+
+  static BoardConfig MakeConfig(const TestBoardOptions& options) {
+    BoardConfig cfg;
+    cfg.part_number = options.part;
+    cfg.mesh = MeshConfig{options.width, options.height, 8, 512};
+    cfg.dram.capacity_bytes = 64ull << 20;  // Keep test memory small.
+    cfg.mac_kind = options.mac;
+    cfg.with_pcie = options.with_pcie;
+    return cfg;
+  }
+
+  Simulator sim{250.0};
+  ExternalNetwork net;
+  Board board;
+  ApiaryOs os;
+};
+
+}  // namespace apiary
+
+#endif  // TESTS_TEST_UTIL_H_
