@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a1_vc_ablation.dir/a1_vc_ablation.cc.o"
+  "CMakeFiles/a1_vc_ablation.dir/a1_vc_ablation.cc.o.d"
+  "a1_vc_ablation"
+  "a1_vc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a1_vc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for a1_vc_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for a1_vc_ablation.
+# This may be replaced when dependencies are built.

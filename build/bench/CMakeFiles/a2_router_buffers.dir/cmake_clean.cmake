@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a2_router_buffers.dir/a2_router_buffers.cc.o"
+  "CMakeFiles/a2_router_buffers.dir/a2_router_buffers.cc.o.d"
+  "a2_router_buffers"
+  "a2_router_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a2_router_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for a2_router_buffers.
+# This may be replaced when dependencies are built.

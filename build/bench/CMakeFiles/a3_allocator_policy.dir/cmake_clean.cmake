@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3_allocator_policy.dir/a3_allocator_policy.cc.o"
+  "CMakeFiles/a3_allocator_policy.dir/a3_allocator_policy.cc.o.d"
+  "a3_allocator_policy"
+  "a3_allocator_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3_allocator_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for a3_allocator_policy.
+# This may be replaced when dependencies are built.

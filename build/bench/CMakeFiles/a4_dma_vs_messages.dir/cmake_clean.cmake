@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4_dma_vs_messages.dir/a4_dma_vs_messages.cc.o"
+  "CMakeFiles/a4_dma_vs_messages.dir/a4_dma_vs_messages.cc.o.d"
+  "a4_dma_vs_messages"
+  "a4_dma_vs_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4_dma_vs_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

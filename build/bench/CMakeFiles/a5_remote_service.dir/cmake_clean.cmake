@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a5_remote_service.dir/a5_remote_service.cc.o"
+  "CMakeFiles/a5_remote_service.dir/a5_remote_service.cc.o.d"
+  "a5_remote_service"
+  "a5_remote_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a5_remote_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for a5_remote_service.
+# This may be replaced when dependencies are built.

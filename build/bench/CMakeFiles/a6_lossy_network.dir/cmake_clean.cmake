@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a6_lossy_network.dir/a6_lossy_network.cc.o"
+  "CMakeFiles/a6_lossy_network.dir/a6_lossy_network.cc.o.d"
+  "a6_lossy_network"
+  "a6_lossy_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a6_lossy_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for a6_lossy_network.
+# This may be replaced when dependencies are built.

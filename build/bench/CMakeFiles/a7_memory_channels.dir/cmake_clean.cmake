@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a7_memory_channels.dir/a7_memory_channels.cc.o"
+  "CMakeFiles/a7_memory_channels.dir/a7_memory_channels.cc.o.d"
+  "a7_memory_channels"
+  "a7_memory_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a7_memory_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

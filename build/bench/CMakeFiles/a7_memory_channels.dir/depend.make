@@ -1,0 +1,2 @@
+# Empty dependencies file for a7_memory_channels.
+# This may be replaced when dependencies are built.

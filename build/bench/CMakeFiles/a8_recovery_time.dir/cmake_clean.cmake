@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a8_recovery_time.dir/a8_recovery_time.cc.o"
+  "CMakeFiles/a8_recovery_time.dir/a8_recovery_time.cc.o.d"
+  "a8_recovery_time"
+  "a8_recovery_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a8_recovery_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

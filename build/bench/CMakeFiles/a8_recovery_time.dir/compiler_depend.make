@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for a8_recovery_time.
+# This may be replaced when dependencies are built.

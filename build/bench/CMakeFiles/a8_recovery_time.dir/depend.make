@@ -1,0 +1,2 @@
+# Empty dependencies file for a8_recovery_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_video_pipeline.dir/e10_video_pipeline.cc.o"
+  "CMakeFiles/e10_video_pipeline.dir/e10_video_pipeline.cc.o.d"
+  "e10_video_pipeline"
+  "e10_video_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_video_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

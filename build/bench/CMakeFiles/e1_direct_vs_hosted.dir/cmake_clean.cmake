@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_direct_vs_hosted.dir/e1_direct_vs_hosted.cc.o"
+  "CMakeFiles/e1_direct_vs_hosted.dir/e1_direct_vs_hosted.cc.o.d"
+  "e1_direct_vs_hosted"
+  "e1_direct_vs_hosted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_direct_vs_hosted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

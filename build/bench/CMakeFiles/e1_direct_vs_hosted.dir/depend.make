@@ -1,0 +1,2 @@
+# Empty dependencies file for e1_direct_vs_hosted.
+# This may be replaced when dependencies are built.

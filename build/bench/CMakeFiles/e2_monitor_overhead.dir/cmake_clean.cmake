@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_monitor_overhead.dir/e2_monitor_overhead.cc.o"
+  "CMakeFiles/e2_monitor_overhead.dir/e2_monitor_overhead.cc.o.d"
+  "e2_monitor_overhead"
+  "e2_monitor_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_monitor_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

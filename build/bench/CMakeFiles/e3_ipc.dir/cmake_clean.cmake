@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_ipc.dir/e3_ipc.cc.o"
+  "CMakeFiles/e3_ipc.dir/e3_ipc.cc.o.d"
+  "e3_ipc"
+  "e3_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e3_ipc.
+# This may be replaced when dependencies are built.

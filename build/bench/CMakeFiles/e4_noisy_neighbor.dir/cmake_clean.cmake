@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_noisy_neighbor.dir/e4_noisy_neighbor.cc.o"
+  "CMakeFiles/e4_noisy_neighbor.dir/e4_noisy_neighbor.cc.o.d"
+  "e4_noisy_neighbor"
+  "e4_noisy_neighbor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_noisy_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

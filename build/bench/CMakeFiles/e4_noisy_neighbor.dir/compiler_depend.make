@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e4_noisy_neighbor.
+# This may be replaced when dependencies are built.

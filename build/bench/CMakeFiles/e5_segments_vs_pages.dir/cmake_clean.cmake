@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_segments_vs_pages.dir/e5_segments_vs_pages.cc.o"
+  "CMakeFiles/e5_segments_vs_pages.dir/e5_segments_vs_pages.cc.o.d"
+  "e5_segments_vs_pages"
+  "e5_segments_vs_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_segments_vs_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e5_segments_vs_pages.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_fault_containment.dir/e6_fault_containment.cc.o"
+  "CMakeFiles/e6_fault_containment.dir/e6_fault_containment.cc.o.d"
+  "e6_fault_containment"
+  "e6_fault_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_fault_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_scaleout.dir/e7_scaleout.cc.o"
+  "CMakeFiles/e7_scaleout.dir/e7_scaleout.cc.o.d"
+  "e7_scaleout"
+  "e7_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

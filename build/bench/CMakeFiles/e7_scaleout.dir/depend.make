@@ -1,0 +1,2 @@
+# Empty dependencies file for e7_scaleout.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_interface_scaling.dir/e8_interface_scaling.cc.o"
+  "CMakeFiles/e8_interface_scaling.dir/e8_interface_scaling.cc.o.d"
+  "e8_interface_scaling"
+  "e8_interface_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_interface_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

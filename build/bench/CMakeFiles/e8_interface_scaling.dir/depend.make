@@ -1,0 +1,2 @@
+# Empty dependencies file for e8_interface_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_unauthorized_access.dir/e9_unauthorized_access.cc.o"
+  "CMakeFiles/e9_unauthorized_access.dir/e9_unauthorized_access.cc.o.d"
+  "e9_unauthorized_access"
+  "e9_unauthorized_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_unauthorized_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

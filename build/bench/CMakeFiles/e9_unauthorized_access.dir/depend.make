@@ -1,0 +1,2 @@
+# Empty dependencies file for e9_unauthorized_access.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_architecture.dir/fig1_architecture.cc.o"
+  "CMakeFiles/fig1_architecture.dir/fig1_architecture.cc.o.d"
+  "fig1_architecture"
+  "fig1_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_logic_cells.dir/table1_logic_cells.cc.o"
+  "CMakeFiles/table1_logic_cells.dir/table1_logic_cells.cc.o.d"
+  "table1_logic_cells"
+  "table1_logic_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_logic_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

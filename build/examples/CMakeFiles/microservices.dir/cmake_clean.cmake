@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microservices.dir/microservices.cpp.o"
+  "CMakeFiles/microservices.dir/microservices.cpp.o.d"
+  "microservices"
+  "microservices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microservices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_kv.dir/multi_tenant_kv.cpp.o"
+  "CMakeFiles/multi_tenant_kv.dir/multi_tenant_kv.cpp.o.d"
+  "multi_tenant_kv"
+  "multi_tenant_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaleout.dir/scaleout.cpp.o"
+  "CMakeFiles/scaleout.dir/scaleout.cpp.o.d"
+  "scaleout"
+  "scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

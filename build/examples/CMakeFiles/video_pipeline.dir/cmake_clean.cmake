@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_pipeline.dir/video_pipeline.cpp.o"
+  "CMakeFiles/video_pipeline.dir/video_pipeline.cpp.o.d"
+  "video_pipeline"
+  "video_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

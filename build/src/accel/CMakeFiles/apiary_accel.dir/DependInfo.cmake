@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/checksum.cc" "src/accel/CMakeFiles/apiary_accel.dir/checksum.cc.o" "gcc" "src/accel/CMakeFiles/apiary_accel.dir/checksum.cc.o.d"
+  "/root/repo/src/accel/compressor.cc" "src/accel/CMakeFiles/apiary_accel.dir/compressor.cc.o" "gcc" "src/accel/CMakeFiles/apiary_accel.dir/compressor.cc.o.d"
+  "/root/repo/src/accel/crypto.cc" "src/accel/CMakeFiles/apiary_accel.dir/crypto.cc.o" "gcc" "src/accel/CMakeFiles/apiary_accel.dir/crypto.cc.o.d"
+  "/root/repo/src/accel/faulty.cc" "src/accel/CMakeFiles/apiary_accel.dir/faulty.cc.o" "gcc" "src/accel/CMakeFiles/apiary_accel.dir/faulty.cc.o.d"
+  "/root/repo/src/accel/kv_store.cc" "src/accel/CMakeFiles/apiary_accel.dir/kv_store.cc.o" "gcc" "src/accel/CMakeFiles/apiary_accel.dir/kv_store.cc.o.d"
+  "/root/repo/src/accel/multi_context.cc" "src/accel/CMakeFiles/apiary_accel.dir/multi_context.cc.o" "gcc" "src/accel/CMakeFiles/apiary_accel.dir/multi_context.cc.o.d"
+  "/root/repo/src/accel/video_encoder.cc" "src/accel/CMakeFiles/apiary_accel.dir/video_encoder.cc.o" "gcc" "src/accel/CMakeFiles/apiary_accel.dir/video_encoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/apiary_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/apiary_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/apiary_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/apiary_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/apiary_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/apiary_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apiary_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

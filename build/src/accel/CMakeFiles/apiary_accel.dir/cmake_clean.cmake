@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apiary_accel.dir/checksum.cc.o"
+  "CMakeFiles/apiary_accel.dir/checksum.cc.o.d"
+  "CMakeFiles/apiary_accel.dir/compressor.cc.o"
+  "CMakeFiles/apiary_accel.dir/compressor.cc.o.d"
+  "CMakeFiles/apiary_accel.dir/crypto.cc.o"
+  "CMakeFiles/apiary_accel.dir/crypto.cc.o.d"
+  "CMakeFiles/apiary_accel.dir/faulty.cc.o"
+  "CMakeFiles/apiary_accel.dir/faulty.cc.o.d"
+  "CMakeFiles/apiary_accel.dir/kv_store.cc.o"
+  "CMakeFiles/apiary_accel.dir/kv_store.cc.o.d"
+  "CMakeFiles/apiary_accel.dir/multi_context.cc.o"
+  "CMakeFiles/apiary_accel.dir/multi_context.cc.o.d"
+  "CMakeFiles/apiary_accel.dir/video_encoder.cc.o"
+  "CMakeFiles/apiary_accel.dir/video_encoder.cc.o.d"
+  "libapiary_accel.a"
+  "libapiary_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apiary_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

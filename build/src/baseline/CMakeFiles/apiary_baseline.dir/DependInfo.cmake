@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/hosted.cc" "src/baseline/CMakeFiles/apiary_baseline.dir/hosted.cc.o" "gcc" "src/baseline/CMakeFiles/apiary_baseline.dir/hosted.cc.o.d"
+  "/root/repo/src/baseline/timesliced.cc" "src/baseline/CMakeFiles/apiary_baseline.dir/timesliced.cc.o" "gcc" "src/baseline/CMakeFiles/apiary_baseline.dir/timesliced.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/apiary_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/apiary_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/apiary_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/apiary_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/apiary_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apiary_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apiary_baseline.dir/hosted.cc.o"
+  "CMakeFiles/apiary_baseline.dir/hosted.cc.o.d"
+  "CMakeFiles/apiary_baseline.dir/timesliced.cc.o"
+  "CMakeFiles/apiary_baseline.dir/timesliced.cc.o.d"
+  "libapiary_baseline.a"
+  "libapiary_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apiary_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

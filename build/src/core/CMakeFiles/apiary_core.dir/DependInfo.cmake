@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capability.cc" "src/core/CMakeFiles/apiary_core.dir/capability.cc.o" "gcc" "src/core/CMakeFiles/apiary_core.dir/capability.cc.o.d"
+  "/root/repo/src/core/kernel.cc" "src/core/CMakeFiles/apiary_core.dir/kernel.cc.o" "gcc" "src/core/CMakeFiles/apiary_core.dir/kernel.cc.o.d"
+  "/root/repo/src/core/message.cc" "src/core/CMakeFiles/apiary_core.dir/message.cc.o" "gcc" "src/core/CMakeFiles/apiary_core.dir/message.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/apiary_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/apiary_core.dir/monitor.cc.o.d"
+  "/root/repo/src/core/tile.cc" "src/core/CMakeFiles/apiary_core.dir/tile.cc.o" "gcc" "src/core/CMakeFiles/apiary_core.dir/tile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/apiary_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/apiary_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/apiary_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/apiary_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/apiary_fpga.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apiary_core.dir/capability.cc.o"
+  "CMakeFiles/apiary_core.dir/capability.cc.o.d"
+  "CMakeFiles/apiary_core.dir/kernel.cc.o"
+  "CMakeFiles/apiary_core.dir/kernel.cc.o.d"
+  "CMakeFiles/apiary_core.dir/message.cc.o"
+  "CMakeFiles/apiary_core.dir/message.cc.o.d"
+  "CMakeFiles/apiary_core.dir/monitor.cc.o"
+  "CMakeFiles/apiary_core.dir/monitor.cc.o.d"
+  "CMakeFiles/apiary_core.dir/tile.cc.o"
+  "CMakeFiles/apiary_core.dir/tile.cc.o.d"
+  "libapiary_core.a"
+  "libapiary_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apiary_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

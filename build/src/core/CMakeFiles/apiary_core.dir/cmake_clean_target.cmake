@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapiary_core.a"
+)

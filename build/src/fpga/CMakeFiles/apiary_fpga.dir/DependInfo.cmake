@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/board.cc" "src/fpga/CMakeFiles/apiary_fpga.dir/board.cc.o" "gcc" "src/fpga/CMakeFiles/apiary_fpga.dir/board.cc.o.d"
+  "/root/repo/src/fpga/ethernet.cc" "src/fpga/CMakeFiles/apiary_fpga.dir/ethernet.cc.o" "gcc" "src/fpga/CMakeFiles/apiary_fpga.dir/ethernet.cc.o.d"
+  "/root/repo/src/fpga/part_catalog.cc" "src/fpga/CMakeFiles/apiary_fpga.dir/part_catalog.cc.o" "gcc" "src/fpga/CMakeFiles/apiary_fpga.dir/part_catalog.cc.o.d"
+  "/root/repo/src/fpga/pcie.cc" "src/fpga/CMakeFiles/apiary_fpga.dir/pcie.cc.o" "gcc" "src/fpga/CMakeFiles/apiary_fpga.dir/pcie.cc.o.d"
+  "/root/repo/src/fpga/resource_model.cc" "src/fpga/CMakeFiles/apiary_fpga.dir/resource_model.cc.o" "gcc" "src/fpga/CMakeFiles/apiary_fpga.dir/resource_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/apiary_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/apiary_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/apiary_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/apiary_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apiary_fpga.dir/board.cc.o"
+  "CMakeFiles/apiary_fpga.dir/board.cc.o.d"
+  "CMakeFiles/apiary_fpga.dir/ethernet.cc.o"
+  "CMakeFiles/apiary_fpga.dir/ethernet.cc.o.d"
+  "CMakeFiles/apiary_fpga.dir/part_catalog.cc.o"
+  "CMakeFiles/apiary_fpga.dir/part_catalog.cc.o.d"
+  "CMakeFiles/apiary_fpga.dir/pcie.cc.o"
+  "CMakeFiles/apiary_fpga.dir/pcie.cc.o.d"
+  "CMakeFiles/apiary_fpga.dir/resource_model.cc.o"
+  "CMakeFiles/apiary_fpga.dir/resource_model.cc.o.d"
+  "libapiary_fpga.a"
+  "libapiary_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apiary_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for apiary_fpga.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/apiary_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/apiary_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/interleaved_memory.cc" "src/mem/CMakeFiles/apiary_mem.dir/interleaved_memory.cc.o" "gcc" "src/mem/CMakeFiles/apiary_mem.dir/interleaved_memory.cc.o.d"
+  "/root/repo/src/mem/memory_controller.cc" "src/mem/CMakeFiles/apiary_mem.dir/memory_controller.cc.o" "gcc" "src/mem/CMakeFiles/apiary_mem.dir/memory_controller.cc.o.d"
+  "/root/repo/src/mem/page_allocator.cc" "src/mem/CMakeFiles/apiary_mem.dir/page_allocator.cc.o" "gcc" "src/mem/CMakeFiles/apiary_mem.dir/page_allocator.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/apiary_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/apiary_mem.dir/page_table.cc.o.d"
+  "/root/repo/src/mem/segment_allocator.cc" "src/mem/CMakeFiles/apiary_mem.dir/segment_allocator.cc.o" "gcc" "src/mem/CMakeFiles/apiary_mem.dir/segment_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/apiary_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/apiary_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

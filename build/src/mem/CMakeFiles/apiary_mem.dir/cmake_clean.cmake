@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apiary_mem.dir/dram.cc.o"
+  "CMakeFiles/apiary_mem.dir/dram.cc.o.d"
+  "CMakeFiles/apiary_mem.dir/interleaved_memory.cc.o"
+  "CMakeFiles/apiary_mem.dir/interleaved_memory.cc.o.d"
+  "CMakeFiles/apiary_mem.dir/memory_controller.cc.o"
+  "CMakeFiles/apiary_mem.dir/memory_controller.cc.o.d"
+  "CMakeFiles/apiary_mem.dir/page_allocator.cc.o"
+  "CMakeFiles/apiary_mem.dir/page_allocator.cc.o.d"
+  "CMakeFiles/apiary_mem.dir/page_table.cc.o"
+  "CMakeFiles/apiary_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/apiary_mem.dir/segment_allocator.cc.o"
+  "CMakeFiles/apiary_mem.dir/segment_allocator.cc.o.d"
+  "libapiary_mem.a"
+  "libapiary_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apiary_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/mesh.cc" "src/noc/CMakeFiles/apiary_noc.dir/mesh.cc.o" "gcc" "src/noc/CMakeFiles/apiary_noc.dir/mesh.cc.o.d"
+  "/root/repo/src/noc/network_interface.cc" "src/noc/CMakeFiles/apiary_noc.dir/network_interface.cc.o" "gcc" "src/noc/CMakeFiles/apiary_noc.dir/network_interface.cc.o.d"
+  "/root/repo/src/noc/rate_limiter.cc" "src/noc/CMakeFiles/apiary_noc.dir/rate_limiter.cc.o" "gcc" "src/noc/CMakeFiles/apiary_noc.dir/rate_limiter.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/noc/CMakeFiles/apiary_noc.dir/router.cc.o" "gcc" "src/noc/CMakeFiles/apiary_noc.dir/router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/apiary_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/apiary_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

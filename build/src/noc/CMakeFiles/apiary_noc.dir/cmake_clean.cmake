@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apiary_noc.dir/mesh.cc.o"
+  "CMakeFiles/apiary_noc.dir/mesh.cc.o.d"
+  "CMakeFiles/apiary_noc.dir/network_interface.cc.o"
+  "CMakeFiles/apiary_noc.dir/network_interface.cc.o.d"
+  "CMakeFiles/apiary_noc.dir/rate_limiter.cc.o"
+  "CMakeFiles/apiary_noc.dir/rate_limiter.cc.o.d"
+  "CMakeFiles/apiary_noc.dir/router.cc.o"
+  "CMakeFiles/apiary_noc.dir/router.cc.o.d"
+  "libapiary_noc.a"
+  "libapiary_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apiary_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/dma_service.cc" "src/services/CMakeFiles/apiary_services.dir/dma_service.cc.o" "gcc" "src/services/CMakeFiles/apiary_services.dir/dma_service.cc.o.d"
+  "/root/repo/src/services/gateway.cc" "src/services/CMakeFiles/apiary_services.dir/gateway.cc.o" "gcc" "src/services/CMakeFiles/apiary_services.dir/gateway.cc.o.d"
+  "/root/repo/src/services/load_balancer.cc" "src/services/CMakeFiles/apiary_services.dir/load_balancer.cc.o" "gcc" "src/services/CMakeFiles/apiary_services.dir/load_balancer.cc.o.d"
+  "/root/repo/src/services/memory_service.cc" "src/services/CMakeFiles/apiary_services.dir/memory_service.cc.o" "gcc" "src/services/CMakeFiles/apiary_services.dir/memory_service.cc.o.d"
+  "/root/repo/src/services/mgmt_service.cc" "src/services/CMakeFiles/apiary_services.dir/mgmt_service.cc.o" "gcc" "src/services/CMakeFiles/apiary_services.dir/mgmt_service.cc.o.d"
+  "/root/repo/src/services/name_service.cc" "src/services/CMakeFiles/apiary_services.dir/name_service.cc.o" "gcc" "src/services/CMakeFiles/apiary_services.dir/name_service.cc.o.d"
+  "/root/repo/src/services/network_service.cc" "src/services/CMakeFiles/apiary_services.dir/network_service.cc.o" "gcc" "src/services/CMakeFiles/apiary_services.dir/network_service.cc.o.d"
+  "/root/repo/src/services/remote_bridge.cc" "src/services/CMakeFiles/apiary_services.dir/remote_bridge.cc.o" "gcc" "src/services/CMakeFiles/apiary_services.dir/remote_bridge.cc.o.d"
+  "/root/repo/src/services/transport.cc" "src/services/CMakeFiles/apiary_services.dir/transport.cc.o" "gcc" "src/services/CMakeFiles/apiary_services.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/apiary_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/apiary_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/apiary_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/apiary_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/apiary_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apiary_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apiary_services.dir/dma_service.cc.o"
+  "CMakeFiles/apiary_services.dir/dma_service.cc.o.d"
+  "CMakeFiles/apiary_services.dir/gateway.cc.o"
+  "CMakeFiles/apiary_services.dir/gateway.cc.o.d"
+  "CMakeFiles/apiary_services.dir/load_balancer.cc.o"
+  "CMakeFiles/apiary_services.dir/load_balancer.cc.o.d"
+  "CMakeFiles/apiary_services.dir/memory_service.cc.o"
+  "CMakeFiles/apiary_services.dir/memory_service.cc.o.d"
+  "CMakeFiles/apiary_services.dir/mgmt_service.cc.o"
+  "CMakeFiles/apiary_services.dir/mgmt_service.cc.o.d"
+  "CMakeFiles/apiary_services.dir/name_service.cc.o"
+  "CMakeFiles/apiary_services.dir/name_service.cc.o.d"
+  "CMakeFiles/apiary_services.dir/network_service.cc.o"
+  "CMakeFiles/apiary_services.dir/network_service.cc.o.d"
+  "CMakeFiles/apiary_services.dir/remote_bridge.cc.o"
+  "CMakeFiles/apiary_services.dir/remote_bridge.cc.o.d"
+  "CMakeFiles/apiary_services.dir/transport.cc.o"
+  "CMakeFiles/apiary_services.dir/transport.cc.o.d"
+  "libapiary_services.a"
+  "libapiary_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apiary_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apiary_sim.dir/event_queue.cc.o"
+  "CMakeFiles/apiary_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/apiary_sim.dir/logging.cc.o"
+  "CMakeFiles/apiary_sim.dir/logging.cc.o.d"
+  "CMakeFiles/apiary_sim.dir/random.cc.o"
+  "CMakeFiles/apiary_sim.dir/random.cc.o.d"
+  "CMakeFiles/apiary_sim.dir/simulator.cc.o"
+  "CMakeFiles/apiary_sim.dir/simulator.cc.o.d"
+  "libapiary_sim.a"
+  "libapiary_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apiary_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apiary_stats.dir/histogram.cc.o"
+  "CMakeFiles/apiary_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/apiary_stats.dir/summary.cc.o"
+  "CMakeFiles/apiary_stats.dir/summary.cc.o.d"
+  "CMakeFiles/apiary_stats.dir/table.cc.o"
+  "CMakeFiles/apiary_stats.dir/table.cc.o.d"
+  "libapiary_stats.a"
+  "libapiary_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apiary_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

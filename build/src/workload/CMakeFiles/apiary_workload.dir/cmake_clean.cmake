@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apiary_workload.dir/client.cc.o"
+  "CMakeFiles/apiary_workload.dir/client.cc.o.d"
+  "CMakeFiles/apiary_workload.dir/frame_source.cc.o"
+  "CMakeFiles/apiary_workload.dir/frame_source.cc.o.d"
+  "CMakeFiles/apiary_workload.dir/kv_workload.cc.o"
+  "CMakeFiles/apiary_workload.dir/kv_workload.cc.o.d"
+  "libapiary_workload.a"
+  "libapiary_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apiary_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_test.dir/accel_test.cc.o"
+  "CMakeFiles/accel_test.dir/accel_test.cc.o.d"
+  "accel_test"
+  "accel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_test.dir/noc_test.cc.o"
+  "CMakeFiles/noc_test.dir/noc_test.cc.o.d"
+  "noc_test"
+  "noc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/services_test.dir/services_test.cc.o"
+  "CMakeFiles/services_test.dir/services_test.cc.o.d"
+  "services_test"
+  "services_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/services_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

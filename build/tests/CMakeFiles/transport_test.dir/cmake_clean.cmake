@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_test.dir/transport_test.cc.o"
+  "CMakeFiles/transport_test.dir/transport_test.cc.o.d"
+  "transport_test"
+  "transport_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
