@@ -94,6 +94,18 @@ TileId ApiaryOs::Deploy(AppId app, std::unique_ptr<Accelerator> accel, ServiceId
   return DeployInternal(app, service, std::move(accel), options);
 }
 
+void ApiaryOs::ReleaseTileGrants(TileId tile) {
+  tiles_[tile]->monitor().RevokeAllCaps();
+  for (auto it = owned_segments_.begin(); it != owned_segments_.end();) {
+    if (static_cast<TileId>(it->first >> 32) == tile) {
+      segments_->Free(it->second);
+      it = owned_segments_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 bool ApiaryOs::Reconfigure(TileId tile, std::unique_ptr<Accelerator> accel, bool immediate) {
   if (tile >= tiles_.size()) {
     return false;
@@ -101,6 +113,10 @@ bool ApiaryOs::Reconfigure(TileId tile, std::unique_ptr<Accelerator> accel, bool
   if (accel != nullptr && accel->LogicCellCost() > board_->config().tile_region_cells) {
     return false;
   }
+  // The new bitstream must not inherit the old accelerator's authority:
+  // revoke every capability and free the tile's kernel-owned segments. The
+  // kernel (or Supervisor) re-grants from the grant log after boot.
+  ReleaseTileGrants(tile);
   tiles_[tile]->Configure(std::move(accel), immediate);
   return true;
 }
@@ -132,8 +148,54 @@ CapRef ApiaryOs::GrantSendToService(TileId src, ServiceId dst) {
   const CapRef ref = tiles_[src]->monitor().InstallCap(cap);
   if (ref != kInvalidCapRef) {
     tiles_[dst_tile]->monitor().AllowSender(src);
+    bool known = false;
+    for (const GrantEdge& edge : grant_log_) {
+      if (edge.src == src && edge.dst == dst) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      grant_log_.push_back(GrantEdge{src, dst});
+    }
   }
   return ref;
+}
+
+void ApiaryOs::ReinstallTileCaps(TileId tile) {
+  if (tile >= tiles_.size()) {
+    return;
+  }
+  // Snapshot first: GrantSendToService appends to grant_log_ (dedup makes
+  // that a no-op here, but never iterate a vector being appended to).
+  std::vector<ServiceId> dsts;
+  for (const GrantEdge& edge : grant_log_) {
+    if (edge.src == tile) {
+      dsts.push_back(edge.dst);
+    }
+  }
+  for (ServiceId dst : dsts) {
+    GrantSendToService(tile, dst);
+  }
+}
+
+void ApiaryOs::RegrantClientsOf(ServiceId dst) {
+  std::vector<TileId> srcs;
+  for (const GrantEdge& edge : grant_log_) {
+    if (edge.dst == dst) {
+      srcs.push_back(edge.src);
+    }
+  }
+  for (TileId src : srcs) {
+    // The stale capability still names the failed physical tile; revoke it
+    // so the slot is reused and the client cannot keep hitting the corpse.
+    Monitor& m = tiles_[src]->monitor();
+    const CapRef stale = m.cap_table().FindEndpointForService(dst);
+    if (stale != kInvalidCapRef) {
+      m.RevokeCap(stale);
+    }
+    GrantSendToService(src, dst);
+  }
 }
 
 CapRef ApiaryOs::GrantSend(TileId src, TileId dst) {

@@ -88,6 +88,19 @@ class ApiaryOs {
   void SetRateLimit(TileId tile, uint64_t flits_per_1k_cycles, uint64_t burst_flits);
 
   // ------------------------------------------------------------------
+  // Recovery support (used by the Supervisor, Section 4.4).
+  // ------------------------------------------------------------------
+  // Re-grants every endpoint capability previously granted WITH `tile` as
+  // the source — the step after a reconfigured accelerator comes back up,
+  // since Reconfigure revoked its whole capability table.
+  void ReinstallTileCaps(TileId tile);
+
+  // Re-grants endpoint capabilities for every client of logical service
+  // `dst`, revoking each client's stale capability (which still names the
+  // old physical tile) first. Used after RebindService repoints the name.
+  void RegrantClientsOf(ServiceId dst);
+
+  // ------------------------------------------------------------------
   // Fault management (Section 4.4).
   // ------------------------------------------------------------------
   void FailStop(TileId tile, const std::string& reason);
@@ -115,6 +128,9 @@ class ApiaryOs {
   TileId FindVacantTile() const;
   TileId DeployInternal(AppId app, ServiceId service, std::unique_ptr<Accelerator> accel,
                         const DeployOptions& options);
+  // Revokes every capability on `tile` and frees its kernel-owned segments;
+  // part of tearing a tile down for reconfiguration.
+  void ReleaseTileGrants(TileId tile);
 
   Board* board_;
   MonitorConfig monitor_config_;
@@ -134,6 +150,14 @@ class ApiaryOs {
 
   // Kernel-allocated segments keyed by (tile, cap slot) for free-on-revoke.
   std::unordered_map<uint64_t, Segment> owned_segments_;
+
+  // Who was granted send-to-whom, by logical name — the kernel's record of
+  // the capability graph, replayed after recovery re-installs a tile.
+  struct GrantEdge {
+    TileId src;
+    ServiceId dst;
+  };
+  std::vector<GrantEdge> grant_log_;
 };
 
 }  // namespace apiary

@@ -31,14 +31,21 @@ void Monitor::SetIdentity(AppId app, ServiceId service) {
 }
 
 void Monitor::FailStop(const std::string& reason) {
+  if (fault_state_ == TileFaultState::kStopped) {
+    return;  // Idempotent: a second fail-stop (watchdog + kernel) is a no-op.
+  }
   fault_state_ = TileFaultState::kStopped;
   fault_reason_ = reason;
-  // Drain: in-flight work addressed to or queued by the dead accelerator is
-  // discarded; peers that keep talking to us get bounced in BeginCycle.
+  // Drain: work queued by the dead accelerator is discarded; queued inbound
+  // requests are bounced with kDestFailed so clients fail fast instead of
+  // timing out. Peers that keep talking to us get bounced in BeginCycle.
   counters_.Add("monitor.drained_inbox", inbox_.size());
   counters_.Add("monitor.drained_outbox", outbox_.size());
-  inbox_.clear();
   outbox_.clear();
+  for (const Message& msg : inbox_) {
+    BounceWithError(msg, MsgStatus::kDestFailed);
+  }
+  inbox_.clear();
   Trace(TraceEvent::kFault, kInvalidTile, service_, 0, MsgStatus::kDestFailed);
   counters_.Add("monitor.fail_stops");
 }

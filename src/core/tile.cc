@@ -57,9 +57,10 @@ void Tile::Tick(Cycle now) {
     accel_ = std::move(pending_accel_);
     monitor_.Restart();
     booted_ = false;
+    seu_wedged_ = false;  // Reconfiguration rewrites the upset logic.
   }
 
-  if (accel_ != nullptr && !reconfiguring_ &&
+  if (accel_ != nullptr && !reconfiguring_ && !seu_wedged_ &&
       monitor_.fault_state() == TileFaultState::kHealthy) {
     if (!booted_) {
       accel_->OnBoot(monitor_);

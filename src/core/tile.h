@@ -46,6 +46,14 @@ class Tile : public Clocked {
   void set_fault_policy(FaultPolicy policy) { fault_policy_ = policy; }
   FaultPolicy fault_policy() const { return fault_policy_; }
 
+  // Fault injection (src/fault): an SEU silently wedges the accelerator
+  // logic. The tile stops ticking the accelerator but does NOT mark itself
+  // faulted — exactly like real radiation-induced upsets, the only external
+  // symptom is silence (missed heartbeats, unanswered requests). Cleared by
+  // partial reconfiguration.
+  void InjectSeuWedge() { seu_wedged_ = true; }
+  bool seu_wedged() const { return seu_wedged_; }
+
  private:
   void HandleAcceleratorFault();
 
@@ -57,6 +65,7 @@ class Tile : public Clocked {
   Cycle reconfig_done_at_ = 0;
   bool reconfiguring_ = false;
   bool booted_ = false;
+  bool seu_wedged_ = false;
   FaultPolicy fault_policy_ = FaultPolicy::kFailStop;
 };
 

@@ -1,0 +1,103 @@
+#include "src/fault/fault_plan.h"
+
+#include <algorithm>
+
+namespace apiary {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDrop:
+      return "link_drop";
+    case FaultKind::kLinkCorrupt:
+      return "link_corrupt";
+    case FaultKind::kRouterStall:
+      return "router_stall";
+    case FaultKind::kDramBitFlip:
+      return "dram_bit_flip";
+    case FaultKind::kEthLossBurst:
+      return "eth_loss_burst";
+    case FaultKind::kAccelCrash:
+      return "accel_crash";
+    case FaultKind::kAccelWedge:
+      return "accel_wedge";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::LinkDrop(Cycle at, Cycle duration, double rate, TileId router) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLinkDrop;
+  e.tile = router;
+  e.duration = duration;
+  e.rate = rate;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::LinkCorrupt(Cycle at, Cycle duration, double rate, TileId router) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLinkCorrupt;
+  e.tile = router;
+  e.duration = duration;
+  e.rate = rate;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::RouterStall(Cycle at, Cycle duration, TileId router) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kRouterStall;
+  e.tile = router;
+  e.duration = duration;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::DramBitFlips(Cycle at, uint32_t count, uint64_t addr, uint64_t len) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kDramBitFlip;
+  e.addr = addr;
+  e.len = len;
+  e.count = count;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::EthLossBurst(Cycle at, Cycle duration, double rate) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kEthLossBurst;
+  e.duration = duration;
+  e.rate = rate;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::AccelCrash(Cycle at, TileId tile) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kAccelCrash;
+  e.tile = tile;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::AccelWedge(Cycle at, TileId tile) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kAccelWedge;
+  e.tile = tile;
+  events.push_back(e);
+  return *this;
+}
+
+void FaultPlan::Sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+}  // namespace apiary

@@ -1,0 +1,61 @@
+// FaultPlan: a declarative, seeded campaign of fault events.
+//
+// A plan is data, not behavior — a sorted list of timed events plus one
+// seed. The FaultInjector executes it against a live board. Because every
+// probabilistic decision derives from the plan's seed, a campaign replays
+// byte-identically: same seed, same faults, same cycle numbers.
+#ifndef SRC_FAULT_FAULT_PLAN_H_
+#define SRC_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace apiary {
+
+enum class FaultKind : uint8_t {
+  kLinkDrop = 0,      // Window: packets crossing links out of `tile` drop.
+  kLinkCorrupt = 1,   // Window: payload bytes flip in flight (checksum catches).
+  kRouterStall = 2,   // Window: the router at `tile` forwards nothing.
+  kDramBitFlip = 3,   // Instant: `count` random single-bit upsets in [addr, addr+len).
+  kEthLossBurst = 4,  // Window: external-network frames drop at `rate`.
+  kAccelCrash = 5,    // Instant: the accelerator on `tile` raises a fault (SEU).
+  kAccelWedge = 6,    // Instant: the accelerator on `tile` silently wedges (SEU).
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  Cycle at = 0;           // Fire cycle (window start for windowed kinds).
+  FaultKind kind = FaultKind::kLinkDrop;
+  TileId tile = kInvalidTile;  // Target tile/router; kInvalidTile = any (link faults).
+  Cycle duration = 0;     // Window length (windowed kinds only).
+  double rate = 1.0;      // Per-packet/frame probability inside the window.
+  uint64_t addr = 0;      // kDramBitFlip: start of the vulnerable range.
+  uint64_t len = 0;       // kDramBitFlip: range length (0 = whole memory).
+  uint32_t count = 1;     // kDramBitFlip: number of upsets to inject.
+};
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  std::vector<FaultEvent> events;
+
+  // Builder helpers (all return *this for chaining).
+  FaultPlan& LinkDrop(Cycle at, Cycle duration, double rate, TileId router = kInvalidTile);
+  FaultPlan& LinkCorrupt(Cycle at, Cycle duration, double rate, TileId router = kInvalidTile);
+  FaultPlan& RouterStall(Cycle at, Cycle duration, TileId router);
+  FaultPlan& DramBitFlips(Cycle at, uint32_t count, uint64_t addr = 0, uint64_t len = 0);
+  FaultPlan& EthLossBurst(Cycle at, Cycle duration, double rate);
+  FaultPlan& AccelCrash(Cycle at, TileId tile);
+  FaultPlan& AccelWedge(Cycle at, TileId tile);
+
+  // Orders events by fire cycle (stable: simultaneous events keep their
+  // insertion order, which the injector's determinism depends on).
+  void Sort();
+};
+
+}  // namespace apiary
+
+#endif  // SRC_FAULT_FAULT_PLAN_H_

@@ -15,6 +15,14 @@ void ExternalNetwork::SetLossRate(double rate, uint64_t seed) {
   loss_rng_ = std::make_unique<Rng>(seed);
 }
 
+void ExternalNetwork::StartLossBurst(Cycle now, Cycle duration, double rate,
+                                     uint64_t seed) {
+  burst_until_ = now + duration;
+  burst_rate_ = rate;
+  burst_rng_ = std::make_unique<Rng>(seed);
+  counters_.Add("extnet.loss_bursts");
+}
+
 void ExternalNetwork::Send(EthFrame frame, Cycle now) {
   if (frame.dst_endpoint >= endpoints_.size()) {
     counters_.Add("extnet.dropped_unknown_dst");
@@ -22,6 +30,11 @@ void ExternalNetwork::Send(EthFrame frame, Cycle now) {
   }
   if (loss_rate_ > 0.0 && loss_rng_ != nullptr && loss_rng_->NextBool(loss_rate_)) {
     counters_.Add("extnet.dropped_loss");
+    return;
+  }
+  if (now < burst_until_ && burst_rng_ != nullptr &&
+      burst_rng_->NextBool(burst_rate_)) {
+    counters_.Add("extnet.dropped_burst");
     return;
   }
   counters_.Add("extnet.frames");

@@ -48,6 +48,12 @@ class ExternalNetwork : public Clocked {
   // for a given seed).
   void SetLossRate(double rate, uint64_t seed = 99);
 
+  // Fault injection: until `now + duration`, additionally drops frames with
+  // probability `rate` — a transient uplink brown-out (flapping optics,
+  // congested ToR). Deterministic for a given seed.
+  void StartLossBurst(Cycle now, Cycle duration, double rate, uint64_t seed);
+  bool InLossBurst(Cycle now) const { return now < burst_until_; }
+
   // Registers an endpoint and returns its address.
   uint32_t RegisterEndpoint(ExternalEndpoint* endpoint);
 
@@ -70,6 +76,9 @@ class ExternalNetwork : public Clocked {
   Cycle latency_cycles_;
   double loss_rate_ = 0.0;
   std::unique_ptr<Rng> loss_rng_;
+  Cycle burst_until_ = 0;
+  double burst_rate_ = 0.0;
+  std::unique_ptr<Rng> burst_rng_;
   std::vector<ExternalEndpoint*> endpoints_;
   std::deque<InFlight> in_flight_;
   CounterSet counters_;

@@ -67,6 +67,20 @@ bool InterleavedMemory::SubmitWrite(uint64_t addr, std::span<const uint8_t> data
   return true;
 }
 
+BitFlipResult InterleavedMemory::InjectBitFlip(uint64_t addr, uint32_t bit) {
+  if (!InBounds(addr, 1)) {
+    return BitFlipResult::kOutOfRange;
+  }
+  const Chunk chunk = Split(addr, 1).front();
+  return channels_[chunk.channel]->InjectBitFlip(chunk.local_addr, bit);
+}
+
+void InterleavedMemory::SetEccEnabled(bool enabled) {
+  for (auto& channel : channels_) {
+    channel->SetEccEnabled(enabled);
+  }
+}
+
 void InterleavedMemory::Tick(Cycle now) {
   // Issue as many pending chunks as the channels will take this cycle; ops
   // issue in order but their chunks complete channel-parallel.

@@ -33,6 +33,9 @@ class InterleavedMemory : public Clocked, public MemoryBackend {
   std::vector<uint8_t> DebugRead(uint64_t addr, uint64_t len) const override;
   uint64_t capacity() const override { return capacity_; }
 
+  BitFlipResult InjectBitFlip(uint64_t addr, uint32_t bit) override;
+  void SetEccEnabled(bool enabled) override;
+
   void Tick(Cycle now) override;
   std::string DebugName() const override { return "hbm"; }
 

@@ -13,6 +13,13 @@
 
 namespace apiary {
 
+// Outcome of an injected single-event upset in a DRAM cell.
+enum class BitFlipResult : uint8_t {
+  kOutOfRange = 0,      // Address beyond capacity; nothing happened.
+  kCorrupted = 1,       // Stored data changed (no ECC).
+  kCorrectedByEcc = 2,  // SECDED scrubbed the flip; data intact.
+};
+
 class MemoryBackend {
  public:
   virtual ~MemoryBackend() = default;
@@ -29,6 +36,17 @@ class MemoryBackend {
   virtual std::vector<uint8_t> DebugRead(uint64_t addr, uint64_t len) const = 0;
 
   virtual uint64_t capacity() const = 0;
+
+  // --- Fault injection (src/fault) ---
+  // Flips bit `bit % 8` of the byte at `addr` — the stored-charge upset a
+  // cosmic ray would cause. With ECC enabled the flip is corrected (SECDED
+  // model: isolated single-bit flips never reach the data bus).
+  virtual BitFlipResult InjectBitFlip(uint64_t addr, uint32_t bit) {
+    (void)addr;
+    (void)bit;
+    return BitFlipResult::kOutOfRange;
+  }
+  virtual void SetEccEnabled(bool enabled) { (void)enabled; }
 };
 
 }  // namespace apiary

@@ -41,6 +41,18 @@ void MemoryController::DebugWrite(uint64_t addr, std::span<const uint8_t> data) 
   }
 }
 
+BitFlipResult MemoryController::InjectBitFlip(uint64_t addr, uint32_t bit) {
+  if (addr >= store_.size()) {
+    return BitFlipResult::kOutOfRange;
+  }
+  if (ecc_enabled_) {
+    // SECDED corrects isolated single-bit flips before they reach the bus.
+    return BitFlipResult::kCorrectedByEcc;
+  }
+  store_[addr] ^= static_cast<uint8_t>(1u << (bit & 7));
+  return BitFlipResult::kCorrupted;
+}
+
 std::vector<uint8_t> MemoryController::DebugRead(uint64_t addr, uint64_t len) const {
   std::vector<uint8_t> out;
   if (InBounds(addr, len)) {

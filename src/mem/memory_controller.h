@@ -32,6 +32,10 @@ class MemoryController : public Clocked, public MemoryBackend {
   void DebugWrite(uint64_t addr, std::span<const uint8_t> data) override;
   std::vector<uint8_t> DebugRead(uint64_t addr, uint64_t len) const override;
 
+  BitFlipResult InjectBitFlip(uint64_t addr, uint32_t bit) override;
+  void SetEccEnabled(bool enabled) override { ecc_enabled_ = enabled; }
+  bool ecc_enabled() const { return ecc_enabled_; }
+
   void Tick(Cycle now) override { dram_.Tick(now); }
   std::string DebugName() const override { return "memctl"; }
 
@@ -46,6 +50,7 @@ class MemoryController : public Clocked, public MemoryBackend {
 
   DramChannel dram_;
   std::vector<uint8_t> store_;
+  bool ecc_enabled_ = false;
 };
 
 }  // namespace apiary

@@ -1,0 +1,30 @@
+// Fault-model hook the NoC substrate consults while moving flits.
+//
+// The NoC stays ignorant of *why* faults happen (campaigns, seeds, rates all
+// live in src/fault); routers only ask this narrow interface whether the
+// current traversal is affected. A null model means a perfect network.
+#ifndef SRC_NOC_FAULT_HOOKS_H_
+#define SRC_NOC_FAULT_HOOKS_H_
+
+#include "src/noc/packet.h"
+#include "src/sim/types.h"
+
+namespace apiary {
+
+class NocFaultModel {
+ public:
+  virtual ~NocFaultModel() = default;
+
+  // Consulted once per packet (on its head flit) each time it crosses an
+  // inter-router link out of `router_tile`. The model may corrupt the
+  // packet's payload in place (the stale checksum is how the receiving NI
+  // detects it). Returns true if the packet should be dropped on this link.
+  virtual bool OnLinkTraverse(TileId router_tile, const Flit& flit, Cycle now) = 0;
+
+  // True while the router at `router_tile` is stalled (forwards nothing).
+  virtual bool RouterStalled(TileId router_tile, Cycle now) = 0;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_NOC_FAULT_HOOKS_H_

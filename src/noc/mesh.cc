@@ -54,6 +54,12 @@ void Mesh::Tick(Cycle now) {
   }
 }
 
+void Mesh::SetFaultModel(NocFaultModel* model) {
+  for (auto& r : routers_) {
+    r->SetFaultModel(model);
+  }
+}
+
 uint32_t Mesh::Hops(TileId a, TileId b) const {
   const int ax = static_cast<int>(a % config_.width);
   const int ay = static_cast<int>(a / config_.width);

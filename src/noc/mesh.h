@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/noc/fault_hooks.h"
 #include "src/noc/network_interface.h"
 #include "src/noc/packet.h"
 #include "src/noc/router.h"
@@ -42,6 +43,9 @@ class Mesh : public Clocked {
   NetworkInterface& ni(TileId tile) { return *nis_[tile]; }
   const NetworkInterface& ni(TileId tile) const { return *nis_[tile]; }
   Router& router(TileId tile) { return *routers_[tile]; }
+
+  // Installs (or clears, with nullptr) the fault model on every router.
+  void SetFaultModel(NocFaultModel* model);
 
   // Minimal hop count between two tiles under XY routing.
   uint32_t Hops(TileId a, TileId b) const;

@@ -28,6 +28,7 @@ bool NetworkInterface::Inject(std::shared_ptr<NocPacket> packet, Cycle now) {
     return false;
   }
   packet->inject_cycle = now;
+  packet->checksum = PacketChecksum(packet->payload);
   auto& queue = inject_queues_[static_cast<int>(packet->vc)];
   for (uint32_t i = 0; i < flits; ++i) {
     queue.push_back(Flit{packet, i});
@@ -55,11 +56,25 @@ void NetworkInterface::InjectCycle(Cycle now) {
 
 void NetworkInterface::EjectFlit(const Flit& flit, Cycle now) {
   counters_.Add("ni.flits_ejected");
-  if (flit.is_tail()) {
-    latency_.Record(now - flit.packet->inject_cycle);
-    counters_.Add("ni.packets_delivered");
-    delivered_.push_back(flit.packet);
+  if (!flit.is_tail()) {
+    return;
   }
+  if (flit.packet->dropped) {
+    // A link fault swallowed part of this packet in flight.
+    counters_.Add("ni.packets_dropped_fault");
+    return;
+  }
+  if (flit.packet->checksum != 0 &&
+      flit.packet->checksum != PacketChecksum(flit.packet->payload)) {
+    // Corruption is detected here, never silently consumed: the packet is
+    // discarded and the loss surfaces as a counter (and, one layer up, as a
+    // request timeout rather than a garbled message).
+    counters_.Add("ni.checksum_drops");
+    return;
+  }
+  latency_.Record(now - flit.packet->inject_cycle);
+  counters_.Add("ni.packets_delivered");
+  delivered_.push_back(flit.packet);
 }
 
 std::shared_ptr<NocPacket> NetworkInterface::Retrieve() {

@@ -30,7 +30,24 @@ struct NocPacket {
   uint64_t packet_id = 0;
   Cycle inject_cycle = 0;
   std::vector<uint8_t> payload;
+  // End-to-end payload checksum, stamped by the injecting NI. The ejecting
+  // NI recomputes it so link-level corruption is *detected* (and the packet
+  // discarded) instead of a garbled message being silently consumed.
+  uint32_t checksum = 0;  // 0 = unstamped (hand-built packets skip the check).
+  // Set when a link fault dropped one of this packet's flits in flight. The
+  // remaining flits still traverse the wormhole path (preserving router
+  // state) but the ejecting NI discards the packet.
+  bool dropped = false;
 };
+
+// FNV-1a over the payload bytes; cheap stand-in for a per-packet CRC.
+inline uint32_t PacketChecksum(const std::vector<uint8_t>& payload) {
+  uint32_t h = 2166136261u;
+  for (uint8_t byte : payload) {
+    h = (h ^ byte) * 16777619u;
+  }
+  return h;
+}
 
 // Width of a flit's data path. One head flit carries the header; payload
 // flits carry kFlitBytes each.

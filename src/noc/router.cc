@@ -111,6 +111,14 @@ bool Router::TryForward(RouterPort out, int in, int vc, Cycle now) {
     counters_.Add("router.vc_blocked");
     return false;
   }
+  // Link fault injection: consulted once per packet per link (on the head
+  // flit). The remaining flits keep flowing so wormhole state stays sane;
+  // the ejecting NI discards packets marked dropped.
+  if (fault_model_ != nullptr && out != kPortLocal && flit.is_head() &&
+      fault_model_->OnLinkTraverse(tile(), flit, now)) {
+    flit.packet->dropped = true;
+    counters_.Add("router.fault_dropped_packets");
+  }
   SendDownstream(out, flit, now);
   if (flit.is_tail()) {
     state.owner_port = -1;
@@ -121,6 +129,10 @@ bool Router::TryForward(RouterPort out, int in, int vc, Cycle now) {
 }
 
 void Router::RouteCycle(Cycle now) {
+  if (fault_model_ != nullptr && fault_model_->RouterStalled(tile(), now)) {
+    counters_.Add("router.fault_stalled_cycles");
+    return;  // Wedged crossbar: buffers fill, upstream backpressure builds.
+  }
   // One flit per output port per cycle (the physical link constraint).
   for (int out = 0; out < kNumPorts; ++out) {
     bool sent = false;

@@ -12,6 +12,7 @@
 #include <deque>
 #include <optional>
 
+#include "src/noc/fault_hooks.h"
 #include "src/noc/packet.h"
 #include "src/stats/summary.h"
 
@@ -36,6 +37,7 @@ class Router {
   // Wiring (done once by the Mesh).
   void SetNeighbor(RouterPort port, Router* neighbor) { neighbors_[port] = neighbor; }
   void SetLocalInterface(NetworkInterface* ni) { ni_ = ni; }
+  void SetFaultModel(NocFaultModel* model) { fault_model_ = model; }
 
   // Phase 1: staged flits (arrived last cycle) become visible.
   void CommitStaged();
@@ -89,6 +91,7 @@ class Router {
 
   std::array<Router*, 4> neighbors_{};
   NetworkInterface* ni_ = nullptr;
+  NocFaultModel* fault_model_ = nullptr;
 
   InputBuffer inputs_[kNumPorts][kNumVcs];
   OutputVcState outputs_[kNumPorts][kNumVcs];

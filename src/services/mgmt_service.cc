@@ -1,5 +1,7 @@
 #include "src/services/mgmt_service.h"
 
+#include "src/services/supervisor.h"
+
 namespace apiary {
 
 void MgmtService::Watch(TileId tile, Cycle deadline_cycles) {
@@ -61,7 +63,11 @@ void MgmtService::Tick(TileApi& api) {
       counters_.Add("mgmt.watchdog_trips");
       fault_log_.emplace_back("watchdog: tile " + std::to_string(tile) +
                               " missed heartbeat deadline");
-      os_->FailStop(tile, "watchdog timeout");
+      if (supervisor_ != nullptr) {
+        supervisor_->OnTileFault(tile, "watchdog timeout");
+      } else {
+        os_->FailStop(tile, "watchdog timeout");
+      }
     }
   }
 }

@@ -20,9 +20,15 @@
 
 namespace apiary {
 
+class Supervisor;
+
 class MgmtService : public Accelerator {
  public:
   explicit MgmtService(ApiaryOs* os) : os_(os) {}
+
+  // When set, watchdog trips route through the supervisor (which contains
+  // the tile AND schedules its recovery) instead of a bare kernel FailStop.
+  void SetSupervisor(Supervisor* supervisor) { supervisor_ = supervisor; }
 
   void OnMessage(const Message& msg, TileApi& api) override;
   void Tick(TileApi& api) override;
@@ -44,6 +50,7 @@ class MgmtService : public Accelerator {
   };
 
   ApiaryOs* os_;
+  Supervisor* supervisor_ = nullptr;
   std::map<TileId, WatchEntry> watched_;
   std::vector<std::string> fault_log_;
   CounterSet counters_;

@@ -1,0 +1,156 @@
+#include "src/services/supervisor.h"
+
+#include <algorithm>
+
+#include "src/sim/logging.h"
+
+namespace apiary {
+
+Supervisor::Supervisor(ApiaryOs* os, SupervisorConfig config)
+    : os_(os), config_(config) {
+  // Registered after the tiles (ApiaryOs construction), so each cycle the
+  // supervisor observes post-tick tile state.
+  os_->sim().Register(this);
+}
+
+void Supervisor::Manage(TileId tile, AccelFactory factory) {
+  Managed m;
+  m.factory = std::move(factory);
+  managed_[tile] = std::move(m);
+}
+
+void Supervisor::SetStandby(ServiceId service, TileId standby_tile) {
+  standbys_[service] = standby_tile;
+}
+
+bool Supervisor::quarantined(TileId tile) const {
+  auto it = managed_.find(tile);
+  return it != managed_.end() && it->second.state == TileState::kQuarantined;
+}
+
+uint64_t Supervisor::restarts(TileId tile) const {
+  auto it = managed_.find(tile);
+  return it == managed_.end() ? 0 : it->second.restarts;
+}
+
+bool Supervisor::AllHealthy() const {
+  return std::all_of(managed_.begin(), managed_.end(), [](const auto& kv) {
+    return kv.second.state == TileState::kHealthy;
+  });
+}
+
+void Supervisor::OnTileFault(TileId tile, const std::string& reason) {
+  auto it = managed_.find(tile);
+  if (it == managed_.end()) {
+    os_->FailStop(tile, reason);  // Not ours to heal, but still contained.
+    return;
+  }
+  Managed& m = it->second;
+  if (m.state != TileState::kHealthy) {
+    return;  // Already recovering (or quarantined) — one fault, one recovery.
+  }
+  counters_.Add("supervisor.faults_detected");
+  m.fault_detected_at = now_;
+  // Contain first: the tile may still be half-alive (watchdog path).
+  os_->FailStop(tile, reason);
+  APIARY_LOG(kInfo) << "supervisor: tile " << tile << " faulted (" << reason << ")";
+
+  // Crash-loop accounting over a sliding-ish window.
+  if (now_ - m.window_start > config_.crash_loop_window) {
+    m.window_start = now_;
+    m.recent_faults = 0;
+  }
+  ++m.recent_faults;
+  if (m.recent_faults > config_.quarantine_after) {
+    m.state = TileState::kQuarantined;
+    counters_.Add("supervisor.quarantines");
+    APIARY_LOG(kWarn) << "supervisor: tile " << tile << " quarantined after "
+                      << m.recent_faults << " faults";
+    return;
+  }
+
+  // Hot-standby failover: repoint the logical name, re-grant every client,
+  // and let the spare carry the service while the dead tile reconfigures.
+  const ServiceId svc = os_->monitor(tile).service();
+  auto standby_it = standbys_.find(svc);
+  if (standby_it != standbys_.end()) {
+    const TileId spare = standby_it->second;
+    standbys_.erase(standby_it);
+    os_->RebindService(svc, spare);
+    os_->RegrantClientsOf(svc);
+    counters_.Add("supervisor.failovers");
+    // Service is back the moment the re-grants land.
+    recovery_cycles_.Record(0);
+    counters_.Add("supervisor.faults_recovered");
+    // Once repaired, this tile becomes the service's next spare.
+    m.standby_for = svc;
+  }
+
+  BeginRecovery(tile, m, now_);
+}
+
+void Supervisor::BeginRecovery(TileId tile, Managed& m, Cycle now) {
+  (void)tile;
+  // First fault in a window restarts immediately; repeats back off
+  // exponentially so a persistent fault cannot monopolize reconfiguration
+  // bandwidth.
+  Cycle delay = 0;
+  if (m.recent_faults > 1) {
+    const uint32_t doublings =
+        std::min(m.recent_faults - 2, config_.backoff_max_doublings);
+    delay = config_.backoff_base_cycles << doublings;
+    counters_.Add("supervisor.backoff_delays");
+  }
+  m.restart_at = now + delay;
+  m.state = TileState::kBackoff;
+}
+
+void Supervisor::Tick(Cycle now) {
+  now_ = now;
+  // Poll for tiles that fail-stopped themselves (crash faults surface this
+  // way; wedges arrive via the MgmtService watchdog instead).
+  if (now % config_.poll_period == 0) {
+    for (auto& [tile, m] : managed_) {
+      if (m.state == TileState::kHealthy &&
+          os_->monitor(tile).fault_state() == TileFaultState::kStopped) {
+        OnTileFault(tile, os_->monitor(tile).fault_reason());
+      }
+    }
+  }
+  for (auto& [tile, m] : managed_) {
+    switch (m.state) {
+      case TileState::kBackoff:
+        if (now >= m.restart_at) {
+          // Revoke-and-reload, then immediately replay the kernel's grant
+          // log: the caps sit in the monitor table through reconfiguration
+          // so the fresh logic finds them at boot.
+          os_->Reconfigure(tile, m.factory(), /*immediate=*/false);
+          os_->ReinstallTileCaps(tile);
+          ++m.restarts;
+          counters_.Add("supervisor.reconfigures");
+          m.state = TileState::kReconfiguring;
+        }
+        break;
+      case TileState::kReconfiguring:
+        if (!os_->tile(tile).reconfiguring() &&
+            os_->monitor(tile).fault_state() == TileFaultState::kHealthy) {
+          if (m.standby_for != kInvalidService) {
+            // Its old service lives on the spare now; this tile waits as
+            // the next standby rather than splitting the logical name.
+            SetStandby(m.standby_for, tile);
+            m.standby_for = kInvalidService;
+          } else {
+            recovery_cycles_.Record(now - m.fault_detected_at);
+            counters_.Add("supervisor.faults_recovered");
+          }
+          m.state = TileState::kHealthy;
+        }
+        break;
+      case TileState::kHealthy:
+      case TileState::kQuarantined:
+        break;
+    }
+  }
+}
+
+}  // namespace apiary

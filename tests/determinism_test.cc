@@ -6,7 +6,10 @@
 #include "src/accel/echo.h"
 #include "src/accel/kv_store.h"
 #include "src/core/service_ids.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
 #include "src/services/gateway.h"
+#include "src/services/supervisor.h"
 #include "src/services/memory_service.h"
 #include "src/services/network_service.h"
 #include "src/workload/client.h"
@@ -90,6 +93,123 @@ TEST(DeterminismTest, DifferentSeedsDiverge) {
   const ScenarioResult b = RunScenario(12);
   // Different client op mixes must leave different traffic footprints.
   EXPECT_NE(a.flits, b.flits);
+}
+
+// A periodic closed-fire client: one echo request every `period` cycles,
+// fire-and-forget (losses surface as missing responses, not retries).
+class PeriodicClient : public Accelerator {
+ public:
+  explicit PeriodicClient(ServiceId svc, Cycle period) : svc_(svc), period_(period) {}
+
+  void Tick(TileApi& api) override {
+    if (api.now() >= next_) {
+      Message msg;
+      msg.opcode = kOpEcho;
+      msg.payload = {1, 2, 3, 4};
+      if (api.Send(std::move(msg), api.LookupService(svc_)).ok()) {
+        ++sent;
+      }
+      next_ = api.now() + period_;
+    }
+  }
+  void OnMessage(const Message& msg, TileApi&) override {
+    (msg.status == MsgStatus::kOk ? ok : errors) += 1;
+  }
+  std::string name() const override { return "periodic_client"; }
+  uint32_t LogicCellCost() const override { return 1000; }
+
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+
+ private:
+  ServiceId svc_;
+  Cycle period_;
+  Cycle next_ = 0;
+};
+
+struct ChaosResult {
+  std::string fault_trace;
+  std::string injector_counters;
+  std::string supervisor_counters;
+  std::string monitor_counters;
+  uint64_t flits;
+  uint64_t client_ok;
+  uint64_t client_errors;
+};
+
+// A seeded FaultPlan campaign (link drops, corruption, DRAM upsets, an SEU
+// crash healed by the supervisor) over live traffic. Every probabilistic
+// choice flows from the plan seed and the simulator's fixed tick order, so
+// the whole chaos run — fault addresses, cycles, recovery timings — must
+// replay byte-identically.
+ChaosResult RunChaosScenario(uint64_t plan_seed) {
+  Simulator sim(250.0);
+  ExternalNetwork net(25);
+  sim.Register(&net);
+  BoardConfig cfg;
+  cfg.mesh = MeshConfig{4, 4, 8, 512};
+  cfg.dram.capacity_bytes = 64ull << 20;
+  cfg.partial_reconfig_cycles = 20'000;
+  Board board(cfg, sim, &net);
+  ApiaryOs os(board);
+
+  AppId app = os.CreateApp("chaos");
+  ServiceId svc = 0;
+  const TileId st = os.Deploy(app, std::make_unique<EchoAccelerator>(5), &svc);
+  auto* client = new PeriodicClient(svc, 200);
+  const TileId ct = os.Deploy(app, std::unique_ptr<Accelerator>(client));
+  os.GrantSendToService(ct, svc);
+
+  SupervisorConfig scfg;
+  scfg.poll_period = 64;
+  Supervisor sup(&os);
+  sup.Manage(st, [] { return std::make_unique<EchoAccelerator>(5); });
+
+  FaultPlan plan;
+  plan.seed = plan_seed;
+  plan.LinkDrop(10'000, 15'000, 0.3)
+      .LinkCorrupt(30'000, 15'000, 0.25)
+      .DramBitFlips(40'000, 4)
+      .AccelCrash(50'000, st)
+      .LinkDrop(90'000, 10'000, 0.3)
+      .DramBitFlips(100'000, 4);
+  FaultInjector injector(
+      plan, FaultHooks{.os = &os, .mesh = &board.mesh(), .memory = &board.memory()});
+
+  sim.Run(150'000);
+
+  ChaosResult r;
+  r.fault_trace = injector.TraceString();
+  r.injector_counters = injector.counters().ToString();
+  r.supervisor_counters = sup.counters().ToString();
+  r.monitor_counters = os.AggregateMonitorCounters().ToString();
+  r.flits = board.mesh().TotalFlitsRouted();
+  r.client_ok = client->ok;
+  r.client_errors = client->errors;
+  return r;
+}
+
+TEST(ChaosDeterminismTest, SameFaultPlanSeedReplaysIdentically) {
+  const ChaosResult a = RunChaosScenario(9);
+  const ChaosResult b = RunChaosScenario(9);
+  EXPECT_EQ(a.fault_trace, b.fault_trace);
+  EXPECT_EQ(a.injector_counters, b.injector_counters);
+  EXPECT_EQ(a.supervisor_counters, b.supervisor_counters);
+  EXPECT_EQ(a.monitor_counters, b.monitor_counters);
+  EXPECT_EQ(a.flits, b.flits);
+  EXPECT_EQ(a.client_ok, b.client_ok);
+  EXPECT_EQ(a.client_errors, b.client_errors);
+  // Sanity: the campaign actually did damage and the supervisor healed it.
+  EXPECT_GT(a.client_errors + a.client_ok, 0u);
+  EXPECT_NE(a.injector_counters.find("fault.accel_crash=1"), std::string::npos);
+}
+
+TEST(ChaosDeterminismTest, DifferentFaultPlanSeedsDiverge) {
+  const ChaosResult a = RunChaosScenario(9);
+  const ChaosResult b = RunChaosScenario(10);
+  // Different seeds pick different DRAM addresses and drop different packets.
+  EXPECT_NE(a.fault_trace, b.fault_trace);
 }
 
 TEST(RebindServiceTest, ClientFollowsLogicalNameToStandby) {
