@@ -70,8 +70,8 @@ double RunRemote() {
       os_a.Deploy(os_a.CreateApp("br"), std::unique_ptr<Accelerator>(bridge_a), &bsvc_a);
   const TileId bt_b =
       os_b.Deploy(os_b.CreateApp("br"), std::unique_ptr<Accelerator>(bridge_b), &bsvc_b);
-  os_a.GrantSendToService(bt_a, kNetworkService);
-  os_b.GrantSendToService(bt_b, kNetworkService);
+  (void)os_a.GrantSendToService(bt_a, kNetworkService);
+  (void)os_b.GrantSendToService(bt_b, kNetworkService);
   ServiceId echo_svc = 0;
   os_b.Deploy(os_b.CreateApp("svc"), std::make_unique<EchoAccelerator>(kServiceCycles),
               &echo_svc);

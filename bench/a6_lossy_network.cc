@@ -41,7 +41,7 @@ Result Run(double loss_rate, bool reliable) {
   auto* gw = new NetGateway();
   ServiceId gw_svc = 0;
   const TileId gt = bb.os.Deploy(app, std::unique_ptr<Accelerator>(gw), &gw_svc);
-  bb.os.GrantSendToService(gt, kNetworkService);
+  (void)bb.os.GrantSendToService(gt, kNetworkService);
   gw->SetBackend(bb.os.GrantSendToService(gt, echo_svc));
 
   ClientConfig ccfg;

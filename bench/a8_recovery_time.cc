@@ -75,7 +75,7 @@ Timeline Run(bool hot_standby, Cycle reconfig_cycles) {
   auto* wedge = new WedgeAccelerator(/*healthy=*/100, kInvalidCapRef,
                                      /*heartbeat_period=*/500);
   const TileId wt = os.Deploy(app, std::unique_ptr<Accelerator>(wedge), &svc);
-  os.GrantSendToService(wt, kMgmtService);
+  (void)os.GrantSendToService(wt, kMgmtService);
 
   TileId standby = kInvalidTile;
   if (hot_standby) {
@@ -84,7 +84,7 @@ Timeline Run(bool hot_standby, Cycle reconfig_cycles) {
   }
   auto* client = new AvailClient(svc);
   const TileId ct = os.Deploy(app, std::unique_ptr<Accelerator>(client));
-  os.GrantSendToService(ct, svc);
+  (void)os.GrantSendToService(ct, svc);
 
   Timeline tl;
   bool recovered_kicked = false;
@@ -100,7 +100,7 @@ Timeline Run(bool hot_standby, Cycle reconfig_cycles) {
             const CapRef old = os.monitor(ct).cap_table().FindEndpointForService(svc);
             os.Revoke(ct, old);
             os.RebindService(svc, standby);
-            os.GrantSendToService(ct, svc);
+            (void)os.GrantSendToService(ct, svc);
           } else {
             os.Reconfigure(wt, std::make_unique<EchoAccelerator>(10), /*immediate=*/false);
           }

@@ -199,12 +199,12 @@ CampaignResult RunCampaign(bool chaos, uint64_t seed) {
     DeployOptions at_tile;
     at_tile.tile = svc_tiles[i];
     a.svc_tile = os.Deploy(app, supervised_echo(), &a.svc, at_tile);
-    os.GrantSendToService(a.svc_tile, kMgmtService);
+    (void)os.GrantSendToService(a.svc_tile, kMgmtService);
     a.client = new ChaosClient(a.svc);
     DeployOptions at_client;
     at_client.tile = client_tiles[i];
     os.Deploy(app, std::unique_ptr<Accelerator>(a.client), nullptr, at_client);
-    os.GrantSendToService(client_tiles[i], a.svc);
+    (void)os.GrantSendToService(client_tiles[i], a.svc);
     supervisor.Manage(a.svc_tile, supervised_echo);
   }
 
@@ -215,7 +215,7 @@ CampaignResult RunCampaign(bool chaos, uint64_t seed) {
     DeployOptions at_tile;
     at_tile.tile = 3;
     os.Deploy(standby_app, supervised_echo(), &spare_svc, at_tile);
-    os.GrantSendToService(3, kMgmtService);
+    (void)os.GrantSendToService(3, kMgmtService);
     supervisor.Manage(3, supervised_echo);
     supervisor.SetStandby(apps[0].svc, 3);
   }

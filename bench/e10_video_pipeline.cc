@@ -92,7 +92,7 @@ Result Run(Cycle frame_interval) {
   enc->SetNextStage(os.GrantSendToService(enc_tile, comp_svc), kOpCompress);
   auto* feeder = new Feeder(enc_svc, frame_interval);
   const TileId ft = os.Deploy(app, std::unique_ptr<Accelerator>(feeder));
-  os.GrantSendToService(ft, enc_svc);
+  (void)os.GrantSendToService(ft, enc_svc);
 
   constexpr Cycle kRun = 2'000'000;
   bb.sim.Run(kRun);

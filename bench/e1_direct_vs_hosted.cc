@@ -53,7 +53,7 @@ RunStats RunApiary(double load_per_1k) {
   auto* gw = new NetGateway();
   ServiceId gw_svc = 0;
   const TileId gw_tile = os.Deploy(app, std::unique_ptr<Accelerator>(gw), &gw_svc);
-  os.GrantSendToService(gw_tile, kNetworkService);
+  (void)os.GrantSendToService(gw_tile, kNetworkService);
   gw->SetBackend(os.GrantSendToService(gw_tile, svc));
   bb.sim.Run(3000);  // MAC bring-up before offering load.
 

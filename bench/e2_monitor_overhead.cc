@@ -68,7 +68,7 @@ double MeasureMonitoredRtt() {
   DeployOptions at1;
   at1.tile = 1;
   const TileId pt = bb.os.Deploy(app, std::unique_ptr<Accelerator>(pinger), nullptr, at1);
-  bb.os.GrantSendToService(pt, svc);
+  (void)bb.os.GrantSendToService(pt, svc);
   bb.sim.RunUntil([&] { return pinger->count >= 500; }, 1'000'000);
   return pinger->count == 0 ? 0.0
                             : static_cast<double>(pinger->total) /

@@ -70,7 +70,7 @@ Result Run(bool with_flooder, uint64_t limit_flits_per_1k) {
   const TileId vt = os.Deploy(app, std::unique_ptr<Accelerator>(victim), &vsvc);
   auto* client = new PoliteClient(vsvc);
   const TileId ct = os.Deploy(app, std::unique_ptr<Accelerator>(client));
-  os.GrantSendToService(ct, vsvc);
+  (void)os.GrantSendToService(ct, vsvc);
 
   FlooderAccelerator* flooder = nullptr;
   if (with_flooder) {

@@ -95,7 +95,7 @@ Row RunMessagingFault(bool wedge) {
   os.Deploy(good, std::make_unique<EchoAccelerator>(20), &good_svc);
   auto* good_client = new CountingClient(good_svc);
   const TileId gct = os.Deploy(good, std::unique_ptr<Accelerator>(good_client));
-  os.GrantSendToService(gct, good_svc);
+  (void)os.GrantSendToService(gct, good_svc);
 
   AppId bad = os.CreateApp("bad");
   ServiceId bad_svc = 0;
@@ -103,13 +103,13 @@ Row RunMessagingFault(bool wedge) {
   if (wedge) {
     bad_tile = os.Deploy(bad, std::make_unique<WedgeAccelerator>(50, kInvalidCapRef, 2000),
                          &bad_svc);
-    os.GrantSendToService(bad_tile, kMgmtService);
+    (void)os.GrantSendToService(bad_tile, kMgmtService);
   } else {
     bad_tile = os.Deploy(bad, std::make_unique<CrashAccelerator>(50), &bad_svc);
   }
   auto* bad_client = new CountingClient(bad_svc);
   const TileId bct = os.Deploy(bad, std::unique_ptr<Accelerator>(bad_client));
-  os.GrantSendToService(bct, bad_svc);
+  (void)os.GrantSendToService(bct, bad_svc);
 
   Cycle detected_at = 0;
   bb.sim.RunUntil(
@@ -143,12 +143,12 @@ Row RunWildWrite(bool isolated) {
   auto* kv = new KvStoreAccelerator(1 << 20, 1 << 16);
   ServiceId kv_svc = 0;
   const TileId kv_tile = os.Deploy(kv_app, std::unique_ptr<Accelerator>(kv), &kv_svc);
-  os.GrantSendToService(kv_tile, kMemoryService);
+  (void)os.GrantSendToService(kv_tile, kMemoryService);
 
   AppId bad_app = os.CreateApp("bad");
   auto* wild = new WildWriterAccelerator(4096, 50);
   const TileId wt = os.Deploy(bad_app, std::unique_ptr<Accelerator>(wild));
-  os.GrantSendToService(wt, kMemoryService);
+  (void)os.GrantSendToService(wt, kMemoryService);
 
   bb.sim.RunUntil([&] { return kv->ready(); }, 50000);
 

@@ -86,7 +86,7 @@ Result Run(uint32_t replicas) {
   }
   auto* client = new WindowedClient(lb_svc, /*window=*/24, /*payload_bytes=*/2048);
   const TileId ct = os.Deploy(app, std::unique_ptr<Accelerator>(client));
-  os.GrantSendToService(ct, lb_svc);
+  (void)os.GrantSendToService(ct, lb_svc);
 
   constexpr Cycle kRun = 1'500'000;
   bb.sim.Run(kRun);

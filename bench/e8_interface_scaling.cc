@@ -85,7 +85,7 @@ uint64_t MeasureAggregateOps(uint32_t services) {
   auto* client = new FanClient(targets);
   const TileId ct = os.Deploy(app, std::unique_ptr<Accelerator>(client));
   for (ServiceId svc : targets) {
-    os.GrantSendToService(ct, svc);
+    (void)os.GrantSendToService(ct, svc);
   }
   bb.sim.Run(300000);
   return client->done;

@@ -33,7 +33,7 @@ int main() {
     AppId evil_app = os.CreateApp("evil");
     auto* snoop = new SnooperAccelerator(os.num_tiles(), 25);
     const TileId st = os.Deploy(evil_app, std::unique_ptr<Accelerator>(snoop));
-    os.GrantSendToService(st, kMemoryService);  // Its one legitimate right.
+    (void)os.GrantSendToService(st, kMemoryService);  // Its one legitimate right.
     bb.sim.Run(200000);
 
     Table part_a("E9a: snooper outcome after 200k cycles");

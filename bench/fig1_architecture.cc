@@ -39,10 +39,10 @@ int main() {
   // accelerator may call the OS services.
   auto wire_chain = [&](const std::vector<TileId>& tiles) {
     for (size_t i = 0; i + 1 < tiles.size(); ++i) {
-      os.GrantSend(tiles[i], tiles[i + 1]);
+      (void)os.GrantSend(tiles[i], tiles[i + 1]);
     }
     for (TileId t : tiles) {
-      os.GrantSendToService(t, kMemoryService);
+      (void)os.GrantSendToService(t, kMemoryService);
     }
   };
   wire_chain(app1_tiles);

@@ -172,7 +172,7 @@ int main() {
   ServiceId bridge_b_svc = 0;
   const TileId bb_tile = os_b.Deploy(os_b.CreateApp("bridge"),
                                      std::unique_ptr<Accelerator>(bridge_b), &bridge_b_svc);
-  os_b.GrantSendToService(bb_tile, kNetworkService);
+  (void)os_b.GrantSendToService(bb_tile, kNetworkService);
   auto* compressor = new CompressorAccelerator(16);
   ServiceId comp_svc = 0;
   os_b.Deploy(os_b.CreateApp("zsvc"), std::unique_ptr<Accelerator>(compressor), &comp_svc);
@@ -183,7 +183,7 @@ int main() {
   ServiceId bridge_a_svc = 0;
   const TileId ba_tile = os_a.Deploy(os_a.CreateApp("bridge"),
                                      std::unique_ptr<Accelerator>(bridge_a), &bridge_a_svc);
-  os_a.GrantSendToService(ba_tile, kNetworkService);
+  (void)os_a.GrantSendToService(ba_tile, kNetworkService);
 
   AppId app = os_a.CreateApp("thumbnail-chain");
   ServiceId crc_svc = 0;
@@ -192,12 +192,12 @@ int main() {
                                       bridge_b_svc, comp_svc);
   ServiceId thumb_svc = 0;
   const TileId tt = os_a.Deploy(app, std::unique_ptr<Accelerator>(thumbnailer), &thumb_svc);
-  os_a.GrantSendToService(tt, crc_svc);
-  os_a.GrantSendToService(tt, bridge_a_svc);
+  (void)os_a.GrantSendToService(tt, crc_svc);
+  (void)os_a.GrantSendToService(tt, bridge_a_svc);
   auto* gw = new NetGateway();
   ServiceId gw_svc = 0;
   const TileId gt = os_a.Deploy(app, std::unique_ptr<Accelerator>(gw), &gw_svc);
-  os_a.GrantSendToService(gt, kNetworkService);
+  (void)os_a.GrantSendToService(gt, kNetworkService);
   gw->SetBackend(os_a.GrantSendToService(gt, thumb_svc));
 
   // A client drives frames through the whole chain.

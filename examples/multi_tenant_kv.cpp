@@ -92,23 +92,23 @@ int main() {
   os.Deploy(video_app, std::unique_ptr<Accelerator>(encoder), &enc_svc);
   auto* enc_client = new EncoderClient(enc_svc);
   const TileId ec_tile = os.Deploy(video_app, std::unique_ptr<Accelerator>(enc_client));
-  os.GrantSendToService(ec_tile, enc_svc);
+  (void)os.GrantSendToService(ec_tile, enc_svc);
 
   // ---- Tenant B: the KV store, network-facing, plus a snooper tile. ----
   AppId kv_app = os.CreateApp("tenant-B-kv");
   auto* kv = new KvStoreAccelerator(1 << 20, 1 << 16);
   ServiceId kv_svc = 0;
   const TileId kv_tile = os.Deploy(kv_app, std::unique_ptr<Accelerator>(kv), &kv_svc);
-  os.GrantSendToService(kv_tile, kMemoryService);
+  (void)os.GrantSendToService(kv_tile, kMemoryService);
   auto* gw = new NetGateway();
   ServiceId gw_svc = 0;
   const TileId gw_tile = os.Deploy(kv_app, std::unique_ptr<Accelerator>(gw), &gw_svc);
-  os.GrantSendToService(gw_tile, kNetworkService);
+  (void)os.GrantSendToService(gw_tile, kNetworkService);
   gw->SetBackend(os.GrantSendToService(gw_tile, kv_svc));
 
   auto* snooper = new SnooperAccelerator(os.num_tiles(), 40);
   const TileId snoop_tile = os.Deploy(kv_app, std::unique_ptr<Accelerator>(snooper));
-  os.GrantSendToService(snoop_tile, kMemoryService);  // Legitimate tenant right.
+  (void)os.GrantSendToService(snoop_tile, kMemoryService);  // Legitimate tenant right.
 
   // External clients driving the KV store (YCSB-B-ish mix).
   KvWorkloadConfig wl;

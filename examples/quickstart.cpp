@@ -79,7 +79,7 @@ int main() {
       os.Deploy(app, std::make_unique<EchoAccelerator>(/*service_cycles=*/25), &echo_svc);
   auto* client = new HelloClient(echo_svc);
   const TileId client_tile = os.Deploy(app, std::unique_ptr<Accelerator>(client));
-  os.GrantSendToService(client_tile, echo_svc);
+  (void)os.GrantSendToService(client_tile, echo_svc);
   std::printf("[kernel ] echo on tile %u (service %u), client on tile %u, capability granted\n",
               echo_tile, echo_svc, client_tile);
 

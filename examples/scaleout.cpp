@@ -50,7 +50,7 @@ RunResult RunWithReplicas(uint32_t replicas) {
   auto* gw = new NetGateway();
   ServiceId gw_svc = 0;
   const TileId gw_tile = os.Deploy(app, std::unique_ptr<Accelerator>(gw), &gw_svc);
-  os.GrantSendToService(gw_tile, kNetworkService);
+  (void)os.GrantSendToService(gw_tile, kNetworkService);
   gw->SetBackend(os.GrantSendToService(gw_tile, lb_svc));
 
   ClientConfig ccfg;

@@ -125,7 +125,7 @@ int main() {
 
   auto* feeder = new FrameFeeder(enc_svc, kWidth, kHeight, kFrames, /*interval=*/6000);
   const TileId feeder_tile = os.Deploy(app, std::unique_ptr<Accelerator>(feeder));
-  os.GrantSendToService(feeder_tile, enc_svc);
+  (void)os.GrantSendToService(feeder_tile, enc_svc);
 
   std::printf("video pipeline: feeder(t%u) -> encoder(t%u) -> compressor(t%u) -> sink\n",
               feeder_tile, enc_tile, comp_tile);

@@ -48,7 +48,7 @@ struct Capability {
 
 // Encodes (slot index, generation) into the opaque 32-bit CapRef the
 // accelerator holds: low 20 bits slot, high 12 bits generation.
-CapRef MakeCapRef(uint32_t slot, uint32_t generation);
+[[nodiscard]] CapRef MakeCapRef(uint32_t slot, uint32_t generation);
 uint32_t CapRefSlot(CapRef ref);
 uint32_t CapRefGeneration(CapRef ref);
 
@@ -57,8 +57,9 @@ class CapabilityTable {
   explicit CapabilityTable(uint32_t max_entries = 64);
 
   // Installs a capability; returns the reference handed to the accelerator,
-  // or kInvalidCapRef when the table is full.
-  CapRef Install(const Capability& cap);
+  // or kInvalidCapRef when the table is full. Dropping the result orphans
+  // the slot until RevokeAll.
+  [[nodiscard]] CapRef Install(const Capability& cap);
 
   // Returns the capability for a live, generation-matching reference.
   const Capability* Lookup(CapRef ref) const;
@@ -71,7 +72,7 @@ class CapabilityTable {
 
   // Finds a live endpoint capability whose dst_service matches (the "table
   // that maps logical service names to underlying physical units", 4.3).
-  CapRef FindEndpointForService(ServiceId service) const;
+  [[nodiscard]] CapRef FindEndpointForService(ServiceId service) const;
 
   uint32_t live_count() const { return live_count_; }
   uint32_t capacity() const { return static_cast<uint32_t>(slots_.size()); }

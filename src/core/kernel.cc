@@ -175,7 +175,7 @@ void ApiaryOs::ReinstallTileCaps(TileId tile) {
     }
   }
   for (ServiceId dst : dsts) {
-    GrantSendToService(tile, dst);
+    (void)GrantSendToService(tile, dst);
   }
 }
 
@@ -194,7 +194,7 @@ void ApiaryOs::RegrantClientsOf(ServiceId dst) {
     if (stale != kInvalidCapRef) {
       m.RevokeCap(stale);
     }
-    GrantSendToService(src, dst);
+    (void)GrantSendToService(src, dst);
   }
 }
 

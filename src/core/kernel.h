@@ -8,10 +8,10 @@
 #ifndef SRC_CORE_KERNEL_H_
 #define SRC_CORE_KERNEL_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/service_ids.h"
@@ -68,18 +68,21 @@ class ApiaryOs {
   // Grants `src` the right to send requests to the tile hosting `dst`, and
   // installs `src` on that tile's accept list. Responses flow back via the
   // implicit reply right. Returns the endpoint CapRef for src's accelerator.
-  CapRef GrantSendToService(TileId src, ServiceId dst);
+  [[nodiscard]] CapRef GrantSendToService(TileId src, ServiceId dst);
 
   // Raw tile-to-tile grant (dst named physically; used by tests).
-  CapRef GrantSend(TileId src, TileId dst);
+  [[nodiscard]] CapRef GrantSend(TileId src, TileId dst);
 
   // Allocates `bytes` of board DRAM and installs a memory capability with
-  // `rights` (kRightRead/kRightWrite) on `tile`.
-  std::optional<CapRef> GrantMemory(TileId tile, uint64_t bytes, uint32_t rights);
+  // `rights` (kRightRead/kRightWrite) on `tile`. Dropping the result leaks
+  // the segment until the tile is torn down.
+  [[nodiscard]] std::optional<CapRef> GrantMemory(TileId tile, uint64_t bytes,
+                                                  uint32_t rights);
 
   // Installs a capability for an existing segment (sharing between tiles of
   // one app, or attenuated re-grants).
-  CapRef GrantExistingSegment(TileId tile, const Segment& segment, uint32_t rights);
+  [[nodiscard]] CapRef GrantExistingSegment(TileId tile, const Segment& segment,
+                                            uint32_t rights);
 
   // Revokes a capability; if it was the primary grant of a kernel-allocated
   // segment, the segment is freed.
@@ -145,11 +148,13 @@ class ApiaryOs {
     std::vector<TileId> tiles;
   };
   std::vector<AppInfo> apps_;
-  std::unordered_map<ServiceId, TileId> service_registry_;
+  // Ordered maps: kernel state is part of the deterministic replay surface,
+  // and hash iteration order would vary with the allocator/seed.
+  std::map<ServiceId, TileId> service_registry_;
   ServiceId next_app_service_ = kFirstAppService;
 
   // Kernel-allocated segments keyed by (tile, cap slot) for free-on-revoke.
-  std::unordered_map<uint64_t, Segment> owned_segments_;
+  std::map<uint64_t, Segment> owned_segments_;
 
   // Who was granted send-to-whom, by logical name — the kernel's record of
   // the capability graph, replayed after recovery re-installs a tile.

@@ -98,6 +98,7 @@ class EthernetMacBase : public Clocked, public ExternalEndpoint {
   }
 
   void Tick(Cycle now) override;
+  std::string DebugName() const override { return "eth_mac"; }
 
   uint32_t address() const { return address_; }
   double link_gbps() const { return link_gbps_; }

@@ -6,8 +6,8 @@
 
 #include <cstdint>
 #include <list>
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/sim/types.h"
@@ -49,10 +49,12 @@ class PageTable {
   bool TlbLookup(uint64_t vpn);
 
   PageTableConfig config_;
-  std::unordered_map<uint64_t, uint64_t> mappings_;
+  // Ordered maps so translation state never depends on hash iteration order
+  // (the radix walk they model is order-deterministic anyway).
+  std::map<uint64_t, uint64_t> mappings_;
   // LRU TLB: front = most recent.
   std::list<uint64_t> tlb_lru_;
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> tlb_index_;
+  std::map<uint64_t, std::list<uint64_t>::iterator> tlb_index_;
   CounterSet counters_;
 };
 

@@ -40,8 +40,9 @@ class SegmentAllocator {
   SegmentAllocator(uint64_t base, uint64_t capacity, FitPolicy policy = FitPolicy::kBestFit);
 
   // Allocates `bytes` aligned to `alignment` (a power of two). Returns
-  // nullopt when no free range fits.
-  std::optional<Segment> Allocate(uint64_t bytes, uint64_t alignment = 64);
+  // nullopt when no free range fits. Dropping the result strands the range
+  // until the allocator is destroyed.
+  [[nodiscard]] std::optional<Segment> Allocate(uint64_t bytes, uint64_t alignment = 64);
 
   // Frees a previously allocated segment. Returns false (and changes
   // nothing) for a segment that was not allocated by this allocator.

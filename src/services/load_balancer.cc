@@ -1,5 +1,7 @@
 #include "src/services/load_balancer.h"
 
+#include "src/services/opcodes.h"
+
 namespace apiary {
 
 size_t LoadBalancer::PickBackend() {
@@ -25,7 +27,9 @@ void LoadBalancer::OnMessage(const Message& msg, TileApi& api) {
     }
     auto [original, backend_idx] = std::move(it->second);
     in_flight_.erase(it);
-    if (backends_[backend_idx].outstanding > 0) {
+    // A kOpLbConfig may have replaced the backend set while this request
+    // was in flight; the recorded index is then stale.
+    if (backend_idx < backends_.size() && backends_[backend_idx].outstanding > 0) {
       --backends_[backend_idx].outstanding;
     }
     Message reply;
@@ -36,6 +40,29 @@ void LoadBalancer::OnMessage(const Message& msg, TileApi& api) {
       counters_.Add("lb.reply_failures");
     }
     counters_.Add("lb.responses");
+    return;
+  }
+
+  if (msg.opcode == kOpLbConfig) {
+    // Control plane: replace the backend set with the CapRefs packed into
+    // the payload (the kernel minted them into this tile's table before
+    // sending the config). In-flight responses still reach their original
+    // requesters; only their per-backend accounting goes stale.
+    Message reply;
+    reply.opcode = msg.opcode;
+    if (msg.payload.size() % 4 != 0) {
+      reply.status = MsgStatus::kBadRequest;
+      api.Reply(msg, std::move(reply));
+      return;
+    }
+    backends_.clear();
+    rr_next_ = 0;
+    for (size_t off = 0; off < msg.payload.size(); off += 4) {
+      backends_.push_back(Backend{GetU32(msg.payload, off), 0});
+    }
+    counters_.Add("lb.configs");
+    PutU32(reply.payload, static_cast<uint32_t>(backends_.size()));
+    api.Reply(msg, std::move(reply));
     return;
   }
 

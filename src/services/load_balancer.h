@@ -18,6 +18,8 @@ class LoadBalancer : public Accelerator {
   // (minted by the kernel during wiring).
   void AddBackend(CapRef endpoint) { backends_.push_back(Backend{endpoint, 0}); }
 
+  // Handles kOpLbConfig (payload: packed u32 CapRefs naming the new backend
+  // set, replacing the old one) and forwards everything else to a backend.
   void OnMessage(const Message& msg, TileApi& api) override;
 
   std::string name() const override { return "load_balancer"; }

@@ -6,6 +6,8 @@ namespace apiary {
 namespace {
 
 LogLevel g_level = LogLevel::kOff;
+LogSink g_sink = nullptr;
+void* g_sink_user = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,8 +31,17 @@ void SetLogLevel(LogLevel level) { g_level = level; }
 
 LogLevel GetLogLevel() { return g_level; }
 
+void SetLogSink(LogSink sink, void* user) {
+  g_sink = sink;
+  g_sink_user = user;
+}
+
 void LogMessage(LogLevel level, const std::string& msg) {
   if (level < g_level || level == LogLevel::kOff) {
+    return;
+  }
+  if (g_sink != nullptr) {
+    g_sink(level, msg, g_sink_user);
     return;
   }
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());

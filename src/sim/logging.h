@@ -20,7 +20,13 @@ enum class LogLevel {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Emits one log line (with level prefix) to stderr if enabled.
+// Redirects enabled log lines into `sink` instead of stderr (nullptr
+// restores stderr). Used by the determinism regression to capture and diff
+// the full trace of two seeded runs.
+using LogSink = void (*)(LogLevel level, const std::string& line, void* user);
+void SetLogSink(LogSink sink, void* user);
+
+// Emits one log line (with level prefix) to the sink or stderr if enabled.
 void LogMessage(LogLevel level, const std::string& msg);
 
 // Stream-style helper: APIARY_LOG(kInfo) << "tile " << id << " booted";

@@ -1,6 +1,7 @@
 #include "src/workload/client.h"
 
 #include "src/core/message.h"
+#include "src/sim/logging.h"
 
 namespace apiary {
 
@@ -73,6 +74,13 @@ void ClientHost::HandleResponsePayload(const std::vector<uint8_t>& payload, Cycl
   if (it == outstanding_.end()) {
     ++stray_responses_;
     return;
+  }
+  // Trace at debug level for the determinism regression (which diffs the
+  // full trace of two seeded runs); guarded so disabled runs pay one branch.
+  if (GetLogLevel() <= LogLevel::kDebug) {
+    APIARY_LOG(kDebug) << "client " << my_endpoint_ << ": resp id=" << id << " status="
+                       << static_cast<int>(status) << " lat="
+                       << (now - it->second.first_issued) << " now=" << now;
   }
   latency_.Record(now - it->second.first_issued);
   outstanding_.erase(it);

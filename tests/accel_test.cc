@@ -295,7 +295,7 @@ struct KvFixture {
     app = tb.os.CreateApp("kv");
     kv = new KvStoreAccelerator(1 << 16, 1024);
     kv_tile = tb.os.Deploy(app, std::unique_ptr<Accelerator>(kv), &kv_svc);
-    tb.os.GrantSendToService(kv_tile, kMemoryService);
+    (void)tb.os.GrantSendToService(kv_tile, kMemoryService);
     probe = new ProbeAccelerator();
     probe_tile = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
     cap = tb.os.GrantSendToService(probe_tile, kv_svc);
@@ -390,7 +390,7 @@ TEST(KvStoreTest, LogExhaustionReportsNoMemory) {
   auto* kv = new KvStoreAccelerator(/*value_log_bytes=*/256, 1024);
   ServiceId svc = 0;
   const TileId kt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(kv), &svc);
-  tb.os.GrantSendToService(kt, kMemoryService);
+  (void)tb.os.GrantSendToService(kt, kMemoryService);
   auto* probe = new ProbeAccelerator();
   const TileId pt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
   const CapRef cap = tb.os.GrantSendToService(pt, svc);
@@ -461,7 +461,7 @@ TEST(FaultyTest, SnooperGainsNothing) {
   auto* snoop = new SnooperAccelerator(tb.os.num_tiles(), 50);
   const TileId st = tb.os.Deploy(bad_app, std::unique_ptr<Accelerator>(snoop));
   // The snooper may legitimately talk to the memory service (as any tenant).
-  tb.os.GrantSendToService(st, kMemoryService);
+  (void)tb.os.GrantSendToService(st, kMemoryService);
   tb.sim.Run(20000);
   EXPECT_GT(snoop->attempts(), 100u);
   EXPECT_EQ(snoop->leaked(), 0u);  // The headline isolation property.
@@ -476,7 +476,7 @@ TEST(FaultyTest, WildWriterContainedBySegments) {
   AppId app = tb.os.CreateApp("bad");
   auto* wild = new WildWriterAccelerator(4096, 100);
   const TileId wt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(wild));
-  tb.os.GrantSendToService(wt, kMemoryService);
+  (void)tb.os.GrantSendToService(wt, kMemoryService);
   tb.sim.Run(30000);
   EXPECT_GT(wild->attempts(), 10u);
   EXPECT_GT(wild->seg_faults(), 0u);    // Out-of-bounds writes bounced.

@@ -131,7 +131,7 @@ TEST(GatewayEdgeTest, NoBackendAnswersClient) {
   AppId app = tb.os.CreateApp("a");
   ServiceId gw_svc = 0;
   const TileId gt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(gw), &gw_svc);
-  tb.os.GrantSendToService(gt, kNetworkService);
+  (void)tb.os.GrantSendToService(gt, kNetworkService);
   struct Sink : ExternalEndpoint {
     std::vector<EthFrame> frames;
     void OnFrame(EthFrame f, Cycle) override { frames.push_back(std::move(f)); }

@@ -163,8 +163,8 @@ struct TwoBoards {
                                 std::unique_ptr<Accelerator>(bridge_a), &bridge_a_svc);
     bridge_b_tile = os_b.Deploy(os_b.CreateApp("bridge"),
                                 std::unique_ptr<Accelerator>(bridge_b), &bridge_b_svc);
-    os_a.GrantSendToService(bridge_a_tile, kNetworkService);
-    os_b.GrantSendToService(bridge_b_tile, kNetworkService);
+    (void)os_a.GrantSendToService(bridge_a_tile, kNetworkService);
+    (void)os_b.GrantSendToService(bridge_b_tile, kNetworkService);
   }
 
   Simulator sim{250.0};

@@ -439,7 +439,7 @@ TEST(SupervisorTest, WatchdogWedgeDetectionFeedsRecovery) {
   // deadline when it boots.
   const TileId wt = fb.os.Deploy(
       app, std::make_unique<WedgeAccelerator>(~0ull, kInvalidCapRef, 100));
-  fb.os.GrantSendToService(wt, kMgmtService);
+  (void)fb.os.GrantSendToService(wt, kMgmtService);
 
   SupervisorConfig scfg;
   scfg.poll_period = 64;

@@ -40,11 +40,11 @@ TEST(IntegrationTest, ClientDrivesKvStoreOverTheNetwork) {
   auto* kv = new KvStoreAccelerator(1 << 18, 4096);
   ServiceId kv_svc = 0;
   const TileId kv_tile = tb.os.Deploy(app, std::unique_ptr<Accelerator>(kv), &kv_svc);
-  tb.os.GrantSendToService(kv_tile, kMemoryService);
+  (void)tb.os.GrantSendToService(kv_tile, kMemoryService);
   auto* gw = new NetGateway();
   ServiceId gw_svc = 0;
   const TileId gw_tile = tb.os.Deploy(app, std::unique_ptr<Accelerator>(gw), &gw_svc);
-  tb.os.GrantSendToService(gw_tile, kNetworkService);
+  (void)tb.os.GrantSendToService(gw_tile, kNetworkService);
   gw->SetBackend(tb.os.GrantSendToService(gw_tile, kv_svc));
 
   // Closed-loop client: PUT key0..key9, then GET them back.
@@ -134,7 +134,7 @@ TEST(IntegrationTest, MutuallyDistrustingTenantsIsolated) {
   AppId kv_app = tb.os.CreateApp("kv-evil");
   auto* snoop = new SnooperAccelerator(tb.os.num_tiles(), 20);
   const TileId st = tb.os.Deploy(kv_app, std::unique_ptr<Accelerator>(snoop));
-  tb.os.GrantSendToService(st, kMemoryService);
+  (void)tb.os.GrantSendToService(st, kMemoryService);
 
   const auto pixels = GenerateFrame(32, 32, 1, 0);
   Message frame;
@@ -171,7 +171,7 @@ TEST(IntegrationTest, ScaleOutThroughLoadBalancer) {
   auto* gw = new NetGateway();
   ServiceId gw_svc = 0;
   const TileId gw_tile = tb.os.Deploy(app, std::unique_ptr<Accelerator>(gw), &gw_svc);
-  tb.os.GrantSendToService(gw_tile, kNetworkService);
+  (void)tb.os.GrantSendToService(gw_tile, kNetworkService);
   gw->SetBackend(tb.os.GrantSendToService(gw_tile, lb_svc));
 
   ClientConfig ccfg;
@@ -207,7 +207,7 @@ TEST(IntegrationTest, WatchdogRecoversWedgedServiceTile) {
                                      /*heartbeat_period=*/500);
   ServiceId svc = 0;
   const TileId wt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(wedge), &svc);
-  tb.os.GrantSendToService(wt, kMgmtService);
+  (void)tb.os.GrantSendToService(wt, kMgmtService);
 
   auto* probe = new ProbeAccelerator();
   const TileId pt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));

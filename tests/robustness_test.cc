@@ -168,7 +168,7 @@ TEST(KvParallelTest, ManyOutstandingGetsAllCorrect) {
   auto* kv = new KvStoreAccelerator(1 << 18, 4096);
   ServiceId svc = 0;
   const TileId kt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(kv), &svc);
-  tb.os.GrantSendToService(kt, kMemoryService);
+  (void)tb.os.GrantSendToService(kt, kMemoryService);
   auto* probe = new ProbeAccelerator();
   const TileId pt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
   const CapRef cap = tb.os.GrantSendToService(pt, svc);

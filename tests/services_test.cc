@@ -266,7 +266,7 @@ TEST(MgmtServiceTest, HeartbeatsKeepTileAlive) {
   };
   AppId app = tb.os.CreateApp("a");
   const TileId pt = tb.os.Deploy(app, std::make_unique<Beater>());
-  tb.os.GrantSendToService(pt, kMgmtService);
+  (void)tb.os.GrantSendToService(pt, kMgmtService);
   tb.sim.Run(5000);
   EXPECT_EQ(tb.os.monitor(pt).fault_state(), TileFaultState::kHealthy);
   EXPECT_EQ(mgmt->counters().Get("mgmt.watchdog_trips"), 0u);
@@ -397,7 +397,7 @@ TEST(GatewayTest, BridgesClientToBackend) {
   auto* gw = new NetGateway();
   ServiceId gw_svc = 0;
   const TileId gw_tile = tb.os.Deploy(app, std::unique_ptr<Accelerator>(gw), &gw_svc);
-  tb.os.GrantSendToService(gw_tile, kNetworkService);
+  (void)tb.os.GrantSendToService(gw_tile, kNetworkService);
   gw->SetBackend(tb.os.GrantSendToService(gw_tile, echo_svc));
   (void)echo_tile;
 
@@ -516,6 +516,92 @@ TEST(LoadBalancerTest, RoutesAroundFailStoppedBackendEventually) {
   EXPECT_GT(ok, 0);
   EXPECT_GT(failed, 0);  // Fail-stop is visible, not silent.
   EXPECT_GT(b2->served(), 0u);
+}
+
+TEST(LoadBalancerTest, LbConfigReplacesBackendSetOverTheWire) {
+  TestBoard tb;
+  AppId app = tb.os.CreateApp("svc");
+  auto* lb = new LoadBalancer();
+  ServiceId lb_svc = 0;
+  const TileId lb_tile = tb.os.Deploy(app, std::unique_ptr<Accelerator>(lb), &lb_svc);
+  auto* old_backend = new EchoAccelerator(10);
+  ServiceId old_svc = 0;
+  tb.os.Deploy(app, std::unique_ptr<Accelerator>(old_backend), &old_svc);
+  lb->AddBackend(tb.os.GrantSendToService(lb_tile, old_svc));
+
+  // Two fresh backends; the kernel mints the LB tile's endpoint caps, and a
+  // kOpLbConfig message carries them to the balancer.
+  std::vector<EchoAccelerator*> fresh;
+  Message config;
+  config.opcode = kOpLbConfig;
+  for (int i = 0; i < 2; ++i) {
+    auto* echo = new EchoAccelerator(10);
+    ServiceId svc = 0;
+    tb.os.Deploy(app, std::unique_ptr<Accelerator>(echo), &svc);
+    PutU32(config.payload, tb.os.GrantSendToService(lb_tile, svc));
+    fresh.push_back(echo);
+  }
+  auto* probe = new ProbeAccelerator();
+  const TileId pt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef cap = tb.os.GrantSendToService(pt, lb_svc);
+  probe->EnqueueSend(config, cap);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !probe->received.empty(); }, 10000));
+  EXPECT_EQ(probe->received[0].status, MsgStatus::kOk);
+  ASSERT_GE(probe->received[0].payload.size(), 4u);
+  EXPECT_EQ(GetU32(probe->received[0].payload, 0), 2u);  // New backend count.
+  EXPECT_EQ(lb->num_backends(), 2u);
+  EXPECT_EQ(lb->counters().Get("lb.configs"), 1u);
+
+  // Traffic now lands on the fresh backends only.
+  for (int i = 0; i < 4; ++i) {
+    Message msg;
+    msg.opcode = kOpEcho;
+    probe->EnqueueSend(msg, cap);
+  }
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return probe->received.size() == 5; }, 100000));
+  EXPECT_EQ(old_backend->served(), 0u);
+  EXPECT_EQ(fresh[0]->served() + fresh[1]->served(), 4u);
+}
+
+TEST(LoadBalancerTest, LbConfigRejectsMalformedPayload) {
+  TestBoard tb;
+  AppId app = tb.os.CreateApp("svc");
+  auto* lb = new LoadBalancer();
+  ServiceId lb_svc = 0;
+  tb.os.Deploy(app, std::unique_ptr<Accelerator>(lb), &lb_svc);
+  auto* probe = new ProbeAccelerator();
+  const TileId pt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef cap = tb.os.GrantSendToService(pt, lb_svc);
+  Message config;
+  config.opcode = kOpLbConfig;
+  config.payload = {1, 2, 3};  // Not a whole number of u32 CapRefs.
+  probe->EnqueueSend(config, cap);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !probe->received.empty(); }, 10000));
+  EXPECT_EQ(probe->received[0].status, MsgStatus::kBadRequest);
+  EXPECT_EQ(lb->num_backends(), 0u);
+}
+
+TEST(MgmtServiceTest, QueryReturnsCounters) {
+  TestBoard tb;
+  auto* mgmt = new MgmtService(&tb.os);
+  tb.os.DeployService(kMgmtService, std::unique_ptr<Accelerator>(mgmt));
+  auto* probe = new ProbeAccelerator();
+  AppId app = tb.os.CreateApp("a");
+  const TileId pt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef cap = tb.os.GrantSendToService(pt, kMgmtService);
+  Message report;
+  report.opcode = kOpMgmtReport;
+  const std::string event = "tile acting up";
+  report.payload.assign(event.begin(), event.end());
+  probe->EnqueueSend(report, cap);
+  Message query;
+  query.opcode = kOpMgmtQuery;
+  probe->EnqueueSend(query, cap);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return probe->received.size() == 2; }, 10000));
+  const auto& reply = probe->received[1];
+  EXPECT_EQ(reply.status, MsgStatus::kOk);
+  const std::string counters(reply.payload.begin(), reply.payload.end());
+  EXPECT_NE(counters.find("mgmt.reports"), std::string::npos) << counters;
 }
 
 }  // namespace

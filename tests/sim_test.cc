@@ -163,6 +163,7 @@ TEST(EventQueueTest, CallbackMaySchedule) {
 class CountingBlock : public Clocked {
  public:
   void Tick(Cycle) override { ++ticks; }
+  std::string DebugName() const override { return "counting_block"; }
   int ticks = 0;
 };
 

@@ -179,11 +179,11 @@ TEST(TransportIntegrationTest, KvWorkloadSurvivesLossyFabric) {
   auto* kv = new KvStoreAccelerator(1 << 18, 4096);
   ServiceId kv_svc = 0;
   const TileId kt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(kv), &kv_svc);
-  tb.os.GrantSendToService(kt, kMemoryService);
+  (void)tb.os.GrantSendToService(kt, kMemoryService);
   auto* gw = new NetGateway();
   ServiceId gw_svc = 0;
   const TileId gt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(gw), &gw_svc);
-  tb.os.GrantSendToService(gt, kNetworkService);
+  (void)tb.os.GrantSendToService(gt, kNetworkService);
   gw->SetBackend(tb.os.GrantSendToService(gt, kv_svc));
 
   ClientConfig ccfg;
@@ -230,7 +230,7 @@ TEST(TransportIntegrationTest, LossVisibleWithoutTransport) {
   auto* gw = new NetGateway();
   ServiceId gw_svc = 0;
   const TileId gt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(gw), &gw_svc);
-  tb.os.GrantSendToService(gt, kNetworkService);
+  (void)tb.os.GrantSendToService(gt, kNetworkService);
   ServiceId echo_svc = 0;
   tb.os.Deploy(app, std::make_unique<EchoAccelerator>(0), &echo_svc);
   gw->SetBackend(tb.os.GrantSendToService(gt, echo_svc));

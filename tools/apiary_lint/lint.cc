@@ -1,0 +1,721 @@
+#include "tools/apiary_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace apiary {
+namespace lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool MatchesAnySuffix(const std::string& path, const std::vector<std::string>& suffixes) {
+  for (const auto& suffix : suffixes) {
+    if (EndsWith(path, suffix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Trimmed(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+// Finds occurrences of `token` in `line` with an identifier boundary on
+// both sides ('::'-qualified tokens also require the leading char not be
+// ':'). Returns byte offsets of each occurrence.
+std::vector<size_t> FindIdentifier(const std::string& line, const std::string& token) {
+  std::vector<size_t> hits;
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool head_ok =
+        pos == 0 || (!IsIdentChar(line[pos - 1]) && line[pos - 1] != ':');
+    const size_t after = pos + token.size();
+    const bool tail_ok = after >= line.size() || !IsIdentChar(line[after]);
+    if (head_ok && tail_ok) {
+      hits.push_back(pos);
+    }
+    pos += token.size();
+  }
+  return hits;
+}
+
+// True when line contains a *call* of `name`: identifier boundary before
+// (and not a member access or qualified name), '(' after optional spaces.
+bool FindCall(const std::string& line, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string::npos) {
+    const bool head_ok = pos == 0 || (!IsIdentChar(line[pos - 1]) && line[pos - 1] != ':' &&
+                                      line[pos - 1] != '.' && line[pos - 1] != '>');
+    size_t after = pos + name.size();
+    while (after < line.size() && (line[after] == ' ' || line[after] == '\t')) {
+      ++after;
+    }
+    if (head_ok && after < line.size() && line[after] == '(') {
+      return true;
+    }
+    pos += name.size();
+  }
+  return false;
+}
+
+// Parses `#include "target"` from a raw line; empty string when absent.
+std::string ParseQuotedInclude(const std::string& raw) {
+  const std::string trimmed = Trimmed(raw);
+  if (trimmed.empty() || trimmed[0] != '#') {
+    return "";
+  }
+  size_t pos = trimmed.find_first_not_of(" \t", 1);
+  if (pos == std::string::npos || trimmed.compare(pos, 7, "include") != 0) {
+    return "";
+  }
+  size_t open = trimmed.find('"', pos + 7);
+  if (open == std::string::npos) {
+    return "";
+  }
+  size_t close = trimmed.find('"', open + 1);
+  if (close == std::string::npos) {
+    return "";
+  }
+  return trimmed.substr(open + 1, close - open - 1);
+}
+
+// Top-level directory under src/ for a repo-relative path, or "" if the
+// path is not of the form src/<dir>/...
+std::string SrcLayer(const std::string& path) {
+  if (!StartsWith(path, "src/")) {
+    return "";
+  }
+  size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) {
+    return "";
+  }
+  return path.substr(4, slash - 4);
+}
+
+// Records the check names listed in "(...)" after a NOLINT marker at
+// `after` in `line`; a bare marker records "*".
+std::vector<std::string> ParseNolintList(const std::string& line, size_t after) {
+  std::vector<std::string> checks;
+  if (after < line.size() && line[after] == '(') {
+    size_t close = line.find(')', after);
+    if (close != std::string::npos) {
+      std::string inside = line.substr(after + 1, close - after - 1);
+      std::stringstream ss(inside);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        item = Trimmed(item);
+        if (!item.empty()) {
+          checks.push_back(item);
+        }
+      }
+      return checks;
+    }
+  }
+  checks.push_back("*");
+  return checks;
+}
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string guard;
+  guard.reserve(path.size() + 1);
+  for (char c : path) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      guard.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    } else {
+      guard.push_back('_');
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+}  // namespace
+
+std::string Finding::ToString() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": [" << check << "] " << message;
+  return os.str();
+}
+
+bool SourceFile::IsSuppressed(int line, const std::string& check) const {
+  if (line < 1 || line > static_cast<int>(nolint.size())) {
+    return false;
+  }
+  for (const auto& entry : nolint[line - 1]) {
+    if (entry == "*" || entry == check) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SourceFile LexSource(std::string path, const std::string& content) {
+  SourceFile file;
+  file.path = std::move(path);
+
+  // Split into lines (keeping structure for both raw and code views).
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    lines.push_back(current);
+  }
+  file.raw_lines = lines;
+  file.nolint.assign(lines.size(), {});
+
+  // Record NOLINT markers from the raw text (they live inside comments,
+  // which the code view erases). NOLINTNEXTLINE is matched first since
+  // NOLINT is a prefix of it.
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& raw = lines[i];
+    size_t pos = 0;
+    while ((pos = raw.find("NOLINT", pos)) != std::string::npos) {
+      if (raw.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
+        auto checks = ParseNolintList(raw, pos + 14);
+        if (i + 1 < file.nolint.size()) {
+          auto& dst = file.nolint[i + 1];
+          dst.insert(dst.end(), checks.begin(), checks.end());
+        }
+        pos += 14;
+      } else {
+        auto checks = ParseNolintList(raw, pos + 6);
+        auto& dst = file.nolint[i];
+        dst.insert(dst.end(), checks.begin(), checks.end());
+        pos += 6;
+      }
+    }
+  }
+
+  // Build the code view: comments and string/char literals blanked.
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // Delimiter for raw string literals: )<delim>"
+  file.code_lines.reserve(lines.size());
+  for (const std::string& raw : lines) {
+    std::string code;
+    code.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      const char c = raw[i];
+      const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            code.append(raw.size() - i, ' ');
+            i = raw.size();
+            break;
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            code.append(2, ' ');
+            ++i;
+          } else if (c == '"' && i >= 1 && raw[i - 1] == 'R') {
+            // Raw string literal R"delim( ... )delim".
+            size_t open = raw.find('(', i + 1);
+            raw_delim = ")" + raw.substr(i + 1, open == std::string::npos
+                                                    ? std::string::npos
+                                                    : open - i - 1) + "\"";
+            state = State::kRawString;
+            code.push_back(' ');
+          } else if (c == '"') {
+            state = State::kString;
+            code.push_back(' ');
+          } else if (c == '\'' && !(i >= 1 && IsIdentChar(raw[i - 1]))) {
+            // Skip digit separators like 1'000'000 (preceded by idents).
+            state = State::kChar;
+            code.push_back(' ');
+          } else {
+            code.push_back(c);
+          }
+          break;
+        case State::kLineComment:
+          code.push_back(' ');
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            code.append(2, ' ');
+            ++i;
+          } else {
+            code.push_back(' ');
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            code.append(i + 1 < raw.size() ? 2 : 1, ' ');
+            ++i;
+          } else if (c == '"') {
+            state = State::kCode;
+            code.push_back(' ');
+          } else {
+            code.push_back(' ');
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            code.append(i + 1 < raw.size() ? 2 : 1, ' ');
+            ++i;
+          } else if (c == '\'') {
+            state = State::kCode;
+            code.push_back(' ');
+          } else {
+            code.push_back(' ');
+          }
+          break;
+        case State::kRawString:
+          if (raw.compare(i, raw_delim.size(), raw_delim) == 0) {
+            code.append(raw_delim.size(), ' ');
+            i += raw_delim.size() - 1;
+            state = State::kCode;
+          } else {
+            code.push_back(' ');
+          }
+          break;
+      }
+    }
+    // Line comments never span lines.
+    if (state == State::kLineComment || state == State::kString || state == State::kChar) {
+      state = State::kCode;
+    }
+    file.code_lines.push_back(std::move(code));
+  }
+  return file;
+}
+
+bool LoadSource(const std::string& absolute_path, const std::string& repo_relative_path,
+                SourceFile* out) {
+  std::ifstream in(absolute_path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = LexSource(repo_relative_path, buffer.str());
+  return true;
+}
+
+LintConfig DefaultConfig() {
+  LintConfig config;
+
+  // Determinism: every run must replay byte-identically from its seed
+  // (the chaos campaigns in bench/a9 and the determinism tests rely on it).
+  config.banned_identifiers = {"std::random_device", "std::mt19937", "std::mt19937_64"};
+  config.banned_calls = {"rand", "srand", "time", "clock", "getrandom"};
+  config.banned_suffixes = {"_clock::now"};
+  config.banned_containers = {"std::unordered_map", "std::unordered_set",
+                              "std::unordered_multimap", "std::unordered_multiset"};
+  config.determinism_exempt_prefixes = {"src/stats/", "src/sim/random."};
+  config.randomness_home = "src/sim/random.h";
+
+  // Layering: sim is the root; accel (untrusted logic) may reach only the
+  // Monitor-facing surface (core) and the simulator substrate — never mem
+  // or noc directly, mirroring the paper's Monitor-interposition guarantee.
+  // baseline must not include services (it models the no-OS world).
+  config.layering = {
+      {"sim", {"sim"}},
+      {"stats", {"stats", "sim"}},
+      {"mem", {"mem", "sim", "stats"}},
+      {"noc", {"noc", "sim", "stats"}},
+      {"fpga", {"fpga", "mem", "noc", "sim", "stats"}},
+      {"core", {"core", "fpga", "mem", "noc", "sim", "stats"}},
+      {"services", {"services", "core", "fpga", "mem", "noc", "sim", "stats"}},
+      {"fault", {"fault", "core", "fpga", "mem", "noc", "sim", "stats"}},
+      {"accel", {"accel", "core", "sim", "stats"}},
+      {"baseline", {"baseline", "fpga", "mem", "noc", "sim", "stats"}},
+      {"workload", {"workload", "accel", "core", "services", "fpga", "sim", "stats"}},
+  };
+  // The opcode ABI header is the one services/ surface accelerators may
+  // see: it is pure wire constants (Section 4.3's stable interface), the
+  // moral equivalent of a syscall-number header.
+  config.layering_exempt_includes = {"src/services/opcodes.h"};
+
+  config.opcode_def_files = {"src/services/opcodes.h", "src/accel/accel_opcodes.h"};
+
+  config.nodiscard_files = {"src/core/capability.h", "src/core/kernel.h",
+                            "src/mem/segment_allocator.h"};
+  config.nodiscard_types = {"CapRef", "std::optional<CapRef>", "std::optional<Segment>"};
+  return config;
+}
+
+void CheckDeterminism(const SourceFile& file, const LintConfig& config,
+                      std::vector<Finding>* findings) {
+  for (const auto& prefix : config.determinism_exempt_prefixes) {
+    if (StartsWith(file.path, prefix)) {
+      return;
+    }
+  }
+  const bool in_sim_state = StartsWith(file.path, "src/");
+  for (size_t i = 0; i < file.code_lines.size(); ++i) {
+    const std::string& line = file.code_lines[i];
+    const int lineno = static_cast<int>(i) + 1;
+    for (const auto& ident : config.banned_identifiers) {
+      if (!FindIdentifier(line, ident).empty()) {
+        findings->push_back({file.path, lineno, "apiary-determinism",
+                             ident + " breaks seeded replay; draw randomness from " +
+                                 config.randomness_home});
+      }
+    }
+    for (const auto& call : config.banned_calls) {
+      if (FindCall(line, call)) {
+        findings->push_back({file.path, lineno, "apiary-determinism",
+                             call + "() is nondeterministic across runs; use the seeded " +
+                                 "Rng (" + config.randomness_home + ") or simulator time"});
+      }
+    }
+    for (const auto& suffix : config.banned_suffixes) {
+      size_t pos = line.find(suffix);
+      if (pos != std::string::npos) {
+        const size_t after = pos + suffix.size();
+        if (after >= line.size() || !IsIdentChar(line[after])) {
+          findings->push_back({file.path, lineno, "apiary-determinism",
+                               "wall-clock reads (" + suffix + ") are nondeterministic; " +
+                                   "use Simulator::now() cycles"});
+        }
+      }
+    }
+    if (in_sim_state) {
+      for (const auto& container : config.banned_containers) {
+        if (!FindIdentifier(line, container).empty()) {
+          findings->push_back(
+              {file.path, lineno, "apiary-determinism",
+               container + " has seed-visible iteration order; use std::map/std::set, or "
+                           "suppress with // NOLINT(apiary-determinism) if never iterated"});
+        }
+      }
+    }
+  }
+}
+
+void CheckLayering(const SourceFile& file, const LintConfig& config,
+                   std::vector<Finding>* findings) {
+  const std::string layer = SrcLayer(file.path);
+  if (layer.empty()) {
+    return;  // Layering governs src/ only; tests and bench see everything.
+  }
+  auto rule = config.layering.find(layer);
+  for (size_t i = 0; i < file.raw_lines.size(); ++i) {
+    const std::string target = ParseQuotedInclude(file.raw_lines[i]);
+    if (target.empty() || !StartsWith(target, "src/")) {
+      continue;
+    }
+    const int lineno = static_cast<int>(i) + 1;
+    if (std::find(config.layering_exempt_includes.begin(),
+                  config.layering_exempt_includes.end(),
+                  target) != config.layering_exempt_includes.end()) {
+      continue;
+    }
+    if (rule == config.layering.end()) {
+      findings->push_back({file.path, lineno, "apiary-layering",
+                           "src/" + layer + "/ is not a declared layer; add it to the "
+                           "allowed-include DAG in tools/apiary_lint/lint.cc"});
+      continue;
+    }
+    const std::string target_layer = SrcLayer(target);
+    if (std::find(rule->second.begin(), rule->second.end(), target_layer) ==
+        rule->second.end()) {
+      findings->push_back({file.path, lineno, "apiary-layering",
+                           "src/" + layer + "/ may not include " + target + " (allowed " +
+                               "layers are listed in tools/apiary_lint/lint.cc; accel must "
+                               "reach mem/noc through the Monitor, never directly)"});
+    }
+  }
+}
+
+void CheckIncludeGuard(const SourceFile& file, const LintConfig& /*config*/,
+                       std::vector<Finding>* findings) {
+  if (!EndsWith(file.path, ".h")) {
+    return;
+  }
+  const std::string expected = ExpectedGuard(file.path);
+  for (size_t i = 0; i < file.code_lines.size(); ++i) {
+    const std::string trimmed = Trimmed(file.code_lines[i]);
+    if (trimmed.empty()) {
+      continue;
+    }
+    if (StartsWith(trimmed, "#pragma once")) {
+      findings->push_back({file.path, static_cast<int>(i) + 1, "apiary-include-guard",
+                           "use the " + expected + " include-guard convention, not "
+                           "#pragma once"});
+      return;
+    }
+    if (StartsWith(trimmed, "#ifndef")) {
+      const std::string guard = Trimmed(trimmed.substr(7));
+      if (guard != expected) {
+        findings->push_back({file.path, static_cast<int>(i) + 1, "apiary-include-guard",
+                             "include guard '" + guard + "' should be '" + expected + "'"});
+        return;
+      }
+      // The guard define must follow immediately.
+      for (size_t j = i + 1; j < file.code_lines.size(); ++j) {
+        const std::string next = Trimmed(file.code_lines[j]);
+        if (next.empty()) {
+          continue;
+        }
+        if (next != "#define " + expected) {
+          findings->push_back({file.path, static_cast<int>(j) + 1, "apiary-include-guard",
+                               "expected '#define " + expected + "' right after #ifndef"});
+        }
+        return;
+      }
+      return;
+    }
+    // First significant line is neither a guard nor pragma once.
+    findings->push_back({file.path, static_cast<int>(i) + 1, "apiary-include-guard",
+                         "header has no include guard; expected #ifndef " + expected});
+    return;
+  }
+}
+
+void CheckDebugName(const SourceFile& file, const LintConfig& /*config*/,
+                    std::vector<Finding>* findings) {
+  // Join the code view so class heads and bodies spanning lines are easy to
+  // scan; remember line starts for reporting.
+  std::string text;
+  std::vector<size_t> line_start;
+  for (const auto& line : file.code_lines) {
+    line_start.push_back(text.size());
+    text += line;
+    text.push_back('\n');
+  }
+  auto line_of = [&](size_t offset) {
+    size_t lo = 0;
+    size_t hi = line_start.size();
+    while (lo + 1 < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (line_start[mid] <= offset) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<int>(lo) + 1;
+  };
+
+  size_t pos = 0;
+  while ((pos = text.find("class ", pos)) != std::string::npos) {
+    if (pos > 0 && IsIdentChar(text[pos - 1])) {
+      pos += 6;
+      continue;
+    }
+    const size_t head_start = pos;
+    pos += 6;
+    // Class head runs to the first '{' or ';' (forward declaration).
+    size_t body_open = text.find_first_of("{;", head_start);
+    if (body_open == std::string::npos || text[body_open] == ';') {
+      continue;
+    }
+    const std::string head = text.substr(head_start, body_open - head_start);
+    // Direct Clocked subclass: base list mentions Clocked after a ':'.
+    size_t colon = head.find(':');
+    if (colon == std::string::npos) {
+      continue;
+    }
+    const std::string bases = head.substr(colon + 1);
+    if (FindIdentifier(bases, "Clocked").empty()) {
+      continue;
+    }
+    // Walk the brace-matched class body looking for a DebugName override.
+    int depth = 0;
+    size_t body_end = body_open;
+    for (size_t i = body_open; i < text.size(); ++i) {
+      if (text[i] == '{') {
+        ++depth;
+      } else if (text[i] == '}') {
+        --depth;
+        if (depth == 0) {
+          body_end = i;
+          break;
+        }
+      }
+    }
+    const std::string body = text.substr(body_open, body_end - body_open);
+    if (body.find("DebugName") == std::string::npos) {
+      findings->push_back({file.path, line_of(head_start), "apiary-debug-name",
+                           "Clocked subclass must override DebugName() so traces and "
+                           "debug dumps can identify the block"});
+    }
+  }
+}
+
+void CheckNodiscard(const SourceFile& file, const LintConfig& config,
+                    std::vector<Finding>* findings) {
+  if (!MatchesAnySuffix(file.path, config.nodiscard_files)) {
+    return;
+  }
+  for (size_t i = 0; i < file.code_lines.size(); ++i) {
+    const std::string& line = file.code_lines[i];
+    const int lineno = static_cast<int>(i) + 1;
+    for (const auto& type : config.nodiscard_types) {
+      for (size_t pos : FindIdentifier(line, type)) {
+        // A minting declaration: type, whitespace, identifier, '('.
+        size_t p = pos + type.size();
+        while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) {
+          ++p;
+        }
+        const size_t name_start = p;
+        while (p < line.size() && IsIdentChar(line[p])) {
+          ++p;
+        }
+        if (p == name_start || p >= line.size() || line[p] != '(') {
+          continue;
+        }
+        const std::string name = line.substr(name_start, p - name_start);
+        const bool marked =
+            line.find("[[nodiscard]]") != std::string::npos ||
+            (i > 0 && file.raw_lines[i - 1].find("[[nodiscard]]") != std::string::npos);
+        if (!marked) {
+          findings->push_back({file.path, lineno, "apiary-nodiscard",
+                               name + "() mints a " + type + "; dropping the result leaks "
+                               "or orphans the grant — declare it [[nodiscard]]"});
+        }
+      }
+    }
+  }
+}
+
+void CheckOpcodeCoverage(const std::vector<SourceFile>& files, const LintConfig& config,
+                         std::vector<Finding>* findings) {
+  struct OpcodeDef {
+    std::string file;
+    int line;
+  };
+  std::map<std::string, OpcodeDef> defs;
+  bool corpus_has_tests = false;
+  for (const auto& file : files) {
+    if (StartsWith(file.path, "tests/")) {
+      corpus_has_tests = true;
+    }
+    if (!MatchesAnySuffix(file.path, config.opcode_def_files)) {
+      continue;
+    }
+    for (size_t i = 0; i < file.code_lines.size(); ++i) {
+      const std::string& line = file.code_lines[i];
+      if (line.find("constexpr") == std::string::npos) {
+        continue;
+      }
+      size_t pos = 0;
+      while ((pos = line.find("kOp", pos)) != std::string::npos) {
+        if (pos > 0 && (IsIdentChar(line[pos - 1]) || line[pos - 1] == ':')) {
+          pos += 3;
+          continue;
+        }
+        size_t end = pos;
+        while (end < line.size() && IsIdentChar(line[end])) {
+          ++end;
+        }
+        const std::string name = line.substr(pos, end - pos);
+        // *Base constants are numbering-space markers, not wire opcodes.
+        if (name.size() > 3 && !EndsWith(name, "Base")) {
+          defs.emplace(name, OpcodeDef{file.path, static_cast<int>(i) + 1});
+        }
+        pos = end;
+      }
+    }
+  }
+  if (defs.empty()) {
+    return;
+  }
+
+  std::set<std::string> handled;
+  std::set<std::string> tested;
+  for (const auto& file : files) {
+    const bool is_def_file = MatchesAnySuffix(file.path, config.opcode_def_files);
+    const bool in_src = StartsWith(file.path, "src/") && !is_def_file;
+    const bool in_tests = StartsWith(file.path, "tests/");
+    if (!in_src && !in_tests) {
+      continue;
+    }
+    for (const auto& line : file.code_lines) {
+      if (line.find("kOp") == std::string::npos) {
+        continue;
+      }
+      for (const auto& [name, def] : defs) {
+        if (!FindIdentifier(line, name).empty()) {
+          if (in_src) {
+            handled.insert(name);
+          } else {
+            tested.insert(name);
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& [name, def] : defs) {
+    if (handled.find(name) == handled.end()) {
+      findings->push_back({def.file, def.line, "apiary-opcode-coverage",
+                           name + " has no dispatching handler under src/ — every wire "
+                           "opcode in the stable ABI must be handled (Section 4.3)"});
+    }
+    if (corpus_has_tests && tested.find(name) == tested.end()) {
+      findings->push_back({def.file, def.line, "apiary-opcode-coverage",
+                           name + " is never referenced under tests/ — every wire opcode "
+                           "needs at least one test exercising it"});
+    }
+  }
+}
+
+std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files,
+                                  const LintConfig& config) {
+  std::vector<Finding> raw;
+  for (const auto& file : files) {
+    CheckDeterminism(file, config, &raw);
+    CheckLayering(file, config, &raw);
+    CheckIncludeGuard(file, config, &raw);
+    CheckDebugName(file, config, &raw);
+    CheckNodiscard(file, config, &raw);
+  }
+  CheckOpcodeCoverage(files, config, &raw);
+
+  std::map<std::string, const SourceFile*> by_path;
+  for (const auto& file : files) {
+    by_path[file.path] = &file;
+  }
+  std::vector<Finding> kept;
+  for (auto& finding : raw) {
+    auto it = by_path.find(finding.file);
+    if (it != by_path.end() && it->second->IsSuppressed(finding.line, finding.check)) {
+      continue;
+    }
+    kept.push_back(std::move(finding));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) {
+      return a.file < b.file;
+    }
+    if (a.line != b.line) {
+      return a.line < b.line;
+    }
+    return a.check < b.check;
+  });
+  return kept;
+}
+
+}  // namespace lint
+}  // namespace apiary

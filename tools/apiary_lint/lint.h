@@ -1,0 +1,134 @@
+// apiary_lint: a repo-native static analyzer for the Apiary codebase.
+//
+// The simulator's core guarantees — byte-identical replay from a seed,
+// Monitor-interposed accelerator isolation, and a fully-handled stable
+// service ABI — are invariants the C++ compiler cannot see. This analyzer
+// enforces them mechanically:
+//
+//   apiary-determinism     no ambient randomness / wall-clock / hash-order
+//                          dependence in simulation state
+//   apiary-layering        the allowed include DAG between src/ subsystems
+//   apiary-opcode-coverage every kOp* constant has a handler and a test
+//   apiary-include-guard   SRC_PATH_H_ include-guard convention
+//   apiary-debug-name      Clocked subclasses override DebugName()
+//   apiary-nodiscard       capability/segment-minting APIs are [[nodiscard]]
+//
+// Any finding is suppressible in-line with clang-tidy style markers:
+//   // NOLINT(apiary-<check>)          suppress on this line
+//   // NOLINTNEXTLINE(apiary-<check>)  suppress on the next line
+// A bare NOLINT (no parenthesized list) suppresses every apiary check on
+// the line.
+//
+// Implementation: a hand-rolled lexer strips comments and string/char
+// literals (so commented-out code never fires) and records NOLINT markers,
+// then per-file line scans plus one corpus-wide include-graph/opcode pass
+// produce findings. No libclang dependency.
+#ifndef TOOLS_APIARY_LINT_LINT_H_
+#define TOOLS_APIARY_LINT_LINT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace apiary {
+namespace lint {
+
+struct Finding {
+  std::string file;   // Repo-relative path, '/'-separated.
+  int line = 0;       // 1-based; 0 for whole-file findings.
+  std::string check;  // e.g. "apiary-determinism".
+  std::string message;
+
+  std::string ToString() const;
+};
+
+// A lexed source file: raw lines (for include parsing and NOLINT markers)
+// plus "code" lines with comments and string/char literals blanked out.
+struct SourceFile {
+  std::string path;  // Repo-relative, '/'-separated.
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;
+  // Per-line suppression lists; "*" suppresses every apiary check.
+  std::vector<std::vector<std::string>> nolint;
+
+  bool IsSuppressed(int line, const std::string& check) const;
+};
+
+// Lexes `content` as C++ source: strips // and /* */ comments and string
+// and character literals from the code view, records NOLINT markers.
+SourceFile LexSource(std::string path, const std::string& content);
+
+// Reads and lexes a file from disk. Returns false on I/O failure.
+bool LoadSource(const std::string& absolute_path, const std::string& repo_relative_path,
+                SourceFile* out);
+
+struct LintConfig {
+  // --- apiary-determinism ---
+  // Fully-qualified identifiers banned outright (leading+trailing
+  // identifier boundary).
+  std::vector<std::string> banned_identifiers;
+  // Function names banned when called: identifier boundary before, '(' after.
+  std::vector<std::string> banned_calls;
+  // Banned substrings (trailing boundary only), e.g. "_clock::now" which
+  // catches every std::chrono clock.
+  std::vector<std::string> banned_suffixes;
+  // Hash-ordered containers banned in simulation state (src/ only).
+  std::vector<std::string> banned_containers;
+  // Path prefixes exempt from the determinism check (the seeded RNG itself,
+  // and stats/ which only aggregates).
+  std::vector<std::string> determinism_exempt_prefixes;
+  // Where randomness is supposed to come from (for the finding message).
+  std::string randomness_home;
+
+  // --- apiary-layering ---
+  // Allowed include edges: src/<dir>/ may include src/<d>/ for each d in
+  // layering[dir]. A src/ subdirectory absent from the map is itself a
+  // violation (every layer must be declared).
+  std::map<std::string, std::vector<std::string>> layering;
+  // Exact include targets allowed from anywhere (the stable wire-ABI
+  // headers; analogous to a syscall-number header visible to userland).
+  std::vector<std::string> layering_exempt_includes;
+
+  // --- apiary-opcode-coverage ---
+  // Path suffixes of the headers that define the opcode ABI.
+  std::vector<std::string> opcode_def_files;
+
+  // --- apiary-nodiscard ---
+  // Path suffixes of headers whose minting APIs must be [[nodiscard]].
+  std::vector<std::string> nodiscard_files;
+  // Return types that mint capabilities/segments.
+  std::vector<std::string> nodiscard_types;
+};
+
+// The Apiary repo policy (see tools/apiary_lint/README.md for rationale).
+LintConfig DefaultConfig();
+
+// Per-file checks. Findings are appended unfiltered; RunAllChecks applies
+// NOLINT suppression.
+void CheckDeterminism(const SourceFile& file, const LintConfig& config,
+                      std::vector<Finding>* findings);
+void CheckLayering(const SourceFile& file, const LintConfig& config,
+                   std::vector<Finding>* findings);
+void CheckIncludeGuard(const SourceFile& file, const LintConfig& config,
+                       std::vector<Finding>* findings);
+void CheckDebugName(const SourceFile& file, const LintConfig& config,
+                    std::vector<Finding>* findings);
+void CheckNodiscard(const SourceFile& file, const LintConfig& config,
+                    std::vector<Finding>* findings);
+
+// Corpus-wide: every kOp* constant in an opcode-ABI header must be
+// referenced by a handler under src/ and by at least one file under tests/.
+// The tests/ requirement is enforced only when the corpus includes tests/
+// (so `apiary_lint src` alone stays meaningful).
+void CheckOpcodeCoverage(const std::vector<SourceFile>& files, const LintConfig& config,
+                         std::vector<Finding>* findings);
+
+// Runs every check over the corpus, drops NOLINT-suppressed findings, and
+// returns the rest sorted by (file, line, check).
+std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files,
+                                  const LintConfig& config);
+
+}  // namespace lint
+}  // namespace apiary
+
+#endif  // TOOLS_APIARY_LINT_LINT_H_

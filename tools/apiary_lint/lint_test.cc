@@ -1,0 +1,406 @@
+// Tests for apiary_lint: library-level checks against in-memory sources,
+// plus end-to-end runs of the binary against the testdata/ fixture trees
+// (exit codes and which check fired).
+#include "tools/apiary_lint/lint.h"
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace apiary {
+namespace lint {
+namespace {
+
+std::vector<Finding> LintOne(const std::string& path, const std::string& content) {
+  std::vector<SourceFile> files;
+  files.push_back(LexSource(path, content));
+  return RunAllChecks(files, DefaultConfig());
+}
+
+bool HasCheck(const std::vector<Finding>& findings, const std::string& check) {
+  for (const auto& finding : findings) {
+    if (finding.check == check) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer.
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, StripsCommentsAndStrings) {
+  const auto findings = LintOne("src/noc/x.cc",
+                                "// rand() and time(nullptr) in a comment\n"
+                                "/* std::random_device in a block comment */\n"
+                                "const char* s = \"srand(1) in a string\";\n"
+                                "char c = '\\'';\n");
+  EXPECT_TRUE(findings.empty()) << findings.size();
+}
+
+TEST(Lexer, BlockCommentSpansLines) {
+  const auto findings = LintOne("src/noc/x.cc",
+                                "/* begin\n"
+                                "   rand();\n"
+                                "   end */\n"
+                                "int x = 0;\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// apiary-determinism.
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, FlagsAmbientRandomnessAndWallClock) {
+  const auto findings = LintOne("src/noc/x.cc",
+                                "void f() {\n"
+                                "  std::random_device rd;\n"
+                                "  srand(42);\n"
+                                "  int r = rand();\n"
+                                "  auto t = std::chrono::steady_clock::now();\n"
+                                "  long w = time(nullptr);\n"
+                                "}\n");
+  ASSERT_EQ(findings.size(), 5u);
+  for (const auto& finding : findings) {
+    EXPECT_EQ(finding.check, "apiary-determinism");
+  }
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(Determinism, DoesNotFlagLookalikeIdentifiers) {
+  const auto findings = LintOne("src/noc/x.cc",
+                                "int hold_time(int x);\n"
+                                "int y = hold_time(3);\n"
+                                "int operand(int x);\n"
+                                "int z = rng.rand();\n"   // member access: not ::rand
+                                "int w = sim.time();\n");  // simulator time accessor
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Determinism, FlagsHashContainersOnlyInSrc) {
+  EXPECT_TRUE(HasCheck(LintOne("src/core/x.h", "std::unordered_map<int, int> m_;\n"),
+                       "apiary-determinism"));
+  EXPECT_TRUE(LintOne("tests/x.cc", "std::unordered_map<int, int> m;\n").empty());
+  EXPECT_TRUE(LintOne("bench/x.cc", "std::unordered_set<int> s;\n").empty());
+}
+
+TEST(Determinism, ExemptsStatsAndTheRngItself) {
+  EXPECT_TRUE(LintOne("src/stats/x.cc", "std::unordered_map<int, int> m;\n").empty());
+  EXPECT_TRUE(LintOne("src/sim/random.cc", "uint64_t seed = 1; // rand() replacement\n")
+                  .empty());
+}
+
+TEST(Determinism, NolintSuppressions) {
+  // Matching check name on the line.
+  EXPECT_FALSE(HasCheck(
+      LintOne("src/core/x.cc",
+              "std::unordered_map<int, int> m_;  // NOLINT(apiary-determinism)\n"),
+      "apiary-determinism"));
+  // Bare NOLINT suppresses everything on the line.
+  EXPECT_FALSE(HasCheck(
+      LintOne("src/core/x.cc", "std::unordered_map<int, int> m_;  // NOLINT\n"),
+      "apiary-determinism"));
+  // NOLINTNEXTLINE applies to the following line.
+  EXPECT_FALSE(HasCheck(LintOne("src/core/x.cc",
+                                "// NOLINTNEXTLINE(apiary-determinism)\n"
+                                "std::unordered_map<int, int> m_;\n"),
+                        "apiary-determinism"));
+  // A different check's NOLINT does not suppress.
+  EXPECT_TRUE(HasCheck(
+      LintOne("src/core/x.cc",
+              "std::unordered_map<int, int> m_;  // NOLINT(apiary-layering)\n"),
+      "apiary-determinism"));
+}
+
+// ---------------------------------------------------------------------------
+// apiary-layering.
+// ---------------------------------------------------------------------------
+
+TEST(Layering, AllowsDeclaredEdges) {
+  EXPECT_TRUE(LintOne("src/mem/x.cc",
+                      "#include \"src/mem/dram.h\"\n"
+                      "#include \"src/sim/types.h\"\n"
+                      "#include \"src/stats/summary.h\"\n")
+                  .empty());
+}
+
+TEST(Layering, BlocksAccelFromMemAndNoc) {
+  const auto findings = LintOne("src/accel/x.cc",
+                                "#include \"src/mem/dram.h\"\n"
+                                "#include \"src/noc/packet.h\"\n"
+                                "#include \"src/core/accelerator.h\"\n");
+  EXPECT_EQ(findings.size(), 2u);
+  EXPECT_TRUE(HasCheck(findings, "apiary-layering"));
+}
+
+TEST(Layering, OpcodeAbiHeaderIsExemptEverywhere) {
+  EXPECT_TRUE(LintOne("src/accel/x.cc", "#include \"src/services/opcodes.h\"\n").empty());
+}
+
+TEST(Layering, BlocksBaselineFromServices) {
+  EXPECT_TRUE(HasCheck(LintOne("src/baseline/x.cc",
+                               "#include \"src/services/transport.h\"\n"),
+                       "apiary-layering"));
+}
+
+TEST(Layering, SimIsTheRoot) {
+  EXPECT_TRUE(HasCheck(LintOne("src/sim/x.cc", "#include \"src/core/tile.h\"\n"),
+                       "apiary-layering"));
+}
+
+TEST(Layering, UndeclaredLayerIsFlagged) {
+  EXPECT_TRUE(HasCheck(LintOne("src/newdir/x.cc", "#include \"src/sim/types.h\"\n"),
+                       "apiary-layering"));
+}
+
+TEST(Layering, TestsAndBenchAreUnrestricted) {
+  EXPECT_TRUE(LintOne("tests/x.cc", "#include \"src/noc/packet.h\"\n").empty());
+  EXPECT_TRUE(LintOne("bench/x.cc", "#include \"src/mem/dram.h\"\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// apiary-include-guard.
+// ---------------------------------------------------------------------------
+
+TEST(IncludeGuard, AcceptsConventionalGuard) {
+  EXPECT_TRUE(LintOne("src/sim/x.h",
+                      "#ifndef SRC_SIM_X_H_\n"
+                      "#define SRC_SIM_X_H_\n"
+                      "#endif  // SRC_SIM_X_H_\n")
+                  .empty());
+}
+
+TEST(IncludeGuard, FlagsWrongAndMissingGuards) {
+  EXPECT_TRUE(HasCheck(LintOne("src/sim/x.h",
+                               "#ifndef WRONG_H_\n#define WRONG_H_\n#endif\n"),
+                       "apiary-include-guard"));
+  EXPECT_TRUE(HasCheck(LintOne("src/sim/x.h", "int x;\n"), "apiary-include-guard"));
+  EXPECT_TRUE(HasCheck(LintOne("src/sim/x.h", "#pragma once\nint x;\n"),
+                       "apiary-include-guard"));
+}
+
+TEST(IncludeGuard, IgnoresNonHeaders) {
+  EXPECT_TRUE(LintOne("src/sim/x.cc", "int x;\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// apiary-debug-name.
+// ---------------------------------------------------------------------------
+
+TEST(DebugName, RequiresOverrideInClockedSubclass) {
+  const std::string good =
+      "class Ticker : public Clocked {\n"
+      " public:\n"
+      "  void Tick(Cycle now) override;\n"
+      "  std::string DebugName() const override { return \"ticker\"; }\n"
+      "};\n";
+  const std::string bad =
+      "class Ticker : public Clocked {\n"
+      " public:\n"
+      "  void Tick(Cycle now) override;\n"
+      "};\n";
+  EXPECT_TRUE(LintOne("src/sim/t.cc", good).empty());
+  const auto findings = LintOne("src/sim/t.cc", bad);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "apiary-debug-name");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(DebugName, IgnoresOtherBasesAndForwardDecls) {
+  EXPECT_TRUE(LintOne("src/sim/t.cc",
+                      "class Clocked;\n"
+                      "class Foo : public Bar {\n"
+                      "};\n")
+                  .empty());
+}
+
+TEST(DebugName, HandlesMultipleClassesPerFile) {
+  const auto findings = LintOne("src/sim/t.cc",
+                                "class A : public Clocked {\n"
+                                "  std::string DebugName() const override;\n"
+                                "};\n"
+                                "class B : public Clocked {\n"
+                                "};\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+// ---------------------------------------------------------------------------
+// apiary-nodiscard.
+// ---------------------------------------------------------------------------
+
+TEST(Nodiscard, RequiresMarkerOnMintingApis) {
+  EXPECT_TRUE(HasCheck(LintOne("src/core/capability.h", "CapRef Install(int cap);\n"),
+                       "apiary-nodiscard"));
+  EXPECT_FALSE(HasCheck(LintOne("src/core/capability.h",
+                                "[[nodiscard]] CapRef Install(int cap);\n"),
+                        "apiary-nodiscard"));
+  EXPECT_FALSE(HasCheck(LintOne("src/core/capability.h",
+                                "[[nodiscard]]\n"
+                                "CapRef Install(int cap);\n"),
+                        "apiary-nodiscard"));
+}
+
+TEST(Nodiscard, CoversOptionalReturnTypes) {
+  EXPECT_TRUE(HasCheck(LintOne("src/core/kernel.h",
+                               "std::optional<CapRef> GrantMemory(int tile);\n"),
+                       "apiary-nodiscard"));
+  EXPECT_TRUE(HasCheck(LintOne("src/mem/segment_allocator.h",
+                               "std::optional<Segment> Allocate(int bytes);\n"),
+                       "apiary-nodiscard"));
+}
+
+TEST(Nodiscard, IgnoresParametersAndOtherFiles) {
+  // CapRef as a parameter type is not a minting declaration.
+  EXPECT_FALSE(HasCheck(LintOne("src/core/capability.h", "bool Revoke(CapRef ref);\n"),
+                        "apiary-nodiscard"));
+  // The policy only covers the declared minting headers.
+  EXPECT_FALSE(HasCheck(LintOne("src/core/monitor.h", "CapRef Install(int cap);\n"),
+                        "apiary-nodiscard"));
+}
+
+// ---------------------------------------------------------------------------
+// apiary-opcode-coverage.
+// ---------------------------------------------------------------------------
+
+std::vector<SourceFile> OpcodeCorpus(bool with_handler, bool with_test) {
+  std::vector<SourceFile> files;
+  files.push_back(LexSource("src/services/opcodes.h",
+                            "inline constexpr uint16_t kOpPing = 0x0601;\n"
+                            "inline constexpr uint16_t kOpAppBase = 0x1000;\n"));
+  if (with_handler) {
+    files.push_back(LexSource("src/services/ping.cc", "case kOpPing: break;\n"));
+  }
+  files.push_back(LexSource("tests/ping_test.cc",
+                            with_test ? "int x = kOpPing;\n" : "int x = 0;\n"));
+  return files;
+}
+
+std::vector<Finding> OpcodeFindings(const std::vector<SourceFile>& files) {
+  std::vector<Finding> out;
+  for (auto& finding : RunAllChecks(files, DefaultConfig())) {
+    if (finding.check == "apiary-opcode-coverage") {
+      out.push_back(finding);
+    }
+  }
+  return out;
+}
+
+TEST(OpcodeCoverage, CleanWhenHandledAndTested) {
+  EXPECT_TRUE(OpcodeFindings(OpcodeCorpus(true, true)).empty());
+}
+
+TEST(OpcodeCoverage, FlagsMissingHandler) {
+  const auto findings = OpcodeFindings(OpcodeCorpus(false, true));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "apiary-opcode-coverage");
+  EXPECT_NE(findings[0].message.find("no dispatching handler"), std::string::npos);
+  EXPECT_EQ(findings[0].file, "src/services/opcodes.h");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(OpcodeCoverage, FlagsMissingTest) {
+  const auto findings = OpcodeFindings(OpcodeCorpus(true, false));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("tests/"), std::string::npos);
+}
+
+TEST(OpcodeCoverage, TestRequirementOnlyWhenCorpusHasTests) {
+  std::vector<SourceFile> files;
+  files.push_back(LexSource("src/services/opcodes.h",
+                            "inline constexpr uint16_t kOpPing = 0x0601;\n"));
+  files.push_back(LexSource("src/services/ping.cc", "case kOpPing: break;\n"));
+  EXPECT_TRUE(OpcodeFindings(files).empty());
+}
+
+TEST(OpcodeCoverage, NolintOnDefinitionSuppresses) {
+  std::vector<SourceFile> files;
+  files.push_back(LexSource(
+      "src/services/opcodes.h",
+      "inline constexpr uint16_t kOpFuture = 0x07ff;  // NOLINT(apiary-opcode-coverage)\n"));
+  files.push_back(LexSource("tests/t.cc", "int x = 0;\n"));
+  EXPECT_TRUE(OpcodeFindings(files).empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end fixture runs of the binary.
+// ---------------------------------------------------------------------------
+
+int RunLintBinary(const std::string& fixture, const std::vector<std::string>& paths,
+                  std::string* output) {
+  std::string cmd = std::string(APIARY_LINT_BIN) + " --repo-root " +
+                    std::string(APIARY_LINT_TESTDATA) + "/" + fixture;
+  for (const auto& path : paths) {
+    cmd += " " + path;
+  }
+  cmd += " 2>&1";
+  output->clear();
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    return -1;
+  }
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    *output += buffer;
+  }
+  const int status = pclose(pipe);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+struct FixtureCase {
+  std::string fixture;
+  std::vector<std::string> paths;
+  int expected_exit;
+  std::string expected_check;  // Must appear in output when exit != 0.
+};
+
+TEST(Fixtures, GoodTreesAreCleanBadTreesFail) {
+  const std::vector<FixtureCase> cases = {
+      {"determinism/good", {"src"}, 0, ""},
+      {"determinism/bad", {"src"}, 1, "apiary-determinism"},
+      {"determinism/suppressed", {"src"}, 0, ""},
+      {"layering/good", {"src"}, 0, ""},
+      {"layering/bad", {"src"}, 1, "apiary-layering"},
+      {"opcode/good", {"src", "tests"}, 0, ""},
+      {"opcode/bad", {"src", "tests"}, 1, "apiary-opcode-coverage"},
+      {"guard/good", {"src"}, 0, ""},
+      {"guard/bad", {"src"}, 1, "apiary-include-guard"},
+      {"debugname/good", {"src"}, 0, ""},
+      {"debugname/bad", {"src"}, 1, "apiary-debug-name"},
+      {"nodiscard/good", {"src"}, 0, ""},
+      {"nodiscard/bad", {"src"}, 1, "apiary-nodiscard"},
+  };
+  for (const auto& c : cases) {
+    std::string output;
+    const int exit_code = RunLintBinary(c.fixture, c.paths, &output);
+    EXPECT_EQ(exit_code, c.expected_exit) << c.fixture << "\n" << output;
+    if (!c.expected_check.empty()) {
+      EXPECT_NE(output.find(c.expected_check), std::string::npos)
+          << c.fixture << "\n" << output;
+    }
+  }
+}
+
+TEST(Fixtures, OpcodeBadNamesBothGaps) {
+  std::string output;
+  const int exit_code = RunLintBinary("opcode/bad", {"src", "tests"}, &output);
+  EXPECT_EQ(exit_code, 1) << output;
+  EXPECT_NE(output.find("kOpOrphan has no dispatching handler"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("kOpOrphan is never referenced under tests/"), std::string::npos)
+      << output;
+}
+
+TEST(Fixtures, MissingPathIsAUsageError) {
+  std::string output;
+  EXPECT_EQ(RunLintBinary("determinism/good", {"no_such_dir"}, &output), 2) << output;
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace apiary

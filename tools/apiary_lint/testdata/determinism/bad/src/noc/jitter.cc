@@ -1,0 +1,20 @@
+// Bad: every ambient-randomness construct the determinism check bans.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+namespace apiary {
+
+uint64_t Jitter() {
+  std::random_device rd;
+  srand(42);
+  auto wall = std::chrono::steady_clock::now();
+  (void)wall;
+  std::unordered_map<int, int> state;
+  state[static_cast<int>(time(nullptr))] = rand();
+  return rd();
+}
+
+}  // namespace apiary

@@ -1,0 +1,12 @@
+// Good: all randomness flows through the seeded Rng. Mentions of rand()
+// and time(nullptr) in comments must not fire the check.
+#include "src/sim/random.h"
+
+namespace apiary {
+
+uint64_t Jitter(Rng& rng) { return rng.NextBelow(16); }
+
+/* block comment with srand(42) and std::random_device inside */
+const char* kLabel = "time(nullptr) inside a string literal is fine";
+
+}  // namespace apiary

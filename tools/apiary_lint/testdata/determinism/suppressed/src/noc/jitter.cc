@@ -1,0 +1,13 @@
+// Suppressed: hash containers that are never iterated may stay, with an
+// explicit NOLINT acknowledging the reviewer checked.
+#include <unordered_map>
+
+namespace apiary {
+
+// Lookups only; hash order is invisible to the trace.
+std::unordered_map<int, int> g_cache;  // NOLINT(apiary-determinism)
+
+// NOLINTNEXTLINE(apiary-determinism)
+std::unordered_map<int, int> g_cache2;
+
+}  // namespace apiary

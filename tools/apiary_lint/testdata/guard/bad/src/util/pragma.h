@@ -1,0 +1,4 @@
+// Bad: #pragma once instead of the repo's include-guard convention.
+#pragma once
+
+namespace apiary {}

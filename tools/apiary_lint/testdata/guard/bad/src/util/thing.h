@@ -1,0 +1,7 @@
+// Bad: guard does not match the path-derived convention.
+#ifndef WRONG_GUARD_H_
+#define WRONG_GUARD_H_
+
+namespace apiary {}
+
+#endif  // WRONG_GUARD_H_

@@ -1,0 +1,7 @@
+// Good: guard matches the SRC_PATH_H_ convention.
+#ifndef SRC_UTIL_THING_H_
+#define SRC_UTIL_THING_H_
+
+namespace apiary {}
+
+#endif  // SRC_UTIL_THING_H_

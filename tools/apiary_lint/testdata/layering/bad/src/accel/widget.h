@@ -1,0 +1,9 @@
+// Bad: an accelerator reaching memory and the NoC directly, bypassing the
+// Monitor interposition the isolation claim rests on.
+#ifndef SRC_ACCEL_WIDGET_H_
+#define SRC_ACCEL_WIDGET_H_
+
+#include "src/mem/dram.h"
+#include "src/noc/packet.h"
+
+#endif  // SRC_ACCEL_WIDGET_H_

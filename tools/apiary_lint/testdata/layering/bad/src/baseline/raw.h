@@ -1,0 +1,8 @@
+// Bad: the no-OS baseline must not quietly grow a dependency on the
+// Apiary service stack it is being compared against.
+#ifndef SRC_BASELINE_RAW_H_
+#define SRC_BASELINE_RAW_H_
+
+#include "src/services/transport.h"
+
+#endif  // SRC_BASELINE_RAW_H_

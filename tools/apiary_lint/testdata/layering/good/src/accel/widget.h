@@ -1,0 +1,11 @@
+// Good: an accelerator sees only the Monitor-facing surface (core), the
+// simulator substrate (sim), and the wire-ABI opcode header.
+#ifndef SRC_ACCEL_WIDGET_H_
+#define SRC_ACCEL_WIDGET_H_
+
+#include "src/accel/helper.h"
+#include "src/core/accelerator.h"
+#include "src/services/opcodes.h"
+#include "src/sim/types.h"
+
+#endif  // SRC_ACCEL_WIDGET_H_

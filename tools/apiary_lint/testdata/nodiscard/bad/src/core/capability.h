@@ -1,0 +1,16 @@
+// Bad: dropping the returned CapRef would orphan the installed grant.
+#ifndef SRC_CORE_CAPABILITY_H_
+#define SRC_CORE_CAPABILITY_H_
+
+namespace apiary {
+
+using CapRef = unsigned;
+
+class CapabilityTable {
+ public:
+  CapRef Install(int cap);
+};
+
+}  // namespace apiary
+
+#endif  // SRC_CORE_CAPABILITY_H_

@@ -1,0 +1,19 @@
+// Good: capability-minting APIs are [[nodiscard]].
+#ifndef SRC_CORE_CAPABILITY_H_
+#define SRC_CORE_CAPABILITY_H_
+
+namespace apiary {
+
+using CapRef = unsigned;
+
+class CapabilityTable {
+ public:
+  [[nodiscard]] CapRef Install(int cap);
+  // Marker on the preceding line also counts.
+  [[nodiscard]]
+  CapRef Mint(int cap);
+};
+
+}  // namespace apiary
+
+#endif  // SRC_CORE_CAPABILITY_H_

@@ -1,0 +1,14 @@
+// Bad: kOpOrphan is minted into the stable ABI with no handler and no test.
+#ifndef SRC_SERVICES_OPCODES_H_
+#define SRC_SERVICES_OPCODES_H_
+
+#include <cstdint>
+
+namespace apiary {
+
+inline constexpr uint16_t kOpPing = 0x0601;    // handled + tested
+inline constexpr uint16_t kOpOrphan = 0x0602;  // neither handled nor tested
+
+}  // namespace apiary
+
+#endif  // SRC_SERVICES_OPCODES_H_

@@ -1,0 +1,7 @@
+#include "src/services/opcodes.h"
+
+namespace apiary {
+
+int TestPingRoundTrip() { return static_cast<int>(kOpPing); }
+
+}  // namespace apiary

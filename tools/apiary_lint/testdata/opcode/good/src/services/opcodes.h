@@ -1,0 +1,16 @@
+// Good: every wire opcode has a handler under src/ and a test reference.
+#ifndef SRC_SERVICES_OPCODES_H_
+#define SRC_SERVICES_OPCODES_H_
+
+#include <cstdint>
+
+namespace apiary {
+
+inline constexpr uint16_t kOpPing = 0x0601;  // req: (empty); resp: (empty)
+
+// Numbering-space marker, not a wire opcode: exempt from coverage.
+inline constexpr uint16_t kOpAppBase = 0x1000;
+
+}  // namespace apiary
+
+#endif  // SRC_SERVICES_OPCODES_H_

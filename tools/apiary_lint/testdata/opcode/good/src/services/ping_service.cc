@@ -1,0 +1,14 @@
+#include "src/services/opcodes.h"
+
+namespace apiary {
+
+int Dispatch(int opcode) {
+  switch (opcode) {
+    case kOpPing:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace apiary
