@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/accel/echo.h"
 #include "src/accel/faulty.h"
 #include "src/core/kernel.h"
@@ -300,7 +301,7 @@ CampaignResult RunCampaign(bool chaos, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("A9: chaos campaign vs self-healing supervisor (3M cycles, 4x4 mesh,\n");
   std::printf("partial reconfig %llu cycles, watchdog deadline %llu cycles)\n\n",
               static_cast<unsigned long long>(kReconfigCycles),
@@ -344,6 +345,32 @@ int main() {
   std::printf("[%s] unaffected app p99 within 2x of baseline (%llu vs %llu cycles)\n",
               contained ? "PASS" : "FAIL", static_cast<unsigned long long>(chaos_p99),
               static_cast<unsigned long long>(base_p99));
+
+  const std::string json_path = JsonPathArg(argc, argv);
+  if (!json_path.empty()) {
+    BenchJson json("a9_chaos");
+    json.Param("run_cycles", static_cast<uint64_t>(kRunCycles));
+    json.Param("reconfig_cycles", static_cast<uint64_t>(kReconfigCycles));
+    json.Param("seed", static_cast<uint64_t>(42));
+    for (size_t i = 0; i < base.apps.size(); ++i) {
+      json.BeginRow();
+      json.Metric("app", chaos.apps[i].name);
+      json.Metric("baseline_ok", base.apps[i].ok);
+      json.Metric("chaos_ok", chaos.apps[i].ok);
+      json.Metric("chaos_errors", chaos.apps[i].errors);
+      json.Metric("chaos_timeouts", chaos.apps[i].timeouts);
+      json.Metric("baseline_p99_cycles", base.apps[i].p99);
+      json.Metric("chaos_p99_cycles", chaos.apps[i].p99);
+    }
+    json.BeginRow();
+    json.Metric("app", "campaign");
+    json.Metric("total_ok_chaos", chaos.total_ok);
+    json.Metric("total_ok_baseline", base.total_ok);
+    json.Metric("eth_frames_lost", chaos.eth_frames_lost);
+    json.Metric("quarantined", chaos.crash_looper_quarantined ? 1 : 0);
+    json.Metric("all_healthy", chaos.others_all_healthy ? 1 : 0);
+    json.WriteFile(json_path);
+  }
   return (chaos.crash_looper_quarantined && chaos.others_all_healthy && contained) ? 0
                                                                                    : 1;
 }

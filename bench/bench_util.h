@@ -2,8 +2,13 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/core/kernel.h"
 #include "src/core/service_ids.h"
@@ -63,6 +68,119 @@ struct BenchBoard {
   Board board;
   ApiaryOs os;
 };
+
+// Machine-readable result emitter: the human-facing tables stay on stdout,
+// and the same numbers land in a JSON file CI archives as an artifact.
+// Shape: {"name": ..., "params": {...}, "rows": [{...}, ...]}.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Param(const std::string& key, const std::string& value) {
+    params_.emplace_back(key, Quote(value));
+  }
+  void Param(const std::string& key, const char* value) {
+    Param(key, std::string(value));
+  }
+  void Param(const std::string& key, double value) {
+    params_.emplace_back(key, Number(value));
+  }
+  void Param(const std::string& key, uint64_t value) {
+    params_.emplace_back(key, std::to_string(value));
+  }
+  void Param(const std::string& key, int value) {
+    params_.emplace_back(key, std::to_string(value));
+  }
+
+  void BeginRow() { rows_.emplace_back(); }
+  void Metric(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, Quote(value));
+  }
+  void Metric(const std::string& key, const char* value) {
+    Metric(key, std::string(value));
+  }
+  void Metric(const std::string& key, double value) {
+    rows_.back().emplace_back(key, Number(value));
+  }
+  void Metric(const std::string& key, uint64_t value) {
+    rows_.back().emplace_back(key, std::to_string(value));
+  }
+  void Metric(const std::string& key, int value) {
+    rows_.back().emplace_back(key, std::to_string(value));
+  }
+
+  std::string ToJson() const {
+    std::ostringstream out;
+    out << "{\n  \"name\": " << Quote(name_) << ",\n  \"params\": {";
+    for (size_t i = 0; i < params_.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << Quote(params_[i].first) << ": "
+          << params_[i].second;
+    }
+    out << "},\n  \"rows\": [\n";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      out << "    {";
+      for (size_t i = 0; i < rows_[r].size(); ++i) {
+        out << (i == 0 ? "" : ", ") << Quote(rows_[r][i].first) << ": "
+            << rows_[r][i].second;
+      }
+      out << "}" << (r + 1 == rows_.size() ? "" : ",") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.str();
+  }
+
+  // Returns false (and prints to stderr) when the file cannot be written.
+  bool WriteFile(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << ToJson();
+    return true;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+  static std::string Number(double value) {
+    std::ostringstream out;
+    out << value;
+    return out.str();
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+// `--json <path>` argument, or "" when absent.
+inline std::string JsonPathArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+inline bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) {
+      return true;
+    }
+  }
+  return false;
+}
 
 }  // namespace apiary
 

@@ -121,11 +121,27 @@ RunStats RunHosted(double load_per_1k) {
 
 }  // namespace
 
-int main() {
+void AddJsonRow(BenchJson& json, double per_us, const char* system, const RunStats& s) {
+  json.BeginRow();
+  json.Metric("load_req_per_us", per_us);
+  json.Metric("system", system);
+  json.Metric("p50_us", s.p50_us);
+  json.Metric("p99_us", s.p99_us);
+  json.Metric("p999_us", s.p999_us);
+  json.Metric("energy_uj_per_op", s.energy_uj_per_op);
+  json.Metric("completed_frac", s.completed_frac);
+}
+
+int main(int argc, char** argv) {
   std::printf("E1: direct-attached Apiary vs host-mediated baseline\n");
   std::printf("workload: %uB echo requests, %llu per run, open-loop Poisson\n", kRequestBytes,
               static_cast<unsigned long long>(kRequests));
   std::printf("(1 cycle = 4ns at 250 MHz; hosted CPU path costs ~875 cycles/op)\n");
+
+  BenchJson json("e1_direct_vs_hosted");
+  json.Param("request_bytes", static_cast<uint64_t>(kRequestBytes));
+  json.Param("requests", kRequests);
+  json.Param("accel_cycles", static_cast<uint64_t>(kAccelCycles));
 
   Table table("E1: latency and energy vs offered load");
   table.SetHeader({"load (req/us)", "system", "p50 (us)", "p99 (us)", "p99.9 (us)",
@@ -142,8 +158,14 @@ int main() {
                   Table::Num(hosted_stats.p99_us, 2), Table::Num(hosted_stats.p999_us, 2),
                   Table::Num(hosted_stats.energy_uj_per_op, 3),
                   Table::Num(100 * hosted_stats.completed_frac, 1)});
+    AddJsonRow(json, per_us, "apiary", apiary_stats);
+    AddJsonRow(json, per_us, "hosted", hosted_stats);
   }
   table.Print();
+  const std::string json_path = JsonPathArg(argc, argv);
+  if (!json_path.empty()) {
+    json.WriteFile(json_path);
+  }
   std::printf(
       "\nexpected shape (paper Section 1): apiary's p50 beats hosted by roughly the\n"
       "PCIe+CPU mediation cost at low load; as offered load approaches the single\n"

@@ -100,9 +100,14 @@ Result Run(uint32_t replicas) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("E7: replicated accelerator scale-out (2KiB CRC requests at 1 B/cycle,\n");
   std::printf("closed loop window 24, 1.5M-cycle runs)\n");
+
+  BenchJson json("e7_scaleout");
+  json.Param("payload_bytes", 2048);
+  json.Param("window", 24);
+  json.Param("run_cycles", static_cast<uint64_t>(1'500'000));
 
   Table table("E7: throughput and latency vs replica count");
   table.SetHeader({"replicas", "ops/ms", "speedup", "p50 (cyc)", "p99 (cyc)"});
@@ -115,8 +120,19 @@ int main() {
     table.AddRow({Table::Int(replicas), Table::Num(r.ops_per_ms, 1),
                   Table::Num(r.ops_per_ms / base, 2) + "x", Table::Int(r.p50),
                   Table::Int(r.p99)});
+    json.BeginRow();
+    json.Metric("replicas", static_cast<uint64_t>(replicas));
+    json.Metric("ops_per_ms", r.ops_per_ms);
+    json.Metric("speedup", r.ops_per_ms / base);
+    json.Metric("p50_cycles", r.p50);
+    json.Metric("p99_cycles", r.p99);
+    json.Metric("lb_forwards", r.lb_forwards);
   }
   table.Print();
+  const std::string json_path = JsonPathArg(argc, argv);
+  if (!json_path.empty()) {
+    json.WriteFile(json_path);
+  }
   std::printf(
       "\nexpected shape: near-linear throughput growth while the engines are the\n"
       "bottleneck, flattening once the 24-deep client window (or the LB tile)\n"

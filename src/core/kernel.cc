@@ -1,5 +1,7 @@
 #include "src/core/kernel.h"
 
+#include <algorithm>
+
 #include "src/sim/logging.h"
 
 namespace apiary {
@@ -118,6 +120,55 @@ bool ApiaryOs::Reconfigure(TileId tile, std::unique_ptr<Accelerator> accel, bool
   // kernel (or Supervisor) re-grants from the grant log after boot.
   ReleaseTileGrants(tile);
   tiles_[tile]->Configure(std::move(accel), immediate);
+  return true;
+}
+
+std::vector<TileId> ApiaryOs::FreeTiles() const {
+  std::vector<TileId> free;
+  for (TileId t = 0; t < tiles_.size(); ++t) {
+    if (tiles_[t]->vacant()) {
+      free.push_back(t);
+    }
+  }
+  return free;
+}
+
+bool ApiaryOs::Undeploy(TileId tile, bool immediate) {
+  if (tile >= tiles_.size() || tiles_[tile]->vacant()) {
+    return false;
+  }
+  ReleaseTileGrants(tile);
+  // Unregister every logical service hosted here, revoking the client
+  // capabilities that still name this tile so no sender keeps a route to the
+  // vacated region.
+  std::vector<ServiceId> hosted;
+  for (const auto& [service, t] : service_registry_) {
+    if (t == tile) {
+      hosted.push_back(service);
+    }
+  }
+  for (ServiceId svc : hosted) {
+    service_registry_.erase(svc);
+    for (auto it = grant_log_.begin(); it != grant_log_.end();) {
+      if (it->dst == svc) {
+        Monitor& m = tiles_[it->src]->monitor();
+        const CapRef stale = m.cap_table().FindEndpointForService(svc);
+        if (stale != kInvalidCapRef) {
+          m.RevokeCap(stale);
+        }
+        it = grant_log_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // The departing accelerator's outbound authority is history as well; a
+  // future tenant of this region must not inherit it via ReinstallTileCaps.
+  grant_log_.erase(std::remove_if(grant_log_.begin(), grant_log_.end(),
+                                  [tile](const GrantEdge& e) { return e.src == tile; }),
+                   grant_log_.end());
+  tiles_[tile]->monitor().SetIdentity(kInvalidApp, kInvalidService);
+  tiles_[tile]->Configure(nullptr, immediate);
   return true;
 }
 

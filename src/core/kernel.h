@@ -91,6 +91,23 @@ class ApiaryOs {
   void SetRateLimit(TileId tile, uint64_t flits_per_1k_cycles, uint64_t burst_flits);
 
   // ------------------------------------------------------------------
+  // Orchestration support (used by src/orch).
+  // ------------------------------------------------------------------
+  // Tiles whose dynamic region is currently free (no accelerator and not
+  // mid-reconfiguration) — the placement candidates.
+  std::vector<TileId> FreeTiles() const;
+
+  // Logic cells available in one dynamic tile region.
+  uint64_t TileRegionCells() const { return board_->config().tile_region_cells; }
+
+  // Tears a tile down and returns its region to the free pool: revokes the
+  // tile's capabilities, frees its kernel-owned segments, revokes every
+  // client capability naming a service hosted here, unregisters those
+  // services, and loads a blanking bitstream. `immediate` skips the
+  // blanking-bitstream latency (time-zero rewiring and tests).
+  bool Undeploy(TileId tile, bool immediate = true);
+
+  // ------------------------------------------------------------------
   // Recovery support (used by the Supervisor, Section 4.4).
   // ------------------------------------------------------------------
   // Re-grants every endpoint capability previously granted WITH `tile` as

@@ -16,6 +16,7 @@ inline constexpr ServiceId kNetworkService = 2;
 inline constexpr ServiceId kNameService = 3;
 inline constexpr ServiceId kMgmtService = 4;
 inline constexpr ServiceId kDmaService = 5;
+inline constexpr ServiceId kOrchService = 6;
 
 // Application endpoints are assigned logical ids starting here.
 inline constexpr ServiceId kFirstAppService = 100;

@@ -1,0 +1,140 @@
+// Metrics-driven autoscaler: grows and shrinks a replica set behind a
+// LoadBalancer based on observed queue depth or tail latency.
+//
+// The control loop closes the elastic-orchestration story: the load
+// balancer measures (queue-depth integral, per-window latency histogram),
+// the autoscaler decides (target-utilization or SLO-latency policy, with
+// hysteresis bands and a cooldown so reconfiguration latency does not cause
+// oscillation), the placer chooses a region (near the balancer, apart from
+// the other replicas), and the reconfiguration scheduler executes through
+// the serialized ICAP. Capability wiring goes through the kernel: each new
+// replica is granted to the balancer via GrantSendToService, and teardown
+// revokes through Undeploy.
+#ifndef SRC_ORCH_AUTOSCALER_H_
+#define SRC_ORCH_AUTOSCALER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/kernel.h"
+#include "src/orch/placer.h"
+#include "src/orch/reconfig_scheduler.h"
+#include "src/services/load_balancer.h"
+#include "src/sim/clocked.h"
+#include "src/stats/summary.h"
+
+namespace apiary {
+
+enum class ScalePolicy : uint8_t {
+  // Track average queue depth per replica between hysteresis bands.
+  kTargetUtilization = 0,
+  // Scale up when windowed p99 latency exceeds the SLO; scale down when it
+  // falls well under (slo_down_fraction of the SLO).
+  kSloLatency = 1,
+};
+
+struct AutoscalerConfig {
+  ScalePolicy policy = ScalePolicy::kTargetUtilization;
+  uint32_t min_replicas = 1;
+  uint32_t max_replicas = 8;
+  // Control-loop period; metrics are windowed over it.
+  Cycle poll_period = 10'000;
+  // kTargetUtilization bands: average in-flight requests per live replica.
+  double up_queue_per_replica = 3.0;
+  double down_queue_per_replica = 0.5;
+  // kSloLatency: the p99 target, and the fraction of it under which a
+  // replica is considered latency-surplus.
+  Cycle slo_p99_cycles = 0;
+  double slo_down_fraction = 0.4;
+  // kSloLatency headroom signals: scale up when average in-flight per live
+  // replica (utilization proxy) exceeds up_utilization even if latency
+  // still looks fine; only scale down when the set would stay under
+  // down_utilization per replica after losing one.
+  double up_utilization = 0.7;
+  double down_utilization = 0.5;
+  // Scale-down hysteresis: the shrink condition must hold this many
+  // consecutive polls, and cooldown_cycles must have passed since the last
+  // scaling action. Scale-up has no cooldown — it is paced naturally by the
+  // serialized ICAP (one reconfiguration in flight at a time), and demand
+  // spikes should not wait out a timer.
+  uint32_t down_stable_polls = 3;
+  Cycle cooldown_cycles = 150'000;
+  // Logic-cell footprint of one replica (placement admission).
+  uint32_t replica_logic_cells = 20'000;
+};
+
+class Autoscaler : public Clocked {
+ public:
+  using ReplicaFactory = std::function<std::unique_ptr<Accelerator>()>;
+
+  // The balancer lives on `lb_tile`; new replicas deploy under `app` and are
+  // granted to the balancer through the kernel. `placer` and `scheduler`
+  // are shared orchestration infrastructure (not owned).
+  Autoscaler(ApiaryOs* os, LoadBalancer* lb, TileId lb_tile, AppId app,
+             ReplicaFactory factory, Placer* placer, ReconfigScheduler* scheduler,
+             AutoscalerConfig config = AutoscalerConfig{});
+
+  // Registers an already-deployed replica (initial wiring at time zero; the
+  // caller has AddBackend'ed its endpoint on the balancer).
+  void AdoptReplica(ServiceId service, TileId tile, CapRef endpoint);
+
+  // Runtime bound adjustment (kOpOrchScale); out-of-bounds live counts are
+  // corrected on the next poll, bypassing cooldown.
+  void SetBounds(uint32_t min_replicas, uint32_t max_replicas);
+
+  void Tick(Cycle now) override;
+  std::string DebugName() const override { return "autoscaler"; }
+
+  uint32_t live_replicas() const;
+  uint32_t target_replicas() const { return target_; }
+  uint64_t scale_ups() const { return scale_ups_; }
+  uint64_t scale_downs() const { return scale_downs_; }
+  // Tile-cycles consumed by the replica set (live + loading + draining
+  // regions each cost one region-cycle per cycle): the provisioning-cost
+  // metric the A10 experiment compares against static deployments.
+  uint64_t replica_tile_cycles() const { return tile_cycles_; }
+  const CounterSet& counters() const { return counters_; }
+  const AutoscalerConfig& config() const { return config_; }
+
+ private:
+  enum class ReplicaState : uint8_t { kLoading, kLive, kDraining };
+  struct Replica {
+    ServiceId service = kInvalidService;
+    TileId tile = kInvalidTile;
+    CapRef endpoint = kInvalidCapRef;
+    ReplicaState state = ReplicaState::kLoading;
+  };
+
+  void Poll();
+  void ScaleUp();
+  void ScaleDown();
+  // Pushes the current live-endpoint set to the balancer.
+  void PushMembership();
+
+  ApiaryOs* os_;
+  LoadBalancer* lb_;
+  TileId lb_tile_;
+  AppId app_;
+  ReplicaFactory factory_;
+  Placer* placer_;
+  ReconfigScheduler* scheduler_;
+  AutoscalerConfig config_;
+
+  std::vector<Replica> replicas_;
+  uint32_t target_ = 0;
+  bool op_pending_ = false;   // One scaling operation in flight at a time.
+  uint32_t down_streak_ = 0;  // Consecutive polls that wanted to shrink.
+  Cycle last_scale_at_ = 0;
+  uint64_t last_queue_sum_ = 0;
+  uint64_t scale_ups_ = 0;
+  uint64_t scale_downs_ = 0;
+  uint64_t tile_cycles_ = 0;
+  Cycle now_ = 0;
+  CounterSet counters_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_ORCH_AUTOSCALER_H_

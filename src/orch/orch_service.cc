@@ -1,0 +1,42 @@
+#include "src/orch/orch_service.h"
+
+#include <utility>
+
+#include "src/services/opcodes.h"
+
+namespace apiary {
+
+void OrchService::OnMessage(const Message& msg, TileApi& api) {
+  Message reply;
+  reply.opcode = msg.opcode;
+  switch (msg.opcode) {
+    case kOpOrchScale: {
+      if (msg.payload.size() != 8) {
+        reply.status = MsgStatus::kBadRequest;
+        break;
+      }
+      const uint32_t min = GetU32(msg.payload, 0);
+      const uint32_t max = GetU32(msg.payload, 4);
+      if (min == 0 || min > max) {
+        reply.status = MsgStatus::kBadRequest;
+        break;
+      }
+      autoscaler_->SetBounds(min, max);
+      PutU32(reply.payload, autoscaler_->live_replicas());
+      break;
+    }
+    case kOpOrchStatus: {
+      PutU32(reply.payload, autoscaler_->live_replicas());
+      PutU32(reply.payload, autoscaler_->target_replicas());
+      PutU64(reply.payload, autoscaler_->scale_ups());
+      PutU64(reply.payload, autoscaler_->scale_downs());
+      break;
+    }
+    default:
+      reply.status = MsgStatus::kBadRequest;
+      break;
+  }
+  api.Reply(msg, std::move(reply));
+}
+
+}  // namespace apiary

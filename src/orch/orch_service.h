@@ -1,0 +1,32 @@
+// Orchestration control-plane service: the on-fabric front door to the
+// autoscaler. Operators (or other accelerators holding a capability to it)
+// adjust replica bounds and read scaling status over the same message
+// interface as every other Apiary service.
+#ifndef SRC_ORCH_ORCH_SERVICE_H_
+#define SRC_ORCH_ORCH_SERVICE_H_
+
+#include <string>
+
+#include "src/core/accelerator.h"
+#include "src/orch/autoscaler.h"
+
+namespace apiary {
+
+class OrchService : public Accelerator {
+ public:
+  explicit OrchService(Autoscaler* autoscaler) : autoscaler_(autoscaler) {}
+
+  // Handles kOpOrchScale (req: u32 min, u32 max; resp: u32 live) and
+  // kOpOrchStatus (resp: u32 live, u32 target, u64 ups, u64 downs).
+  void OnMessage(const Message& msg, TileApi& api) override;
+
+  std::string name() const override { return "orch_service"; }
+  uint32_t LogicCellCost() const override { return 5000; }
+
+ private:
+  Autoscaler* autoscaler_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_ORCH_ORCH_SERVICE_H_

@@ -1,0 +1,68 @@
+#include "src/orch/placer.h"
+
+#include <algorithm>
+
+namespace apiary {
+
+bool Placer::Eligible(TileId tile, uint32_t logic_cells) const {
+  if (tile >= os_->num_tiles() || reserved_.count(tile) > 0) {
+    return false;
+  }
+  if (logic_cells > os_->TileRegionCells()) {
+    return false;  // No image bigger than a region ever fits.
+  }
+  const Tile& t = os_->tile(tile);
+  if (!t.vacant()) {
+    return false;  // Occupied, or a bitstream (possibly blanking) in flight.
+  }
+  if (os_->tile(tile).monitor().fault_state() != TileFaultState::kHealthy) {
+    return false;  // Fail-stopped region awaiting recovery.
+  }
+  // Never place into a region the supervisor is healing or has condemned;
+  // its reconfiguration (or quarantine policy) owns the tile.
+  if (supervisor_ != nullptr &&
+      supervisor_->tile_state(tile) != Supervisor::TileState::kHealthy) {
+    return false;
+  }
+  return true;
+}
+
+TileId Placer::Pick(const PlacementRequest& req) const {
+  const Mesh& mesh = os_->board().mesh();
+  TileId best = kInvalidTile;
+  int64_t best_score = 0;
+  for (TileId t = 0; t < os_->num_tiles(); ++t) {
+    if (!Eligible(t, req.logic_cells)) {
+      continue;
+    }
+    // Locality dominates spread (x16): a replica should hug its balancer
+    // first, then pick the most isolated of the close-enough candidates.
+    int64_t near_hops = 0;
+    for (TileId n : req.near) {
+      near_hops += mesh.Hops(t, n);
+    }
+    int64_t min_apart = 0;
+    if (!req.apart.empty()) {
+      min_apart = mesh.Hops(t, req.apart[0]);
+      for (TileId a : req.apart) {
+        min_apart = std::min<int64_t>(min_apart, mesh.Hops(t, a));
+      }
+    }
+    const int64_t score = near_hops * 16 - min_apart;
+    // Strict < keeps the lowest tile id on ties: deterministic placement.
+    if (best == kInvalidTile || score < best_score) {
+      best = t;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+void Placer::Reserve(TileId tile) {
+  reserved_.insert(tile);
+  counters_.Add("placer.reservations");
+}
+
+void Placer::Release(TileId tile) { reserved_.erase(tile); }
+
+}  // namespace apiary

@@ -1,0 +1,68 @@
+// Resource-aware placement: picks which free tile region should host the
+// next accelerator image.
+//
+// The placer is the spatial half of elastic orchestration. It bin-packs
+// logic-cell demand into the board's fixed tile regions and scores the
+// eligible candidates by mesh topology:
+//   * co-place ("near"): minimize hop distance to nominated tiles, e.g. the
+//     next pipeline stage or the load balancer a replica will serve;
+//   * spread ("apart"): maximize hop distance from nominated tiles, e.g.
+//     existing replicas, so one router or region fault cannot take the whole
+//     replica set down.
+// Reservations bridge the gap between choosing a tile and the (slow,
+// ICAP-serialized) reconfiguration actually claiming it, so two concurrent
+// placement decisions can never target one region.
+#ifndef SRC_ORCH_PLACER_H_
+#define SRC_ORCH_PLACER_H_
+
+#include <set>
+#include <vector>
+
+#include "src/core/kernel.h"
+#include "src/services/supervisor.h"
+#include "src/stats/summary.h"
+
+namespace apiary {
+
+struct PlacementRequest {
+  // Logic cells the image needs; must fit one tile region.
+  uint32_t logic_cells = 0;
+  // Tiles to sit close to (sum of hop distances is minimized).
+  std::vector<TileId> near;
+  // Tiles to sit far from (minimum hop distance is maximized).
+  std::vector<TileId> apart;
+};
+
+class Placer {
+ public:
+  // `supervisor` may be null; when set, tiles the supervisor is mid-way
+  // through healing (or has quarantined) are never placement candidates —
+  // the "scaling and recovery never race" half that lives on this side.
+  explicit Placer(ApiaryOs* os, const Supervisor* supervisor = nullptr)
+      : os_(os), supervisor_(supervisor) {}
+
+  // True if `tile` can host `logic_cells` right now: vacant, healthy, not
+  // reserved, not under supervisor recovery, and big enough.
+  bool Eligible(TileId tile, uint32_t logic_cells) const;
+
+  // Best eligible tile for `req`, or kInvalidTile if none fits. Does not
+  // reserve; callers that will reconfigure later must Reserve() the result.
+  TileId Pick(const PlacementRequest& req) const;
+
+  // Marks `tile` claimed until Release() — excluded from Eligible/Pick.
+  void Reserve(TileId tile);
+  void Release(TileId tile);
+  bool reserved(TileId tile) const { return reserved_.count(tile) > 0; }
+
+  const CounterSet& counters() const { return counters_; }
+
+ private:
+  ApiaryOs* os_;
+  const Supervisor* supervisor_;
+  std::set<TileId> reserved_;
+  CounterSet counters_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_ORCH_PLACER_H_

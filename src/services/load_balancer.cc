@@ -1,5 +1,7 @@
 #include "src/services/load_balancer.h"
 
+#include <utility>
+
 #include "src/services/opcodes.h"
 
 namespace apiary {
@@ -18,6 +20,47 @@ size_t LoadBalancer::PickBackend() {
   return best;
 }
 
+void LoadBalancer::ReplaceBackends(const std::vector<CapRef>& endpoints) {
+  std::vector<Backend> next;
+  next.reserve(endpoints.size());
+  for (CapRef ep : endpoints) {
+    uint64_t outstanding = 0;
+    // A surviving backend keeps its in-flight accounting; a new one starts
+    // cold and PickBackend naturally favors it.
+    for (const Backend& b : backends_) {
+      if (b.endpoint == ep) {
+        outstanding = b.outstanding;
+        break;
+      }
+    }
+    next.push_back(Backend{ep, outstanding});
+  }
+  backends_ = std::move(next);
+  rr_next_ = 0;
+  counters_.Add("lb.configs");
+}
+
+uint64_t LoadBalancer::InFlightOn(CapRef endpoint) const {
+  uint64_t n = 0;
+  for (const auto& [id, rec] : in_flight_) {
+    if (rec.endpoint == endpoint) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Histogram LoadBalancer::TakeWindowLatency() {
+  Histogram out = window_latency_;
+  window_latency_.Reset();
+  return out;
+}
+
+void LoadBalancer::Tick(TileApi& api) {
+  (void)api;
+  outstanding_cycle_sum_ += in_flight_.size();
+}
+
 void LoadBalancer::OnMessage(const Message& msg, TileApi& api) {
   if (msg.kind == MsgKind::kResponse) {
     auto it = in_flight_.find(msg.request_id);
@@ -25,18 +68,24 @@ void LoadBalancer::OnMessage(const Message& msg, TileApi& api) {
       counters_.Add("lb.orphan_responses");
       return;
     }
-    auto [original, backend_idx] = std::move(it->second);
+    InFlight rec = std::move(it->second);
     in_flight_.erase(it);
-    // A kOpLbConfig may have replaced the backend set while this request
-    // was in flight; the recorded index is then stale.
-    if (backend_idx < backends_.size() && backends_[backend_idx].outstanding > 0) {
-      --backends_[backend_idx].outstanding;
+    // Match by endpoint, not index: a kOpLbConfig may have reordered or
+    // replaced the backend set while this request was in flight.
+    for (Backend& b : backends_) {
+      if (b.endpoint == rec.endpoint && b.outstanding > 0) {
+        --b.outstanding;
+        break;
+      }
     }
+    const Cycle rtt = api.now() - rec.sent_at;
+    latency_.Record(rtt);
+    window_latency_.Record(rtt);
     Message reply;
     reply.opcode = msg.opcode;
     reply.status = msg.status;
     reply.payload = msg.payload;
-    if (!api.Reply(original, std::move(reply)).ok()) {
+    if (!api.Reply(rec.original, std::move(reply)).ok()) {
       counters_.Add("lb.reply_failures");
     }
     counters_.Add("lb.responses");
@@ -47,7 +96,7 @@ void LoadBalancer::OnMessage(const Message& msg, TileApi& api) {
     // Control plane: replace the backend set with the CapRefs packed into
     // the payload (the kernel minted them into this tile's table before
     // sending the config). In-flight responses still reach their original
-    // requesters; only their per-backend accounting goes stale.
+    // requesters and drain accounting follows the endpoint, not the index.
     Message reply;
     reply.opcode = msg.opcode;
     if (msg.payload.size() % 4 != 0) {
@@ -55,13 +104,26 @@ void LoadBalancer::OnMessage(const Message& msg, TileApi& api) {
       api.Reply(msg, std::move(reply));
       return;
     }
-    backends_.clear();
-    rr_next_ = 0;
+    std::vector<CapRef> endpoints;
     for (size_t off = 0; off < msg.payload.size(); off += 4) {
-      backends_.push_back(Backend{GetU32(msg.payload, off), 0});
+      endpoints.push_back(GetU32(msg.payload, off));
     }
-    counters_.Add("lb.configs");
+    ReplaceBackends(endpoints);
     PutU32(reply.payload, static_cast<uint32_t>(backends_.size()));
+    api.Reply(msg, std::move(reply));
+    return;
+  }
+
+  if (msg.opcode == kOpOrchStats) {
+    // Metric export for the orchestration layer (and operators): queue and
+    // latency state in one round trip.
+    Message reply;
+    reply.opcode = msg.opcode;
+    PutU32(reply.payload, static_cast<uint32_t>(backends_.size()));
+    PutU64(reply.payload, in_flight_.size());
+    PutU64(reply.payload, counters_.Get("lb.responses"));
+    PutU64(reply.payload, latency_.P50());
+    PutU64(reply.payload, latency_.P99());
     api.Reply(msg, std::move(reply));
     return;
   }
@@ -80,7 +142,8 @@ void LoadBalancer::OnMessage(const Message& msg, TileApi& api) {
   fwd.dst_process = msg.dst_process;
   fwd.request_id = next_forward_id_++;
   const uint64_t fwd_id = fwd.request_id;
-  const SendResult r = api.Send(std::move(fwd), backends_[idx].endpoint);
+  const CapRef endpoint = backends_[idx].endpoint;
+  const SendResult r = api.Send(std::move(fwd), endpoint);
   if (!r.ok()) {
     counters_.Add("lb.forward_failures");
     Message err;
@@ -90,7 +153,7 @@ void LoadBalancer::OnMessage(const Message& msg, TileApi& api) {
     return;
   }
   ++backends_[idx].outstanding;
-  in_flight_.emplace(fwd_id, std::make_pair(msg, idx));
+  in_flight_.emplace(fwd_id, InFlight{msg, endpoint, api.now()});
   counters_.Add("lb.forwards");
 }
 

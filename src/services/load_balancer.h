@@ -1,6 +1,11 @@
 // Load balancer: fans requests out across replicated backend accelerators
 // and routes responses back — the paper's scale-out story ("a replicated
 // accelerator with internal load balancing for higher bandwidth", 4.1).
+//
+// Beyond forwarding, the balancer is the orchestration layer's sensor: it
+// tracks per-request latency and an integral of queue depth over time, and
+// exports both over the wire (kOpOrchStats) and to kernel-side callers
+// (src/orch's autoscaler polls TakeWindowLatency / outstanding_cycle_sum).
 #ifndef SRC_SERVICES_LOAD_BALANCER_H_
 #define SRC_SERVICES_LOAD_BALANCER_H_
 
@@ -8,6 +13,7 @@
 #include <vector>
 
 #include "src/core/accelerator.h"
+#include "src/stats/histogram.h"
 #include "src/stats/summary.h"
 
 namespace apiary {
@@ -18,20 +24,44 @@ class LoadBalancer : public Accelerator {
   // (minted by the kernel during wiring).
   void AddBackend(CapRef endpoint) { backends_.push_back(Backend{endpoint, 0}); }
 
+  // Replaces the whole backend set (membership change). In-flight requests
+  // keep their recorded endpoint, so responses still correlate and drain
+  // queries (InFlightOn) stay accurate across churn.
+  void ReplaceBackends(const std::vector<CapRef>& endpoints);
+
   // Handles kOpLbConfig (payload: packed u32 CapRefs naming the new backend
-  // set, replacing the old one) and forwards everything else to a backend.
+  // set), kOpOrchStats (metric export), and forwards everything else to a
+  // backend.
   void OnMessage(const Message& msg, TileApi& api) override;
+
+  // Accumulates the queue-depth integral (sum over cycles of in-flight
+  // count); the autoscaler differentiates it to get average queue depth.
+  void Tick(TileApi& api) override;
 
   std::string name() const override { return "load_balancer"; }
   uint32_t LogicCellCost() const override { return 8000; }
 
   const CounterSet& counters() const { return counters_; }
   size_t num_backends() const { return backends_.size(); }
+  uint64_t in_flight() const { return in_flight_.size(); }
+  // Requests currently outstanding on one specific backend endpoint; zero
+  // means the backend is drained and safe to tear down.
+  uint64_t InFlightOn(CapRef endpoint) const;
+  uint64_t outstanding_cycle_sum() const { return outstanding_cycle_sum_; }
+  // Request->response latency over the whole run.
+  const Histogram& latency() const { return latency_; }
+  // Latency since the previous call; the autoscaler's per-poll window.
+  Histogram TakeWindowLatency();
 
  private:
   struct Backend {
     CapRef endpoint;
     uint64_t outstanding;
+  };
+  struct InFlight {
+    Message original;   // The request to Reply() to.
+    CapRef endpoint;    // Backend it was forwarded to (stable across config).
+    Cycle sent_at = 0;  // Forward time, for latency accounting.
   };
 
   size_t PickBackend();
@@ -39,8 +69,10 @@ class LoadBalancer : public Accelerator {
   std::vector<Backend> backends_;
   size_t rr_next_ = 0;
   uint64_t next_forward_id_ = 1;
-  // Forwarded request id -> (original request, backend index).
-  std::map<uint64_t, std::pair<Message, size_t>> in_flight_;
+  std::map<uint64_t, InFlight> in_flight_;  // Keyed by forwarded request id.
+  uint64_t outstanding_cycle_sum_ = 0;
+  Histogram latency_;
+  Histogram window_latency_;
   CounterSet counters_;
 };
 

@@ -36,6 +36,16 @@ inline constexpr uint16_t kOpNetRegister = 0x0403; // req: app wants inbound tra
 // --- Load balancer ---
 inline constexpr uint16_t kOpLbConfig = 0x0501;    // kernel-side: backend list
 
+// --- Orchestration (elastic replica sets, src/orch) ---
+// Load-balancer metric export. resp: u32 backends, u64 in_flight,
+// u64 responses, u64 p50_cycles, u64 p99_cycles.
+inline constexpr uint16_t kOpOrchStats = 0x0601;
+// Adjust autoscaler replica bounds. req: u32 min, u32 max; resp: u32 live.
+inline constexpr uint16_t kOpOrchScale = 0x0602;
+// Autoscaler status. resp: u32 live, u32 target, u64 scale_ups,
+// u64 scale_downs.
+inline constexpr uint16_t kOpOrchStatus = 0x0603;
+
 // --- Application-defined opcodes start here ---
 inline constexpr uint16_t kOpAppBase = 0x1000;
 

@@ -33,6 +33,11 @@ uint64_t Supervisor::restarts(TileId tile) const {
   return it == managed_.end() ? 0 : it->second.restarts;
 }
 
+Supervisor::TileState Supervisor::tile_state(TileId tile) const {
+  auto it = managed_.find(tile);
+  return it == managed_.end() ? TileState::kHealthy : it->second.state;
+}
+
 bool Supervisor::AllHealthy() const {
   return std::all_of(managed_.begin(), managed_.end(), [](const auto& kv) {
     return kv.second.state == TileState::kHealthy;
@@ -75,15 +80,29 @@ void Supervisor::OnTileFault(TileId tile, const std::string& reason) {
   auto standby_it = standbys_.find(svc);
   if (standby_it != standbys_.end()) {
     const TileId spare = standby_it->second;
-    standbys_.erase(standby_it);
-    os_->RebindService(svc, spare);
-    os_->RegrantClientsOf(svc);
-    counters_.Add("supervisor.failovers");
-    // Service is back the moment the re-grants land.
-    recovery_cycles_.Record(0);
-    counters_.Add("supervisor.faults_recovered");
-    // Once repaired, this tile becomes the service's next spare.
-    m.standby_for = svc;
+    // A spare that is mid-reconfiguration (its own recovery, or an
+    // orchestrator load claimed the region) or otherwise unhealthy must
+    // never take over a logical name — rebinding would black-hole the
+    // service. Leave it registered for next time and fall back to cold
+    // recovery of the faulted tile.
+    const bool spare_usable = !os_->tile(spare).reconfiguring() &&
+                              os_->monitor(spare).fault_state() == TileFaultState::kHealthy &&
+                              tile_state(spare) == TileState::kHealthy;
+    if (spare_usable) {
+      standbys_.erase(standby_it);
+      os_->RebindService(svc, spare);
+      os_->RegrantClientsOf(svc);
+      counters_.Add("supervisor.failovers");
+      // Service is back the moment the re-grants land.
+      recovery_cycles_.Record(0);
+      counters_.Add("supervisor.faults_recovered");
+      // Once repaired, this tile becomes the service's next spare.
+      m.standby_for = svc;
+    } else {
+      counters_.Add("supervisor.standby_unavailable");
+      APIARY_LOG(kWarn) << "supervisor: standby tile " << spare << " for service " << svc
+                        << " is unavailable; cold-recovering tile " << tile;
+    }
   }
 
   BeginRecovery(tile, m, now_);

@@ -41,6 +41,17 @@ struct SupervisorConfig {
 
 class Supervisor : public Clocked {
  public:
+  // Recovery state of a managed tile. Public so orchestration (placement,
+  // reconfiguration scheduling — src/orch) can refuse to target a region the
+  // supervisor is mid-way through healing: scaling and recovery must never
+  // race on one tile.
+  enum class TileState : uint8_t {
+    kHealthy = 0,
+    kBackoff = 1,        // Fault seen; waiting out the restart delay.
+    kReconfiguring = 2,  // Fresh bitstream loading.
+    kQuarantined = 3,    // Crash-looped past policy; left fail-stopped.
+  };
+
   // Builds a replacement accelerator for a tile being recovered.
   using AccelFactory = std::function<std::unique_ptr<Accelerator>()>;
 
@@ -66,17 +77,12 @@ class Supervisor : public Clocked {
   const Histogram& recovery_cycles() const { return recovery_cycles_; }
   bool quarantined(TileId tile) const;
   uint64_t restarts(TileId tile) const;
+  // Recovery state of `tile`; kHealthy for tiles not under supervision.
+  TileState tile_state(TileId tile) const;
   // True when no managed tile is mid-recovery or quarantined.
   bool AllHealthy() const;
 
  private:
-  enum class TileState : uint8_t {
-    kHealthy = 0,
-    kBackoff = 1,        // Fault seen; waiting out the restart delay.
-    kReconfiguring = 2,  // Fresh bitstream loading.
-    kQuarantined = 3,    // Crash-looped past policy; left fail-stopped.
-  };
-
   struct Managed {
     AccelFactory factory;
     TileState state = TileState::kHealthy;

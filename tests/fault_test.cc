@@ -430,6 +430,52 @@ TEST(SupervisorTest, HotStandbyFailoverRepointsServiceAndRearms) {
   EXPECT_EQ(probe->received[0].status, MsgStatus::kOk);
 }
 
+TEST(SupervisorTest, StandbyMidReconfigurationIsNeverAFailoverTarget) {
+  FaultBoard fb(/*reconfig_cycles=*/20'000);
+  AppId app = fb.os.CreateApp("app");
+  ServiceId svc = 0;
+  ServiceId spare_svc = 0;
+  const TileId pt = fb.os.Deploy(app, std::make_unique<EchoAccelerator>(0), &svc);
+  const TileId st = fb.os.Deploy(app, std::make_unique<EchoAccelerator>(0), &spare_svc);
+  auto* probe = new ProbeAccelerator();
+  const TileId ct = fb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef cap = fb.os.GrantSendToService(ct, svc);
+
+  SupervisorConfig scfg;
+  scfg.poll_period = 64;
+  scfg.backoff_base_cycles = 1000;
+  Supervisor sup(&fb.os, scfg);
+  sup.Manage(pt, [] { return std::make_unique<EchoAccelerator>(0); });
+  sup.Manage(st, [] { return std::make_unique<EchoAccelerator>(0); });
+  sup.SetStandby(svc, st);
+  fb.sim.Run(10);  // Let both tiles boot.
+
+  // The standby crashes first and enters its (long) recovery
+  // reconfiguration...
+  fb.os.monitor(st).RaiseFault("standby SEU");
+  ASSERT_TRUE(fb.sim.RunUntil(
+      [&] { return sup.tile_state(st) == Supervisor::TileState::kReconfiguring; },
+      100'000));
+
+  // ...and while its bitstream is mid-load, the primary dies too. Failing
+  // over onto a half-configured region would strand the service; the
+  // supervisor must take the cold path instead.
+  fb.os.monitor(pt).RaiseFault("primary SEU");
+  ASSERT_TRUE(fb.sim.RunUntil(
+      [&] { return sup.counters().Get("supervisor.standby_unavailable") == 1; },
+      100'000));
+  EXPECT_EQ(sup.counters().Get("supervisor.failovers"), 0u);
+  EXPECT_EQ(fb.os.LookupServiceTile(svc), pt);
+
+  // Both tiles heal through reconfiguration and the service answers again
+  // from its original region, through the client's original capability.
+  ASSERT_TRUE(fb.sim.RunUntil([&] { return sup.AllHealthy(); }, 500'000));
+  EXPECT_EQ(fb.os.LookupServiceTile(svc), pt);
+  probe->EnqueueSend(EchoRequest(), cap);
+  ASSERT_TRUE(fb.sim.RunUntil([&] { return !probe->received.empty(); }, 50'000));
+  EXPECT_EQ(probe->received[0].status, MsgStatus::kOk);
+}
+
 TEST(SupervisorTest, WatchdogWedgeDetectionFeedsRecovery) {
   FaultBoard fb(/*reconfig_cycles=*/5000);
   auto* mgmt = new MgmtService(&fb.os);

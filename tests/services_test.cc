@@ -563,6 +563,75 @@ TEST(LoadBalancerTest, LbConfigReplacesBackendSetOverTheWire) {
   EXPECT_EQ(fresh[0]->served() + fresh[1]->served(), 4u);
 }
 
+TEST(LoadBalancerTest, MembershipChurnMidFlightKeepsResponsesCorrelated) {
+  TestBoard tb;
+  AppId app = tb.os.CreateApp("svc");
+  auto* lb = new LoadBalancer();
+  ServiceId lb_svc = 0;
+  const TileId lb_tile = tb.os.Deploy(app, std::unique_ptr<Accelerator>(lb), &lb_svc);
+  // A slow original backend, so requests are still in flight when the
+  // membership changes under them.
+  auto* old_backend = new EchoAccelerator(500);
+  ServiceId old_svc = 0;
+  tb.os.Deploy(app, std::unique_ptr<Accelerator>(old_backend), &old_svc);
+  lb->AddBackend(tb.os.GrantSendToService(lb_tile, old_svc));
+
+  auto* probe = new ProbeAccelerator();
+  const TileId pt = tb.os.Deploy(app, std::unique_ptr<Accelerator>(probe));
+  const CapRef cap = tb.os.GrantSendToService(pt, lb_svc);
+  for (uint8_t i = 0; i < 4; ++i) {
+    Message msg;
+    msg.opcode = kOpEcho;
+    msg.payload = {i};
+    probe->EnqueueSend(msg, cap);
+  }
+  // All four forwarded to the slow backend, none answered yet.
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return lb->in_flight() == 4; }, 10'000));
+  ASSERT_TRUE(probe->received.empty());
+
+  // Swap the entire backend set mid-flight.
+  std::vector<EchoAccelerator*> fresh;
+  Message config;
+  config.opcode = kOpLbConfig;
+  for (int i = 0; i < 2; ++i) {
+    auto* echo = new EchoAccelerator(10);
+    ServiceId svc = 0;
+    tb.os.Deploy(app, std::unique_ptr<Accelerator>(echo), &svc);
+    PutU32(config.payload, tb.os.GrantSendToService(lb_tile, svc));
+    fresh.push_back(echo);
+  }
+  probe->EnqueueSend(config, cap);
+
+  // New traffic routes to the fresh set while the old responses drain.
+  for (uint8_t i = 4; i < 8; ++i) {
+    Message msg;
+    msg.opcode = kOpEcho;
+    msg.payload = {i};
+    probe->EnqueueSend(msg, cap);
+  }
+  // 4 old echoes + config ack + 4 new echoes, none dropped or misrouted.
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return probe->received.size() == 9; }, 100'000));
+  std::vector<bool> seen(8, false);
+  for (const Message& r : probe->received) {
+    EXPECT_EQ(r.status, MsgStatus::kOk);
+    if (r.opcode == kOpEcho) {
+      ASSERT_EQ(r.payload.size(), 1u);
+      ASSERT_LT(r.payload[0], 8);
+      EXPECT_FALSE(seen[r.payload[0]]);  // Correlated exactly once.
+      seen[r.payload[0]] = true;
+    }
+  }
+  for (bool s : seen) {
+    EXPECT_TRUE(s);
+  }
+  EXPECT_EQ(old_backend->served(), 4u);
+  EXPECT_EQ(fresh[0]->served() + fresh[1]->served(), 4u);
+  EXPECT_EQ(lb->counters().Get("lb.orphan_responses"), 0u);
+  EXPECT_EQ(lb->counters().Get("lb.reply_failures"), 0u);
+  EXPECT_EQ(lb->InFlightOn(kInvalidCapRef), 0u);
+  EXPECT_EQ(lb->in_flight(), 0u);
+}
+
 TEST(LoadBalancerTest, LbConfigRejectsMalformedPayload) {
   TestBoard tb;
   AppId app = tb.os.CreateApp("svc");

@@ -18,6 +18,9 @@ struct TestBoardOptions {
   std::string part = "VU9P";
   MacKind mac = MacKind::k100G;
   bool with_pcie = false;
+  // 0 keeps the BoardConfig default; orchestration tests shorten it so
+  // reconfiguration-heavy scenarios fit test budgets.
+  Cycle reconfig_cycles = 0;
 };
 
 // Simulator + external network + board + kernel, wired in the right order.
@@ -34,6 +37,9 @@ struct TestBoard {
     cfg.dram.capacity_bytes = 64ull << 20;  // Keep test memory small.
     cfg.mac_kind = options.mac;
     cfg.with_pcie = options.with_pcie;
+    if (options.reconfig_cycles != 0) {
+      cfg.partial_reconfig_cycles = options.reconfig_cycles;
+    }
     return cfg;
   }
 

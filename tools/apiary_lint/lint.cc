@@ -345,6 +345,9 @@ LintConfig DefaultConfig() {
       {"fpga", {"fpga", "mem", "noc", "sim", "stats"}},
       {"core", {"core", "fpga", "mem", "noc", "sim", "stats"}},
       {"services", {"services", "core", "fpga", "mem", "noc", "sim", "stats"}},
+      // Orchestration sits above services (it drives the supervisor and load
+      // balancer) but below applications: accel/baseline must not see it.
+      {"orch", {"orch", "core", "fpga", "services", "sim", "stats"}},
       {"fault", {"fault", "core", "fpga", "mem", "noc", "sim", "stats"}},
       {"accel", {"accel", "core", "sim", "stats"}},
       {"baseline", {"baseline", "fpga", "mem", "noc", "sim", "stats"}},

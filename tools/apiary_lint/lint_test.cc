@@ -148,6 +148,34 @@ TEST(Layering, BlocksBaselineFromServices) {
                        "apiary-layering"));
 }
 
+TEST(Layering, OrchSeesServicesAndCore) {
+  EXPECT_TRUE(LintOne("src/orch/x.cc",
+                      "#include \"src/core/kernel.h\"\n"
+                      "#include \"src/fpga/board.h\"\n"
+                      "#include \"src/orch/placer.h\"\n"
+                      "#include \"src/services/supervisor.h\"\n"
+                      "#include \"src/sim/clocked.h\"\n"
+                      "#include \"src/stats/summary.h\"\n")
+                  .empty());
+}
+
+TEST(Layering, BlocksAccelAndBaselineFromOrch) {
+  EXPECT_TRUE(HasCheck(LintOne("src/accel/x.cc",
+                               "#include \"src/orch/autoscaler.h\"\n"),
+                       "apiary-layering"));
+  EXPECT_TRUE(HasCheck(LintOne("src/baseline/x.cc",
+                               "#include \"src/orch/placer.h\"\n"),
+                       "apiary-layering"));
+}
+
+TEST(Layering, BlocksOrchFromNocAndMem) {
+  const auto findings = LintOne("src/orch/x.cc",
+                                "#include \"src/mem/dram.h\"\n"
+                                "#include \"src/noc/packet.h\"\n");
+  EXPECT_EQ(findings.size(), 2u);
+  EXPECT_TRUE(HasCheck(findings, "apiary-layering"));
+}
+
 TEST(Layering, SimIsTheRoot) {
   EXPECT_TRUE(HasCheck(LintOne("src/sim/x.cc", "#include \"src/core/tile.h\"\n"),
                        "apiary-layering"));

@@ -1,0 +1,8 @@
+// Bad: an untrusted accelerator reaching into the orchestration control
+// plane — scaling decisions belong to the kernel side, not tenants.
+#ifndef SRC_ACCEL_ELASTIC_H_
+#define SRC_ACCEL_ELASTIC_H_
+
+#include "src/orch/autoscaler.h"
+
+#endif  // SRC_ACCEL_ELASTIC_H_

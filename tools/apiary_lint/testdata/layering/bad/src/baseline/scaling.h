@@ -1,0 +1,8 @@
+// Bad: the no-OS baseline borrowing the orchestrator it is compared
+// against.
+#ifndef SRC_BASELINE_SCALING_H_
+#define SRC_BASELINE_SCALING_H_
+
+#include "src/orch/placer.h"
+
+#endif  // SRC_BASELINE_SCALING_H_

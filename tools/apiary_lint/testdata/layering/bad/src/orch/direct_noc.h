@@ -1,0 +1,8 @@
+// Bad: orchestration bypassing the kernel to touch the NoC directly; its
+// authority flows through ApiaryOs, never raw fabric access.
+#ifndef SRC_ORCH_DIRECT_NOC_H_
+#define SRC_ORCH_DIRECT_NOC_H_
+
+#include "src/noc/packet.h"
+
+#endif  // SRC_ORCH_DIRECT_NOC_H_

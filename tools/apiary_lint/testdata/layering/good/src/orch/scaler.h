@@ -1,0 +1,13 @@
+// Good: orchestration drives the service stack (supervisor, load balancer)
+// through kernel paths — all layers on its allow-list.
+#ifndef SRC_ORCH_SCALER_H_
+#define SRC_ORCH_SCALER_H_
+
+#include "src/core/kernel.h"
+#include "src/fpga/board.h"
+#include "src/orch/placer.h"
+#include "src/services/supervisor.h"
+#include "src/sim/clocked.h"
+#include "src/stats/summary.h"
+
+#endif  // SRC_ORCH_SCALER_H_
