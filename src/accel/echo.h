@@ -38,6 +38,16 @@ class EchoAccelerator : public Accelerator {
     }
   }
 
+  // Idle until the head-of-line request finishes service; a failed Reply
+  // keeps ready_at in the past, which keeps the block active for the retry.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    if (pending_.empty()) {
+      return kNoActivity;
+    }
+    const Cycle at = pending_.front().ready_at;
+    return at > now ? at : now;
+  }
+
   std::string name() const override { return "echo"; }
   uint32_t LogicCellCost() const override { return 3000; }
   uint64_t served() const { return served_; }

@@ -28,6 +28,16 @@ class WedgeAccelerator : public Accelerator {
   void OnBoot(TileApi& api) override;
   void OnMessage(const Message& msg, TileApi& api) override;
   void Tick(TileApi& api) override;
+  // Sleeps between heartbeats; wedged (or unwatched) accelerators do nothing
+  // in Tick and never wake on their own. A failed heartbeat send leaves
+  // last_heartbeat_ in the past, which keeps the block active for the retry.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    if (wedged() || mgmt_cap_ == kInvalidCapRef) {
+      return kNoActivity;
+    }
+    const Cycle hb_at = last_heartbeat_ + heartbeat_period_;
+    return hb_at > now ? hb_at : now;
+  }
 
   std::string name() const override { return "wedge"; }
   uint32_t LogicCellCost() const override { return 3000; }
@@ -49,6 +59,11 @@ class CrashAccelerator : public Accelerator {
       : healthy_requests_(healthy_requests) {}
 
   void OnMessage(const Message& msg, TileApi& api) override;
+  // Purely message-driven: no tick work at all.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    (void)now;
+    return kNoActivity;
+  }
 
   std::string name() const override { return "crash"; }
   uint32_t LogicCellCost() const override { return 3000; }

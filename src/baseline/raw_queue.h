@@ -32,6 +32,16 @@ class RawQueue : public Clocked {
   std::optional<std::vector<uint8_t>> Pop(Cycle now);
 
   void Tick(Cycle now) override { (void)now; }
+  // The queue itself does no tick work, but harness predicates poll Pop()
+  // against front().available_at — declare that cycle as an activity
+  // boundary so RunUntil predicates observe it exactly.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    if (entries_.empty()) {
+      return kNoActivity;
+    }
+    const Cycle at = entries_.front().available_at;
+    return at > now ? at : now;
+  }
   std::string DebugName() const override { return "raw_queue"; }
 
   uint64_t pushed() const { return pushed_; }

@@ -91,6 +91,18 @@ class Accelerator {
   // Called every cycle for autonomous compute (pipelines, timers).
   virtual void Tick(TileApi& api) { (void)api; }
 
+  // Quiescence hook mirroring Clocked::NextActivity, forwarded by the tile:
+  // the earliest future cycle this accelerator's Tick() matters again, a
+  // value <= now for "active every cycle" (the safe default), or
+  // kNoActivity (~Cycle{0}) when it only reacts to messages. Re-polled at
+  // every executed cycle, so message arrival re-arms the tile automatically.
+  [[nodiscard]] virtual Cycle NextActivity(Cycle now) const { return now; }
+
+  // Mirrors Clocked::OnFastForward: the simulator jumped to `resume_cycle`;
+  // bring any cached clocks / per-cycle accumulators to the state a
+  // cycle-by-cycle run would have produced.
+  virtual void OnFastForward(Cycle resume_cycle) { (void)resume_cycle; }
+
   virtual std::string name() const = 0;
 
   // Logic-cell footprint charged against the tile region.

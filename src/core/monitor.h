@@ -25,6 +25,7 @@
 #include "src/core/trace.h"
 #include "src/noc/network_interface.h"
 #include "src/noc/rate_limiter.h"
+#include "src/sim/clocked.h"
 #include "src/stats/histogram.h"
 #include "src/stats/summary.h"
 
@@ -75,6 +76,30 @@ class Monitor : public TileApi {
   void BeginCycle(Cycle now);
   // Moves pipeline-ready outbound messages into the NI.
   void FlushOutbox();
+
+  // Quiescence support for the owning Tile (same contract as
+  // Clocked::NextActivity): the earliest cycle BeginCycle/FlushOutbox has
+  // work — NI delivery to drain, or a pipelined outbound becoming ready.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const {
+    if (ni_->HasDeliverable()) {
+      return now;
+    }
+    if (!outbox_.empty()) {
+      // Outbox ready times are monotonic (stamped at enqueue), so the front
+      // is the earliest; a backpressured front is retried every cycle.
+      return outbox_.front().ready_at > now ? outbox_.front().ready_at : now;
+    }
+    return kNoActivity;
+  }
+
+  // The owning Tile fast-forwarded: advance the cached clock to the value
+  // the last pre-resume BeginCycle would have left (resume - 1), so
+  // external callers (kernel Configure, event callbacks) observe the same
+  // timestamps as a cycle-by-cycle run.
+  void OnFastForward(Cycle resume_cycle) { now_ = resume_cycle - 1; }
+
+  // Delivered-but-unconsumed messages awaiting the accelerator's Receive().
+  bool HasPendingInbox() const { return !inbox_.empty(); }
 
   // ------------------------------------------------------------------
   // TileApi (the untrusted accelerator side).

@@ -49,6 +49,35 @@ void Tile::HandleAcceleratorFault() {
   monitor_.FailStop("accelerator fault: " + monitor_.fault_reason());
 }
 
+Cycle Tile::NextActivity(Cycle now) const {
+  Cycle next = monitor_.NextActivity(now);
+  if (reconfiguring_) {
+    const Cycle done = reconfig_done_at_ > now ? reconfig_done_at_ : now;
+    next = done < next ? done : next;
+  }
+  const bool accel_runs = accel_ != nullptr && !reconfiguring_ && !seu_wedged_ &&
+                          monitor_.fault_state() == TileFaultState::kHealthy;
+  if (accel_runs) {
+    if (!booted_ || monitor_.HasPendingInbox()) {
+      return now;
+    }
+    const Cycle accel_next = accel_->NextActivity(now);
+    next = accel_next < next ? accel_next : next;
+  }
+  return next;
+}
+
+void Tile::OnFastForward(Cycle resume_cycle) {
+  monitor_.OnFastForward(resume_cycle);
+  // Only an accelerator that would actually have been ticked observes the
+  // jump; gated slots (wedged, stopped, mid-reconfiguration) stay untouched,
+  // exactly as in a cycle-by-cycle run.
+  if (accel_ != nullptr && booted_ && !reconfiguring_ && !seu_wedged_ &&
+      monitor_.fault_state() == TileFaultState::kHealthy) {
+    accel_->OnFastForward(resume_cycle);
+  }
+}
+
 void Tile::Tick(Cycle now) {
   monitor_.BeginCycle(now);
 

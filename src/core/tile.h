@@ -34,6 +34,12 @@ class Tile : public Clocked {
   bool PreemptSwap(std::unique_ptr<Accelerator> replacement);
 
   void Tick(Cycle now) override;
+  // Quiescent when the monitor has nothing to drain or flush, no
+  // reconfiguration is counting down, and the (booted, healthy) accelerator
+  // itself declares idleness. Wedged/stopped slots contribute nothing: their
+  // accelerator is not ticked in a cycle-by-cycle run either.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override;
+  void OnFastForward(Cycle resume_cycle) override;
   std::string DebugName() const override;
 
   Monitor& monitor() { return monitor_; }

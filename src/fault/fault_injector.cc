@@ -135,6 +135,37 @@ void FaultInjector::Tick(Cycle now) {
   }
 }
 
+Cycle FaultInjector::NextActivity(Cycle now) const {
+  Cycle next = kNoActivity;
+  if (next_event_ < plan_.events.size()) {
+    const Cycle at = plan_.events[next_event_].at;
+    next = at > now ? at : now;
+  }
+  // Window expiry itself is unobservable (every consumer re-checks
+  // `now < until`), but the closing cycle is where window-gated state flips;
+  // bounding the jump there keeps RunUntil predicates cycle-exact.
+  auto clamp_windows = [&next, now](const std::vector<Window>& windows) {
+    for (const Window& w : windows) {
+      if (w.until > now && w.until < next) {
+        next = w.until;
+      }
+    }
+  };
+  clamp_windows(drop_windows_);
+  clamp_windows(corrupt_windows_);
+  clamp_windows(stall_windows_);
+  return next;
+}
+
+Cycle FaultInjector::NextMeshActivity(Cycle now) const {
+  for (const Window& w : stall_windows_) {
+    if (now < w.until) {
+      return now;  // Stalled routers charge a counter every open cycle.
+    }
+  }
+  return kNoActivity;
+}
+
 bool FaultInjector::WindowHit(const std::vector<Window>& windows, TileId router_tile,
                               Cycle now) {
   for (const Window& w : windows) {

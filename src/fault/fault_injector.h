@@ -40,11 +40,19 @@ class FaultInjector : public Clocked, public NocFaultModel {
   ~FaultInjector() override;
 
   void Tick(Cycle now) override;
+  // Skip clamping: the next plan event must fire at exactly its scheduled
+  // cycle (Record stamps `now`), and every open window bounds the jump at
+  // its closing cycle so window-gated predicates (Exhausted, RouterStalled)
+  // flip at identical cycles with and without skipping.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override;
   std::string DebugName() const override { return "fault_injector"; }
 
   // NocFaultModel.
   bool OnLinkTraverse(TileId router_tile, const Flit& flit, Cycle now) override;
   bool RouterStalled(TileId router_tile, Cycle now) override;
+  // The mesh has per-cycle fault work (stall counters accrue on stalled
+  // routers) only while a stall window is open.
+  [[nodiscard]] Cycle NextMeshActivity(Cycle now) const override;
 
   // fault.injected / fault.<kind> / fault.link_drops_applied / ... plus the
   // per-result DRAM counters (fault.dram_corrupted / fault.dram_ecc_corrected).

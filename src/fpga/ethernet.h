@@ -62,6 +62,14 @@ class ExternalNetwork : public Clocked {
   void Send(EthFrame frame, Cycle now);
 
   void Tick(Cycle now) override;
+  // In-flight frames sit in deliver-time order (constant latency), so the
+  // fabric sleeps until the front frame's delivery cycle.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    if (in_flight_.empty()) {
+      return kNoActivity;
+    }
+    return in_flight_.front().deliver_at > now ? in_flight_.front().deliver_at : now;
+  }
   std::string DebugName() const override { return "extnet"; }
 
   const CounterSet& counters() const { return counters_; }
@@ -98,6 +106,20 @@ class EthernetMacBase : public Clocked, public ExternalEndpoint {
   }
 
   void Tick(Cycle now) override;
+  // TX is the MAC's only tick-driven work: sleep until the in-flight frame
+  // finishes serializing, stay awake while queued frames can launch. A
+  // queued frame behind a down link makes no progress cycle-to-cycle (the
+  // bring-up pollers re-arm the MAC by flipping the link during an executed
+  // cycle), and RX is entirely caller-driven.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    if (tx_in_flight_) {
+      return tx_busy_until_ > now ? tx_busy_until_ : now;
+    }
+    if (!tx_queue_.empty() && link_up()) {
+      return now;
+    }
+    return kNoActivity;
+  }
   std::string DebugName() const override { return "eth_mac"; }
 
   uint32_t address() const { return address_; }

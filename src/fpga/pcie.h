@@ -36,6 +36,18 @@ class PcieEndpoint : public Clocked {
   bool Submit(uint64_t bytes, Completion done);
 
   void Tick(Cycle now) override;
+  // An unlaunched submission must be launched on the very next tick (launch
+  // time feeds the link-serialization math); otherwise completions are FIFO
+  // with monotonic complete_at, so the front transfer bounds the sleep.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    if (queue_.empty()) {
+      return kNoActivity;
+    }
+    if (!queue_.back().launched) {
+      return now;
+    }
+    return queue_.front().complete_at > now ? queue_.front().complete_at : now;
+  }
   std::string DebugName() const override { return "pcie"; }
 
   const CounterSet& counters() const { return counters_; }

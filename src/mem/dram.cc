@@ -47,6 +47,19 @@ Cycle DramChannel::ServiceLatency(Bank& bank, const Request& req) {
   return latency;
 }
 
+Cycle DramChannel::NextActivity(Cycle now) const {
+  Cycle next = kNoActivity;
+  for (const Bank& bank : banks_) {
+    if (bank.in_flight) {
+      const Cycle done = bank.busy_until > now ? bank.busy_until : now;
+      next = done < next ? done : next;
+    } else if (!bank.queue.empty()) {
+      return now;
+    }
+  }
+  return next;
+}
+
 void DramChannel::Tick(Cycle now) {
   for (Bank& bank : banks_) {
     if (bank.in_flight) {

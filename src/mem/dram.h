@@ -41,6 +41,9 @@ class DramChannel : public Clocked {
   bool Enqueue(uint64_t addr, uint32_t bytes, bool is_write, Completion done);
 
   void Tick(Cycle now) override;
+  // Quiescent until the earliest bank completion; a bank with queued but
+  // unlaunched requests needs the very next tick to launch them.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override;
   std::string DebugName() const override { return "dram"; }
 
   const DramConfig& config() const { return config_; }

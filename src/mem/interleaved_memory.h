@@ -37,6 +37,19 @@ class InterleavedMemory : public Clocked, public MemoryBackend {
   void SetEccEnabled(bool enabled) override;
 
   void Tick(Cycle now) override;
+  // Active while any operation still has chunks to issue; otherwise defers
+  // to the earliest channel completion.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    if (!pending_.empty()) {
+      return now;
+    }
+    Cycle next = kNoActivity;
+    for (const auto& channel : channels_) {
+      const Cycle c = channel->NextActivity(now);
+      next = c < next ? c : next;
+    }
+    return next;
+  }
   std::string DebugName() const override { return "hbm"; }
 
   uint32_t num_channels() const { return static_cast<uint32_t>(channels_.size()); }

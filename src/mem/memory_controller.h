@@ -37,6 +37,9 @@ class MemoryController : public Clocked, public MemoryBackend {
   bool ecc_enabled() const { return ecc_enabled_; }
 
   void Tick(Cycle now) override { dram_.Tick(now); }
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    return dram_.NextActivity(now);
+  }
   std::string DebugName() const override { return "memctl"; }
 
   uint64_t capacity() const override { return store_.size(); }

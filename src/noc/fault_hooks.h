@@ -23,6 +23,14 @@ class NocFaultModel {
 
   // True while the router at `router_tile` is stalled (forwards nothing).
   virtual bool RouterStalled(TileId router_tile, Cycle now) = 0;
+
+  // Quiescence hook for the mesh: the earliest cycle at which this model
+  // still has per-cycle NoC work even on an empty mesh (router stall
+  // windows accrue `router.fault_stalled_cycles` every cycle they are
+  // open). Return `now` while any stall window is open, kNoActivity
+  // (~Cycle{0}) otherwise. The default keeps models that never stall
+  // conservative-but-correct: an always-active mesh.
+  [[nodiscard]] virtual Cycle NextMeshActivity(Cycle now) const { return now; }
 };
 
 }  // namespace apiary

@@ -54,7 +54,24 @@ void Mesh::Tick(Cycle now) {
   }
 }
 
+Cycle Mesh::NextActivity(Cycle now) const {
+  for (const auto& r : routers_) {
+    if (r->HasBufferedFlits()) {
+      return now;
+    }
+  }
+  for (const auto& ni : nis_) {
+    if (ni->HasPendingInject()) {
+      return now;
+    }
+  }
+  // Empty fabric: only the fault model (stall windows charge a counter every
+  // open cycle) can still need per-cycle routing work.
+  return fault_model_ != nullptr ? fault_model_->NextMeshActivity(now) : kNoActivity;
+}
+
 void Mesh::SetFaultModel(NocFaultModel* model) {
+  fault_model_ = model;
   for (auto& r : routers_) {
     r->SetFaultModel(model);
   }

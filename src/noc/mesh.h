@@ -34,6 +34,11 @@ class Mesh : public Clocked {
   explicit Mesh(MeshConfig config);
 
   void Tick(Cycle now) override;
+  // Quiescent when no router buffers a flit, no NI has flits queued for
+  // injection, and the installed fault model (if any) has no per-cycle mesh
+  // work (open stall windows). Monitors re-arm the mesh by enqueuing into an
+  // NI during an executed cycle; the next boundary poll sees the flits.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override;
   std::string DebugName() const override { return "mesh"; }
 
   uint32_t width() const { return config_.width; }
@@ -62,6 +67,7 @@ class Mesh : public Clocked {
   MeshConfig config_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  NocFaultModel* fault_model_ = nullptr;
 };
 
 }  // namespace apiary

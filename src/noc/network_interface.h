@@ -41,6 +41,18 @@ class NetworkInterface {
   std::shared_ptr<NocPacket> Retrieve();
 
   bool HasDeliverable() const { return !delivered_.empty(); }
+
+  // True while any VC injection queue holds flits waiting for InjectCycle —
+  // the mesh's quiescence check for the injection side.
+  bool HasPendingInject() const {
+    for (const auto& q : inject_queues_) {
+      if (!q.empty()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   TileId tile() const { return tile_; }
 
   // Largest packet (in flits) that can ever be injected; senders must

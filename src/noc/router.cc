@@ -45,6 +45,7 @@ bool Router::AcceptFlit(RouterPort in_port, const Flit& flit) {
     return false;
   }
   inputs_[in_port][static_cast<int>(flit.vc())].staged.push_back(flit);
+  ++occupancy_;
   return true;
 }
 
@@ -124,6 +125,7 @@ bool Router::TryForward(RouterPort out, int in, int vc, Cycle now) {
     state.owner_port = -1;
   }
   buf.flits.pop_front();
+  --occupancy_;
   ++flits_routed_;
   return true;
 }

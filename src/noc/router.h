@@ -58,6 +58,10 @@ class Router {
   const CounterSet& counters() const { return counters_; }
   uint64_t flits_routed() const { return flits_routed_; }
 
+  // True while any input buffer holds a flit (staged or committed) — the
+  // mesh's quiescence check. O(1): tracked as a running occupancy count.
+  bool HasBufferedFlits() const { return occupancy_ != 0; }
+
   // Estimated logic-cell cost of this router instance (for the FPGA resource
   // model; see src/fpga/resource_model.h for calibration notes).
   static uint32_t LogicCellCost(uint32_t buffer_depth);
@@ -101,6 +105,8 @@ class Router {
   std::array<int, kNumPorts> rr_vc_{};
 
   uint64_t flits_routed_ = 0;
+  // Total flits resident across all input buffers (staged + committed).
+  uint64_t occupancy_ = 0;
   CounterSet counters_;
 };
 

@@ -20,6 +20,9 @@ Autoscaler::Autoscaler(ApiaryOs* os, LoadBalancer* lb, TileId lb_tile, AppId app
       scheduler_(scheduler),
       config_(config) {
   target_ = config_.min_replicas;
+  // Anchor the integral clock at creation time so a fast-forward before the
+  // first tick does not back-fill region-cycles for cycles that predate us.
+  now_ = os_->sim().now();
   os_->sim().Register(this);
 }
 

@@ -85,6 +85,20 @@ class Autoscaler : public Clocked {
   void SetBounds(uint32_t min_replicas, uint32_t max_replicas);
 
   void Tick(Cycle now) override;
+  // The control loop only acts at poll multiples; the region-cycle integral
+  // (the other per-tick effect) is reconstructed exactly on fast-forward
+  // because replica membership can only change on executed cycles.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    if (config_.poll_period == 0) {
+      return kNoActivity;
+    }
+    const Cycle rem = now % config_.poll_period;
+    return rem == 0 ? now : now + (config_.poll_period - rem);
+  }
+  void OnFastForward(Cycle resume_cycle) override {
+    tile_cycles_ += (resume_cycle - 1 - now_) * replicas_.size();
+    now_ = resume_cycle - 1;
+  }
   std::string DebugName() const override { return "autoscaler"; }
 
   uint32_t live_replicas() const;

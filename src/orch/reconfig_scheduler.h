@@ -59,6 +59,13 @@ class ReconfigScheduler : public Clocked {
                         TeardownCallback done);
 
   void Tick(Cycle now) override;
+  // Drain predicates and ICAP-stall accounting are polled cycle-by-cycle, so
+  // the scheduler pins the clock whenever a job is queued or active; with an
+  // empty queue the tick is a no-op and the clock may run free.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    return busy() ? now : kNoActivity;
+  }
+  void OnFastForward(Cycle resume_cycle) override { now_ = resume_cycle - 1; }
   std::string DebugName() const override { return "reconfig_scheduler"; }
 
   size_t queue_depth() const { return jobs_.size(); }

@@ -57,8 +57,8 @@ Histogram LoadBalancer::TakeWindowLatency() {
 }
 
 void LoadBalancer::Tick(TileApi& api) {
-  (void)api;
   outstanding_cycle_sum_ += in_flight_.size();
+  last_tick_ = api.now();
 }
 
 void LoadBalancer::OnMessage(const Message& msg, TileApi& api) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/core/accelerator.h"
+#include "src/sim/clocked.h"
 #include "src/stats/histogram.h"
 #include "src/stats/summary.h"
 
@@ -37,6 +38,20 @@ class LoadBalancer : public Accelerator {
   // Accumulates the queue-depth integral (sum over cycles of in-flight
   // count); the autoscaler differentiates it to get average queue depth.
   void Tick(TileApi& api) override;
+  // The integral is the only tick work, and it is reconstructed exactly on
+  // fast-forward (in-flight membership can only change via messages, which
+  // arrive on executed cycles), so the balancer never pins the clock.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    (void)now;
+    return kNoActivity;
+  }
+  void OnFastForward(Cycle resume_cycle) override {
+    // Delta-add the integral for the skipped idle cycles
+    // [last_tick_ + 1, resume_cycle - 1]; the per-cycle count is constant
+    // across the window.
+    outstanding_cycle_sum_ += (resume_cycle - 1 - last_tick_) * in_flight_.size();
+    last_tick_ = resume_cycle - 1;
+  }
 
   std::string name() const override { return "load_balancer"; }
   uint32_t LogicCellCost() const override { return 8000; }
@@ -71,6 +86,7 @@ class LoadBalancer : public Accelerator {
   uint64_t next_forward_id_ = 1;
   std::map<uint64_t, InFlight> in_flight_;  // Keyed by forwarded request id.
   uint64_t outstanding_cycle_sum_ = 0;
+  Cycle last_tick_ = 0;  // Last cycle folded into the integral.
   Histogram latency_;
   Histogram window_latency_;
   CounterSet counters_;

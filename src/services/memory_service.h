@@ -26,6 +26,11 @@ class MemoryService : public Accelerator {
 
   void OnMessage(const Message& msg, TileApi& api) override;
   void Tick(TileApi& api) override;
+  // The tick only submits/completes in-flight DRAM operations; the memory
+  // model itself (registered separately) pins the completion cycles.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    return pending_.empty() ? kNoActivity : now;
+  }
 
   std::string name() const override { return "memory_service"; }
   uint32_t LogicCellCost() const override { return 15000; }

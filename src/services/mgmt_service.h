@@ -16,6 +16,7 @@
 #include "src/core/accelerator.h"
 #include "src/core/kernel.h"
 #include "src/services/opcodes.h"
+#include "src/sim/clocked.h"
 #include "src/stats/summary.h"
 
 namespace apiary {
@@ -32,6 +33,22 @@ class MgmtService : public Accelerator {
 
   void OnMessage(const Message& msg, TileApi& api) override;
   void Tick(TileApi& api) override;
+  // The watchdog sweep only acts when some armed entry crosses
+  // last_heartbeat + deadline; the earliest such trip cycle bounds the
+  // sleep. Heartbeats arrive as messages (executed cycles), pushing the
+  // trip cycle out before it can be skipped past.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    Cycle next = kNoActivity;
+    for (const auto& [tile, entry] : watched_) {
+      if (entry.tripped || entry.deadline_cycles == 0) {
+        continue;
+      }
+      const Cycle trip = entry.last_heartbeat + entry.deadline_cycles + 1;
+      const Cycle at = trip > now ? trip : now;
+      next = at < next ? at : next;
+    }
+    return next;
+  }
 
   std::string name() const override { return "mgmt_service"; }
   uint32_t LogicCellCost() const override { return 6000; }

@@ -30,10 +30,13 @@ class MacAdapter {
   // Drives the device-specific initialization sequence; called every cycle
   // until Ready() holds.
   virtual void Bringup(Cycle now) = 0;
-  virtual bool Ready(Cycle now) = 0;
+  virtual bool Ready(Cycle now) const = 0;
 
   virtual bool TrySend(EthFrame frame, Cycle now) = 0;
   virtual std::optional<EthFrame> TryRecv() = 0;
+  // Frames waiting in the RX FIFO — the quiescence query behind the network
+  // service's NextActivity; must not dequeue or mutate.
+  virtual bool HasRx() const = 0;
   virtual double link_gbps() const = 0;
 };
 
@@ -43,9 +46,10 @@ class Mac10GAdapter : public MacAdapter {
   explicit Mac10GAdapter(EthMac10G* mac) : mac_(mac) {}
 
   void Bringup(Cycle now) override;
-  bool Ready(Cycle now) override { return mac_->RxBlockLock(now); }
+  bool Ready(Cycle now) const override { return mac_->RxBlockLock(now); }
   bool TrySend(EthFrame frame, Cycle now) override { return mac_->TxFrame(std::move(frame), now); }
   std::optional<EthFrame> TryRecv() override;
+  bool HasRx() const override { return mac_->RxFrameValid(); }
   double link_gbps() const override { return 10.0; }
 
  private:
@@ -60,11 +64,12 @@ class Mac100GAdapter : public MacAdapter {
   explicit Mac100GAdapter(EthMac100G* mac) : mac_(mac) {}
 
   void Bringup(Cycle now) override;
-  bool Ready(Cycle now) override { return mac_->RxAligned(now) && flow_control_on_; }
+  bool Ready(Cycle now) const override { return mac_->RxAligned(now) && flow_control_on_; }
   bool TrySend(EthFrame frame, Cycle now) override {
     return mac_->EnqueueTxSegment(std::move(frame), now);
   }
   std::optional<EthFrame> TryRecv() override;
+  bool HasRx() const override { return mac_->HasRxSegment(); }
   double link_gbps() const override { return 100.0; }
 
  private:
@@ -92,6 +97,18 @@ class NetworkService : public Accelerator {
   void OnBoot(TileApi& api) override;
   void OnMessage(const Message& msg, TileApi& api) override;
   void Tick(TileApi& api) override;
+  // Active while bringing the link up (Ready is time-dependent and polled
+  // per cycle), while any backlog or RX frame is pending, and always in
+  // reliable mode (the ARQ transport's timers advance every cycle).
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    if (!mac_->Ready(now) || reliable_) {
+      return now;
+    }
+    if (!tx_backlog_.empty() || !inbound_backlog_.empty() || mac_->HasRx()) {
+      return now;
+    }
+    return kNoActivity;
+  }
 
   std::string name() const override { return "network_service"; }
   uint32_t LogicCellCost() const override { return 18000; }

@@ -124,6 +124,39 @@ void Supervisor::BeginRecovery(TileId tile, Managed& m, Cycle now) {
   m.state = TileState::kBackoff;
 }
 
+Cycle Supervisor::NextActivity(Cycle now) const {
+  Cycle next = kNoActivity;
+  bool poll_has_work = false;
+  for (const auto& [tile, m] : managed_) {
+    switch (m.state) {
+      case TileState::kHealthy:
+        // The poll only acts on a fail-stopped monitor; an idle healthy
+        // fleet needs no poll wakeups at all.
+        if (os_->monitor(tile).fault_state() == TileFaultState::kStopped) {
+          poll_has_work = true;
+        }
+        break;
+      case TileState::kBackoff: {
+        const Cycle at = m.restart_at > now ? m.restart_at : now;
+        next = at < next ? at : next;
+        break;
+      }
+      case TileState::kReconfiguring:
+        // The recovering tile itself pins the reconfig-done cycle (see
+        // header comment); nothing to declare here.
+        break;
+      case TileState::kQuarantined:
+        break;
+    }
+  }
+  if (poll_has_work) {
+    const Cycle rem = now % config_.poll_period;
+    const Cycle poll = rem == 0 ? now : now + (config_.poll_period - rem);
+    next = poll < next ? poll : next;
+  }
+  return next;
+}
+
 void Supervisor::Tick(Cycle now) {
   now_ = now;
   // Poll for tiles that fail-stopped themselves (crash faults surface this

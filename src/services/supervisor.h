@@ -70,6 +70,16 @@ class Supervisor : public Clocked {
   void OnTileFault(TileId tile, const std::string& reason);
 
   void Tick(Cycle now) override;
+  // Wakes for backoff expiries, and for the next poll multiple while any
+  // healthy-state managed tile sits fail-stopped (the poll's only effect).
+  // Reconfiguration completion needs no entry of its own: the recovering
+  // tile declares its reconfig-done cycle, every block ticks on executed
+  // cycles, and the supervisor (registered after the tiles) observes the
+  // completed tile in that same cycle — exactly as in a cycle-by-cycle run.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override;
+  // Keeps the cached clock at resume-1 so externally driven faults
+  // (MgmtService watchdog -> OnTileFault) stamp identical detection times.
+  void OnFastForward(Cycle resume_cycle) override { now_ = resume_cycle - 1; }
   std::string DebugName() const override { return "supervisor"; }
 
   const CounterSet& counters() const { return counters_; }

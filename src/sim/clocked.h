@@ -19,6 +19,29 @@ class Clocked {
   // Advance one cycle. `now` is the cycle being executed.
   virtual void Tick(Cycle now) = 0;
 
+  // Quiescence hook (see DESIGN.md §"Simulation substrate"). Returns the
+  // earliest future cycle at which this block needs Tick() to run again:
+  //   - any value <= now  : "active next cycle" (never skip past me),
+  //   - a future cycle T  : quiescent until T; Tick() through T-1 would be a
+  //                         no-op given no external input,
+  //   - kNoActivity       : idle until external input arrives.
+  // The simulator re-polls at every *executed* cycle boundary, so a block
+  // that receives a message/flit/request during an executed cycle simply
+  // reports `now` on the next poll — that is the entire wake protocol.
+  // Declaring a cycle too late breaks simulations (missed work); when in
+  // doubt, return `now`. The default keeps unported blocks cycle-accurate.
+  [[nodiscard]] virtual Cycle NextActivity(Cycle now) const {
+    return now;  // Active every cycle unless the block declares otherwise.
+  }
+
+  // Called on *every* registered block when the simulator fast-forwards from
+  // the current cycle to `resume_cycle` (the next cycle that will actually
+  // execute). Implementations must leave the block in exactly the state that
+  // ticking through cycles [now, resume_cycle) would have produced — e.g.
+  // advance cached clocks to resume_cycle - 1 (the value a serial pre-tick
+  // observer would hold) and delta-add per-cycle accumulators.
+  virtual void OnFastForward(Cycle resume_cycle) { (void)resume_cycle; }
+
   // Human-readable name for tracing and debug dumps.
   virtual std::string DebugName() const { return "clocked"; }
 };

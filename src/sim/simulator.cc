@@ -12,9 +12,17 @@ void Simulator::ApplyPendingRemovals() {
   if (pending_removals_.empty()) {
     return;
   }
-  for (Clocked* dead : pending_removals_) {
-    blocks_.erase(std::remove(blocks_.begin(), blocks_.end(), dead), blocks_.end());
-  }
+  // Single-pass compaction: sort the removal set once and binary-search it
+  // per block, instead of one O(blocks) erase per removal. Sorting also
+  // makes double-unregister of the same block harmless (both entries match
+  // the same element; remove_if visits each block once).
+  std::sort(pending_removals_.begin(), pending_removals_.end());
+  blocks_.erase(std::remove_if(blocks_.begin(), blocks_.end(),
+                               [this](Clocked* b) {
+                                 return std::binary_search(pending_removals_.begin(),
+                                                           pending_removals_.end(), b);
+                               }),
+                blocks_.end());
   pending_removals_.clear();
 }
 
@@ -30,10 +38,54 @@ void Simulator::Step() {
   ++now_;
 }
 
+void Simulator::SkipAhead(Cycle limit) {
+  if (!skip_enabled_ || now_ >= limit) {
+    return;
+  }
+  // Saturated-path fast exit: the block that most recently proved activity is
+  // overwhelmingly likely to still be active, so poll it before scanning. A
+  // failed skip attempt then costs one virtual call instead of O(blocks).
+  // NextActivity is a pure query, so the extra poll has no observable effect.
+  if (hot_block_ < blocks_.size() && blocks_[hot_block_]->NextActivity(now_) <= now_) {
+    return;
+  }
+  // The jump target is the earliest cycle anyone needs: the next pending
+  // event, or any block's declared next activity. A single active block
+  // (NextActivity <= now_) pins the target at now_ and we execute normally.
+  Cycle target = limit;
+  if (!events_.empty()) {
+    const Cycle due = events_.NextEventCycle();
+    if (due <= now_) {
+      return;  // An event is due immediately: nothing to skip.
+    }
+    target = std::min(target, due);
+  }
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    const Cycle next = blocks_[i]->NextActivity(now_);
+    if (next <= now_) {
+      hot_block_ = i;  // Remember the busy block for the fast exit above.
+      return;          // Someone is active next cycle: bail before polling the rest.
+    }
+    target = std::min(target, next);
+  }
+  if (target <= now_) {
+    return;
+  }
+  skipped_cycles_ += target - now_;
+  ++skips_;
+  // Every block observes the jump, so cached clocks and per-cycle
+  // accumulators stay exactly as a cycle-by-cycle run would leave them.
+  for (Clocked* block : blocks_) {
+    block->OnFastForward(target);
+  }
+  now_ = target;
+}
+
 void Simulator::Run(Cycle cycles) {
   const Cycle end = now_ + cycles;
   while (now_ < end) {
     Step();
+    SkipAhead(end);
   }
 }
 
@@ -44,6 +96,13 @@ bool Simulator::RunUntil(const std::function<bool()>& pred, Cycle max_cycles) {
       return true;
     }
     Step();
+    // Re-check at the fresh boundary BEFORE skipping: if the executed cycle
+    // satisfied the predicate, now_ must stay here (the cycle count callers
+    // observe), not at the far side of a jump.
+    if (pred()) {
+      return true;
+    }
+    SkipAhead(end);
   }
   return pred();
 }

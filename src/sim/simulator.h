@@ -38,11 +38,25 @@ class Simulator {
     events_.ScheduleAt(now_ + delay, std::move(cb));
   }
 
-  // Runs `cycles` additional cycles.
+  // Runs `cycles` additional cycles. When skipping is enabled (the default),
+  // stretches where every block is quiescent (see Clocked::NextActivity) and
+  // no event is due are fast-forwarded in O(blocks) instead of being ticked
+  // cycle by cycle; executed cycles behave exactly as before.
   void Run(Cycle cycles);
 
-  // Runs until `pred` returns true (checked once per cycle) or `max_cycles`
-  // additional cycles have elapsed. Returns true if `pred` fired.
+  // Runs until `pred` returns true or `max_cycles` additional cycles have
+  // elapsed. Returns true if `pred` fired.
+  //
+  // Contract (changed with quiescence skipping, still correct): `pred` is
+  // evaluated before every *executed* cycle and once at the end, not once
+  // per simulated cycle. Cycles inside a skipped window are never observed —
+  // which is sound because nothing ticks there, so a pred over simulated
+  // state cannot change mid-skip. A pred whose flip is time-driven (e.g.
+  // "now() >= T") is only guaranteed to be seen at the next activity
+  // boundary; blocks that gate such state (queues with ready times, fault
+  // windows) declare those boundaries via NextActivity so the flip cycle is
+  // identical with and without skipping. Use SetSkipEnabled(false) to force
+  // the old every-cycle evaluation.
   bool RunUntil(const std::function<bool()>& pred, Cycle max_cycles);
 
   Cycle now() const { return now_; }
@@ -53,12 +67,32 @@ class Simulator {
     return static_cast<double>(cycles) * 1000.0 / frequency_mhz_;
   }
 
+  // Escape hatch (`--no-skip`): when disabled, every cycle is ticked exactly
+  // as before quiescence awareness existed. Seeded runs must be
+  // byte-identical either way; the differential test enforces it.
+  void SetSkipEnabled(bool enabled) { skip_enabled_ = enabled; }
+  bool skip_enabled() const { return skip_enabled_; }
+
+  // Fast-forward observability (for benchmarks and tests).
+  uint64_t skipped_cycles() const { return skipped_cycles_; }
+  uint64_t skips() const { return skips_; }
+
  private:
   void Step();
+  // Fast-forwards now_ to the earliest cycle in (now_, limit] that any block
+  // or event needs, when every block is quiescent. No-op when some block is
+  // active or skipping is disabled.
+  void SkipAhead(Cycle limit);
   void ApplyPendingRemovals();
 
   double frequency_mhz_;
   Cycle now_ = 0;
+  bool skip_enabled_ = true;
+  uint64_t skipped_cycles_ = 0;
+  uint64_t skips_ = 0;
+  // Index of the block that most recently kept a skip from happening; polled
+  // first so a saturated board pays ~one virtual call per failed attempt.
+  size_t hot_block_ = 0;
   std::vector<Clocked*> blocks_;
   std::vector<Clocked*> pending_removals_;
   EventQueue events_;

@@ -1,5 +1,7 @@
 #include "src/workload/client.h"
 
+#include <algorithm>
+
 #include "src/core/message.h"
 #include "src/sim/logging.h"
 
@@ -94,6 +96,33 @@ void ClientHost::HandleResponsePayload(const std::vector<uint8_t>& payload, Cycl
   if (!config_.open_loop && !DoneIssuing()) {
     SendOne(now);
   }
+}
+
+Cycle ClientHost::NextActivity(Cycle now) const {
+  // Reliable mode: the ARQ transport owns retransmission timers that Poll
+  // advances every cycle; stay active so their cadence is cycle-exact.
+  if (config_.reliable) {
+    return now;
+  }
+  Cycle next = kNoActivity;
+  // Application-level retry: an entry retransmits on the first cycle where
+  // now - issued exceeds the timeout, i.e. at issued + timeout + 1.
+  for (const auto& [id, out] : outstanding_) {
+    const Cycle retry_at = out.issued + config_.retry_timeout_cycles + 1;
+    next = std::min(next, retry_at > now ? retry_at : now);
+  }
+  if (!DoneIssuing()) {
+    if (config_.open_loop) {
+      // next_send_at_ == 0 means the arrival clock has not been seeded yet;
+      // the first tick does that, so it must run.
+      const Cycle send_at =
+          next_send_at_ == 0 ? now : (next_send_at_ > now ? next_send_at_ : now);
+      next = std::min(next, send_at);
+    } else if (outstanding_.size() < config_.concurrency) {
+      return now;  // The closed-loop window has room to issue immediately.
+    }
+  }
+  return next;
 }
 
 void ClientHost::Tick(Cycle now) {

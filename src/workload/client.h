@@ -58,6 +58,10 @@ class ClientHost : public Clocked, public ExternalEndpoint {
 
   void OnFrame(EthFrame frame, Cycle now) override;
   void Tick(Cycle now) override;
+  // Quiescent between the open-loop arrival clock, closed-loop window
+  // openings, and per-request retry timers; reliable mode stays active so
+  // the ARQ transport's internal timers keep their cycle-exact cadence.
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override;
   std::string DebugName() const override { return "client"; }
 
   uint64_t sent() const { return sent_; }

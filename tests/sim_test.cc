@@ -231,5 +231,162 @@ TEST(SimulatorTest, CyclesToNsUsesFrequency) {
   EXPECT_DOUBLE_EQ(sim2.CyclesToNs(100), 1000.0);
 }
 
+// --- Quiescence skipping. ---
+
+// A block that is idle until work is pushed into it (pending), recording
+// every cycle it was actually ticked.
+class SleepyBlock : public Clocked {
+ public:
+  void Tick(Cycle now) override {
+    ticked_at.push_back(now);
+    if (pending) {
+      pending = false;
+      processed_at.push_back(now);
+    }
+  }
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    return pending ? now : kNoActivity;
+  }
+  std::string DebugName() const override { return "sleepy_block"; }
+
+  bool pending = false;
+  std::vector<Cycle> ticked_at;
+  std::vector<Cycle> processed_at;
+};
+
+TEST(SimulatorSkipTest, IdleBlocksAreFastForwarded) {
+  Simulator sim;
+  SleepyBlock a;
+  sim.Register(&a);
+  sim.Run(1000);
+  EXPECT_EQ(sim.now(), 1000u);
+  // Cycle 0 executes (Step runs before the first skip opportunity), then one
+  // jump covers the rest.
+  EXPECT_EQ(a.ticked_at, (std::vector<Cycle>{0}));
+  EXPECT_EQ(sim.skips(), 1u);
+  EXPECT_EQ(sim.skipped_cycles(), 999u);
+}
+
+TEST(SimulatorSkipTest, NoSkipEscapeHatchTicksEveryCycle) {
+  Simulator sim;
+  sim.SetSkipEnabled(false);
+  SleepyBlock a;
+  sim.Register(&a);
+  sim.Run(1000);
+  EXPECT_EQ(sim.now(), 1000u);
+  EXPECT_EQ(a.ticked_at.size(), 1000u);
+  EXPECT_EQ(sim.skips(), 0u);
+  EXPECT_EQ(sim.skipped_cycles(), 0u);
+}
+
+TEST(SimulatorSkipTest, EventInsideSkippedWindowFiresAtItsExactCycle) {
+  Simulator sim;
+  SleepyBlock a;
+  sim.Register(&a);
+  std::vector<Cycle> fired_at;
+  // The first event lands mid-window; its callback both wakes the block and
+  // schedules a second event deeper into what would have been skipped.
+  sim.ScheduleAt(500, [&](Cycle now) {
+    fired_at.push_back(now);
+    a.pending = true;
+    sim.ScheduleAt(750, [&](Cycle n2) { fired_at.push_back(n2); });
+  });
+  sim.Run(1000);
+  EXPECT_EQ(fired_at, (std::vector<Cycle>{500, 750}));
+  // The block was woken by the event and ran on that exact cycle.
+  EXPECT_EQ(a.processed_at, (std::vector<Cycle>{500}));
+  // Only the boundary cycles executed: 0, the two event cycles, 750's
+  // follow-up boundary is idle again.
+  EXPECT_EQ(a.ticked_at, (std::vector<Cycle>{0, 500, 750}));
+  EXPECT_EQ(sim.now(), 1000u);
+}
+
+TEST(SimulatorSkipTest, SameCycleEventsKeepScheduleOrderAfterJump) {
+  Simulator sim;
+  SleepyBlock a;
+  sim.Register(&a);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.ScheduleAt(700, [&order, i](Cycle) { order.push_back(i); });
+  }
+  sim.Run(1000);
+  // The jump lands exactly on the deadline and the queue drains in schedule
+  // order, before that cycle's block ticks (the block observed cycle 700).
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(a.ticked_at, (std::vector<Cycle>{0, 700}));
+}
+
+// A block that re-arms its own timer from inside Tick: fires every 100
+// cycles starting at 50, sleeping in between.
+class TimerBlock : public Clocked {
+ public:
+  void Tick(Cycle now) override {
+    if (now >= wake_at_) {
+      fired_at.push_back(now);
+      wake_at_ = now + 100;
+    }
+  }
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    return wake_at_ > now ? wake_at_ : now;
+  }
+  std::string DebugName() const override { return "timer_block"; }
+
+  std::vector<Cycle> fired_at;
+
+ private:
+  Cycle wake_at_ = 50;
+};
+
+TEST(SimulatorSkipTest, BlockReArmsItselfFromInsideTick) {
+  Simulator sim;
+  TimerBlock t;
+  sim.Register(&t);
+  sim.Run(1000);
+  std::vector<Cycle> expected;
+  for (Cycle c = 50; c < 1000; c += 100) {
+    expected.push_back(c);
+  }
+  EXPECT_EQ(t.fired_at, expected);
+  EXPECT_GT(sim.skipped_cycles(), 900u);
+}
+
+TEST(SimulatorSkipTest, SkippedPlusExecutedEqualsNow) {
+  Simulator sim;
+  TimerBlock t;
+  sim.Register(&t);
+  sim.Run(5000);
+  // Every simulated cycle was either executed or skipped; no double counting.
+  EXPECT_EQ(sim.now(), 5000u);
+  EXPECT_LT(sim.skipped_cycles(), 5000u);
+  EXPECT_GT(sim.skipped_cycles(), 0u);
+}
+
+TEST(SimulatorSkipTest, RunUntilStopsAtTheSatisfyingBoundary) {
+  Simulator sim;
+  TimerBlock t;
+  sim.Register(&t);
+  // The predicate flips when the timer fires at cycle 250; RunUntil must
+  // report the boundary right after that executed cycle, not the far side of
+  // a subsequent jump.
+  const bool fired = sim.RunUntil([&] { return t.fired_at.size() >= 3; }, 10'000);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 251u);
+}
+
+TEST(SimulatorTest, DoubleUnregisterIsHarmless) {
+  Simulator sim;
+  CountingBlock a;
+  CountingBlock b;
+  sim.Register(&a);
+  sim.Register(&b);
+  sim.Run(5);
+  sim.Unregister(&a);
+  sim.Unregister(&a);  // Duplicate removal of the same block.
+  sim.Run(5);
+  EXPECT_LE(a.ticks, 6);
+  // The survivor keeps ticking: the duplicate entry must not eat `b`.
+  EXPECT_EQ(b.ticks, 10);
+}
+
 }  // namespace
 }  // namespace apiary

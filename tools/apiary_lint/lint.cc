@@ -360,9 +360,13 @@ LintConfig DefaultConfig() {
 
   config.opcode_def_files = {"src/services/opcodes.h", "src/accel/accel_opcodes.h"};
 
+  // src/sim/clocked.h rides along for quiescence hygiene: an ignored
+  // NextActivity() result means a computed wake-up cycle was dropped on the
+  // floor, the same leak shape as an orphaned capability.
   config.nodiscard_files = {"src/core/capability.h", "src/core/kernel.h",
-                            "src/mem/segment_allocator.h"};
-  config.nodiscard_types = {"CapRef", "std::optional<CapRef>", "std::optional<Segment>"};
+                            "src/mem/segment_allocator.h", "src/sim/clocked.h"};
+  config.nodiscard_types = {"CapRef", "std::optional<CapRef>", "std::optional<Segment>",
+                            "Cycle"};
   return config;
 }
 

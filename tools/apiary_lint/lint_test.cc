@@ -283,6 +283,22 @@ TEST(Nodiscard, CoversOptionalReturnTypes) {
                        "apiary-nodiscard"));
 }
 
+TEST(Nodiscard, CoversQuiescenceHooks) {
+  // A Cycle-returning hook in the Clocked interface without [[nodiscard]]
+  // means a computed wake-up cycle can be silently dropped.
+  EXPECT_TRUE(HasCheck(LintOne("src/sim/clocked.h",
+                               "virtual Cycle NextActivity(Cycle now) const;\n"),
+                       "apiary-nodiscard"));
+  EXPECT_FALSE(HasCheck(
+      LintOne("src/sim/clocked.h",
+              "[[nodiscard]] virtual Cycle NextActivity(Cycle now) const;\n"),
+      "apiary-nodiscard"));
+  // Cycle as a parameter (Tick, OnFastForward) is not a minting declaration.
+  EXPECT_FALSE(HasCheck(LintOne("src/sim/clocked.h",
+                                "virtual void OnFastForward(Cycle resume_cycle);\n"),
+                        "apiary-nodiscard"));
+}
+
 TEST(Nodiscard, IgnoresParametersAndOtherFiles) {
   // CapRef as a parameter type is not a minting declaration.
   EXPECT_FALSE(HasCheck(LintOne("src/core/capability.h", "bool Revoke(CapRef ref);\n"),

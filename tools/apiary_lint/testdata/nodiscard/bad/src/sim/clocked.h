@@ -1,0 +1,17 @@
+// Bad: dropping a NextActivity() result silently discards the wake-up cycle.
+#ifndef SRC_SIM_CLOCKED_H_
+#define SRC_SIM_CLOCKED_H_
+
+namespace apiary {
+
+using Cycle = unsigned long long;
+
+class Clocked {
+ public:
+  virtual void Tick(Cycle now) = 0;
+  virtual Cycle NextActivity(Cycle now) const;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_SIM_CLOCKED_H_

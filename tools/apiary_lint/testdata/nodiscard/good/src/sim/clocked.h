@@ -1,0 +1,19 @@
+// Good: Cycle-returning quiescence hooks are [[nodiscard]]; Cycle as a
+// parameter type is not a minting declaration.
+#ifndef SRC_SIM_CLOCKED_H_
+#define SRC_SIM_CLOCKED_H_
+
+namespace apiary {
+
+using Cycle = unsigned long long;
+
+class Clocked {
+ public:
+  virtual void Tick(Cycle now) = 0;
+  [[nodiscard]] virtual Cycle NextActivity(Cycle now) const;
+  virtual void OnFastForward(Cycle resume_cycle);
+};
+
+}  // namespace apiary
+
+#endif  // SRC_SIM_CLOCKED_H_
