@@ -33,7 +33,7 @@ Histogram Run(bool single_vc, double background_load) {
     sim.Run(1);
     // Background requests: 0 -> 3, size 160B (6 flits).
     if (rng.NextBool(background_load)) {
-      auto p = std::make_shared<NocPacket>();
+      PacketRef p(new NocPacket());
       p->src = 0;
       p->dst = 3;
       p->vc = Vc::kRequest;
@@ -42,7 +42,7 @@ Histogram Run(bool single_vc, double background_load) {
     }
     // Probe responses: every 200 cycles, 0 -> 3, 32B.
     if (t % 200 == 0) {
-      auto p = std::make_shared<NocPacket>();
+      PacketRef p(new NocPacket());
       p->src = 0;
       p->dst = 3;
       p->vc = Vc::kResponse;

@@ -34,7 +34,7 @@ Result Run(uint32_t buffer_depth) {
     sim.Run(1);
     // Saturating offered load: every tile tries to inject each cycle.
     for (TileId src = 0; src < 16; ++src) {
-      auto p = std::make_shared<NocPacket>();
+      PacketRef p(new NocPacket());
       p->src = src;
       p->dst = static_cast<TileId>(rng.NextBelow(16));
       p->vc = rng.NextBool(0.5) ? Vc::kRequest : Vc::kResponse;
@@ -44,7 +44,7 @@ Result Run(uint32_t buffer_depth) {
     for (TileId dst = 0; dst < 16; ++dst) {
       while (auto got = mesh.ni(dst).Retrieve()) {
         if (t >= kWarmup) {
-          delivered_flits += FlitCount(*got);
+          delivered_flits += ComputeFlitCount(*got);
         }
       }
     }

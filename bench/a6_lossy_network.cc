@@ -54,7 +54,7 @@ Result Run(double loss_rate, bool reliable) {
   ccfg.transport = tcfg;
   ccfg.retry_timeout_cycles = 15000;
   ClientHost client(ccfg, &bb.net, [](uint64_t, Rng&) {
-    return ClientRequest{kOpEcho, std::vector<uint8_t>(64, 1)};
+    return ClientRequest{kOpEcho, PayloadBuf(64, 1)};
   });
   bb.sim.Register(&client);
   bb.sim.RunUntil([&] { return client.received() >= ccfg.max_requests; }, 30'000'000);

@@ -85,7 +85,7 @@ double MeasureRawRtt() {
   uint64_t count = 0;
   // 32B payload + header-equivalent, tile 1 -> 0 and a bounce back.
   for (int i = 0; i < 500; ++i) {
-    auto ping = std::make_shared<NocPacket>();
+    PacketRef ping(new NocPacket());
     ping->src = 1;
     ping->dst = 0;
     ping->payload.assign(85, 1);  // Same wire bytes as the monitored run.
@@ -93,7 +93,7 @@ double MeasureRawRtt() {
     mesh.ni(1).Inject(ping, sim.now());
     sim.RunUntil([&] { return mesh.ni(0).HasDeliverable(); }, 10000);
     mesh.ni(0).Retrieve();
-    auto pong = std::make_shared<NocPacket>();
+    PacketRef pong(new NocPacket());
     pong->src = 0;
     pong->dst = 1;
     pong->vc = Vc::kResponse;

@@ -26,7 +26,7 @@ double RawQueueOneWay(uint32_t bytes) {
   uint64_t total = 0;
   for (int i = 0; i < kMessages; ++i) {
     const Cycle start = sim.now();
-    q.Push(std::vector<uint8_t>(bytes, 1), sim.now());
+    q.Push(PayloadBuf(bytes, 1), sim.now());
     sim.RunUntil([&] { return q.Pop(sim.now()).has_value(); }, 100000);
     total += sim.now() - start;
   }

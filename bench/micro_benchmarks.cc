@@ -12,6 +12,7 @@
 #include "src/mem/page_table.h"
 #include "src/mem/segment_allocator.h"
 #include "src/noc/mesh.h"
+#include "src/noc/packet_pool.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/workload/frame_source.h"
@@ -40,6 +41,41 @@ void BM_MessageRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MessageRoundTrip)->Arg(64)->Arg(1024);
+
+// The actual executed-cycle path: acquire a pooled packet, serialize the
+// message into it (header into the head region, payload moved), deserialize
+// at the far end, release. Toggled between the pooled and the legacy
+// allocate-and-copy shape — the per-message cost bench/b2 measures end to
+// end, isolated from the router model.
+void BM_MessagePacketPath(benchmark::State& state) {
+  const bool pooled = state.range(1) != 0;
+  PacketPool::Default().SetEnabled(pooled);
+  PayloadBuf::SetArenaEnabled(pooled);
+  SetMessageLegacyAllocMode(!pooled);
+  PayloadBuf payload(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    PacketRef packet = PacketPool::Default().Acquire();
+    Message msg;
+    msg.dst_service = 5;
+    msg.opcode = 0x1234;
+    msg.payload = payload;
+    SerializeMessageInto(std::move(msg), *packet);
+    packet->flit_count = ComputeFlitCount(*packet);
+    benchmark::DoNotOptimize(DeserializeMessage(*packet));
+  }
+  PacketPool::Default().SetEnabled(true);
+  PayloadBuf::SetArenaEnabled(true);
+  SetMessageLegacyAllocMode(false);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(state.range(0)));
+}
+BENCHMARK(BM_MessagePacketPath)
+    ->ArgPair(48, 0)
+    ->ArgPair(48, 1)
+    ->ArgPair(240, 0)
+    ->ArgPair(240, 1)
+    ->ArgPair(4096, 0)
+    ->ArgPair(4096, 1);
 
 void BM_CapabilityLookup(benchmark::State& state) {
   CapabilityTable table(256);
@@ -132,7 +168,7 @@ void BM_MeshStepBusy(benchmark::State& state) {
   for (auto _ : state) {
     // Keep injecting small packets to keep the routers saturated.
     const TileId src = static_cast<TileId>(rng.NextBelow(16));
-    auto p = std::make_shared<NocPacket>();
+    PacketRef p(new NocPacket());
     p->src = src;
     p->dst = static_cast<TileId>(rng.NextBelow(16));
     p->payload.assign(64, 1);

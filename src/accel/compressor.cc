@@ -1,5 +1,7 @@
 #include "src/accel/compressor.h"
 
+#include <span>
+
 #include <algorithm>
 #include <cstring>
 
@@ -27,7 +29,8 @@ uint32_t HashAt(const uint8_t* p) {
 
 }  // namespace
 
-std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input) {
+std::vector<uint8_t> LzCompress(const uint8_t* input_data, size_t input_size) {
+  const std::span<const uint8_t> input(input_data, input_size);
   std::vector<uint8_t> out;
   out.reserve(input.size() / 2 + 16);
   // Header: u32 uncompressed size.
@@ -100,7 +103,8 @@ std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input) {
   return out;
 }
 
-std::vector<uint8_t> LzDecompress(const std::vector<uint8_t>& compressed) {
+std::vector<uint8_t> LzDecompress(const uint8_t* compressed_data, size_t compressed_size) {
+  const std::span<const uint8_t> compressed(compressed_data, compressed_size);
   if (compressed.size() < 4) {
     return {};
   }

@@ -19,8 +19,22 @@
 namespace apiary {
 
 // --- Pure codec functions (unit-testable). ---
-std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input);
-std::vector<uint8_t> LzDecompress(const std::vector<uint8_t>& compressed);
+// Primary flat-buffer forms, plus thin overloads so both vector-holding
+// tests and PayloadBuf-carrying message handlers call them directly.
+std::vector<uint8_t> LzCompress(const uint8_t* input, size_t size);
+std::vector<uint8_t> LzDecompress(const uint8_t* compressed, size_t size);
+inline std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input) {
+  return LzCompress(input.data(), input.size());
+}
+inline std::vector<uint8_t> LzDecompress(const std::vector<uint8_t>& compressed) {
+  return LzDecompress(compressed.data(), compressed.size());
+}
+inline std::vector<uint8_t> LzCompress(const PayloadBuf& input) {
+  return LzCompress(input.data(), input.size());
+}
+inline std::vector<uint8_t> LzDecompress(const PayloadBuf& compressed) {
+  return LzDecompress(compressed.data(), compressed.size());
+}
 
 class CompressorAccelerator : public Accelerator {
  public:

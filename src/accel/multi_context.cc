@@ -96,7 +96,7 @@ void MultiContextHost::RestoreState(std::span<const uint8_t> state) {
 }
 
 ContextResult CounterContext::OnRequest(uint16_t opcode,
-                                        const std::vector<uint8_t>& payload) {
+                                        const PayloadBuf& payload) {
   (void)opcode;
   if (payload.size() < 8) {
     return ContextResult{MsgStatus::kBadRequest, {}, false};
@@ -121,7 +121,7 @@ void CounterContext::RestoreState(std::span<const uint8_t> state) {
 }
 
 ContextResult FaultyContext::OnRequest(uint16_t opcode,
-                                       const std::vector<uint8_t>& payload) {
+                                       const PayloadBuf& payload) {
   (void)opcode;
   if (served_ >= healthy_) {
     ContextResult result;

@@ -26,7 +26,7 @@ namespace apiary {
 
 struct ContextResult {
   MsgStatus status = MsgStatus::kOk;
-  std::vector<uint8_t> payload;
+  PayloadBuf payload;
   // True when the context hit an unrecoverable internal error; the host
   // fault policy decides whether only this context dies or the whole tile.
   bool fault = false;
@@ -36,7 +36,7 @@ struct ContextResult {
 class ContextLogic {
  public:
   virtual ~ContextLogic() = default;
-  virtual ContextResult OnRequest(uint16_t opcode, const std::vector<uint8_t>& payload) = 0;
+  virtual ContextResult OnRequest(uint16_t opcode, const PayloadBuf& payload) = 0;
   virtual std::vector<uint8_t> SaveState() { return {}; }
   virtual void RestoreState(std::span<const uint8_t> state) { (void)state; }
   virtual std::string name() const = 0;
@@ -83,7 +83,7 @@ class MultiContextHost : public Accelerator {
 // Echoes request payloads.
 class EchoContext : public ContextLogic {
  public:
-  ContextResult OnRequest(uint16_t opcode, const std::vector<uint8_t>& payload) override {
+  ContextResult OnRequest(uint16_t opcode, const PayloadBuf& payload) override {
     (void)opcode;
     return ContextResult{MsgStatus::kOk, payload, false};
   }
@@ -94,7 +94,7 @@ class EchoContext : public ContextLogic {
 // survives preemption via Save/Restore.
 class CounterContext : public ContextLogic {
  public:
-  ContextResult OnRequest(uint16_t opcode, const std::vector<uint8_t>& payload) override;
+  ContextResult OnRequest(uint16_t opcode, const PayloadBuf& payload) override;
   std::vector<uint8_t> SaveState() override;
   void RestoreState(std::span<const uint8_t> state) override;
   std::string name() const override { return "counter_ctx"; }
@@ -108,7 +108,7 @@ class CounterContext : public ContextLogic {
 class FaultyContext : public ContextLogic {
  public:
   explicit FaultyContext(uint64_t healthy_requests) : healthy_(healthy_requests) {}
-  ContextResult OnRequest(uint16_t opcode, const std::vector<uint8_t>& payload) override;
+  ContextResult OnRequest(uint16_t opcode, const PayloadBuf& payload) override;
   std::string name() const override { return "faulty_ctx"; }
 
  private:

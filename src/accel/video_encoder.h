@@ -31,6 +31,10 @@ std::vector<uint8_t> EncodeFrame(const uint8_t* pixels, uint32_t width, uint32_t
 // Inverse transform for round-trip testing; returns pixels (width*height).
 std::vector<uint8_t> DecodeFrame(const std::vector<uint8_t>& bitstream, uint32_t* width_out,
                                  uint32_t* height_out);
+inline std::vector<uint8_t> DecodeFrame(const PayloadBuf& bitstream, uint32_t* width_out,
+                                        uint32_t* height_out) {
+  return DecodeFrame(bitstream.ToVector(), width_out, height_out);
+}
 
 class VideoEncoderAccelerator : public Accelerator {
  public:

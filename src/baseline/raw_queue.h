@@ -26,10 +26,10 @@ class RawQueue : public Clocked {
       : width_bytes_(width_bytes), depth_entries_(depth_entries) {}
 
   // Pushes a message's bytes into the queue. Returns false when full.
-  bool Push(std::vector<uint8_t> payload, Cycle now);
+  bool Push(PayloadBuf payload, Cycle now);
 
   // Pops the next fully transferred message, if any.
-  std::optional<std::vector<uint8_t>> Pop(Cycle now);
+  std::optional<PayloadBuf> Pop(Cycle now);
 
   void Tick(Cycle now) override { (void)now; }
   // The queue itself does no tick work, but harness predicates poll Pop()
@@ -50,7 +50,7 @@ class RawQueue : public Clocked {
  private:
   struct Entry {
     Cycle available_at;
-    std::vector<uint8_t> payload;
+    PayloadBuf payload;
   };
 
   uint32_t width_bytes_;
@@ -61,7 +61,7 @@ class RawQueue : public Clocked {
   uint64_t popped_ = 0;
 };
 
-inline bool RawQueue::Push(std::vector<uint8_t> payload, Cycle now) {
+inline bool RawQueue::Push(PayloadBuf payload, Cycle now) {
   if (entries_.size() >= depth_entries_) {
     return false;
   }
@@ -75,11 +75,11 @@ inline bool RawQueue::Push(std::vector<uint8_t> payload, Cycle now) {
   return true;
 }
 
-inline std::optional<std::vector<uint8_t>> RawQueue::Pop(Cycle now) {
+inline std::optional<PayloadBuf> RawQueue::Pop(Cycle now) {
   if (entries_.empty() || entries_.front().available_at > now) {
     return std::nullopt;
   }
-  std::vector<uint8_t> payload = std::move(entries_.front().payload);
+  PayloadBuf payload = std::move(entries_.front().payload);
   entries_.pop_front();
   ++popped_;
   return payload;

@@ -7,18 +7,133 @@ namespace {
 //   u32 dst_service, u8 kind, u16 opcode, u8 status, u64 request_id,
 //   u32 dst_process, u32 src_tile, u32 src_service, u32 src_app,
 //   2 x (u64 grant.base, u64 grant.length, u8 grant flags), u32 payload_len
-constexpr size_t kHeaderBytes = 4 + 1 + 2 + 1 + 8 + 4 + 4 + 4 + 4 + 2 * (8 + 8 + 1) + 4;
+static_assert(kMessageHeaderBytes <= kPacketHeadBytes,
+              "message header must fit the packet head-flit region");
 
-void PutU16(std::vector<uint8_t>& buf, uint16_t v) {
-  buf.push_back(static_cast<uint8_t>(v));
-  buf.push_back(static_cast<uint8_t>(v >> 8));
+bool g_legacy_alloc_mode = false;
+
+void StoreU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
 }
 
-uint16_t GetU16(const std::vector<uint8_t>& buf, size_t offset) {
-  return static_cast<uint16_t>(buf[offset]) | (static_cast<uint16_t>(buf[offset + 1]) << 8);
+void StoreU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+void StoreU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint16_t LoadU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) | (static_cast<uint16_t>(p[1]) << 8);
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+// Writes the fixed header (everything but the payload bytes) into `out`,
+// which must hold kMessageHeaderBytes.
+void WriteHeader(const Message& msg, uint8_t* out) {
+  size_t off = 0;
+  StoreU32(out + off, msg.dst_service);
+  off += 4;
+  out[off++] = static_cast<uint8_t>(msg.kind);
+  StoreU16(out + off, msg.opcode);
+  off += 2;
+  out[off++] = static_cast<uint8_t>(msg.status);
+  StoreU64(out + off, msg.request_id);
+  off += 8;
+  StoreU32(out + off, msg.dst_process);
+  off += 4;
+  StoreU32(out + off, msg.src_tile);
+  off += 4;
+  StoreU32(out + off, msg.src_service);
+  off += 4;
+  StoreU32(out + off, msg.src_app);
+  off += 4;
+  for (const SegmentGrant* grant : {&msg.grant, &msg.grant2}) {
+    StoreU64(out + off, grant->segment.base);
+    off += 8;
+    StoreU64(out + off, grant->segment.length);
+    off += 8;
+    out[off++] = static_cast<uint8_t>(
+        (grant->valid ? 1 : 0) | (grant->can_read ? 2 : 0) | (grant->can_write ? 4 : 0) |
+        (grant->can_grant ? 8 : 0));
+  }
+  StoreU32(out + off, static_cast<uint32_t>(msg.payload.size()));
+}
+
+// Parses the fixed header from `bytes` (at least kMessageHeaderBytes).
+// Returns the payload length the header declares.
+uint32_t ParseHeader(const uint8_t* bytes, Message* msg) {
+  size_t off = 0;
+  msg->dst_service = LoadU32(bytes + off);
+  off += 4;
+  msg->kind = static_cast<MsgKind>(bytes[off++]);
+  msg->opcode = LoadU16(bytes + off);
+  off += 2;
+  msg->status = static_cast<MsgStatus>(bytes[off++]);
+  msg->request_id = LoadU64(bytes + off);
+  off += 8;
+  msg->dst_process = LoadU32(bytes + off);
+  off += 4;
+  msg->src_tile = LoadU32(bytes + off);
+  off += 4;
+  msg->src_service = LoadU32(bytes + off);
+  off += 4;
+  msg->src_app = LoadU32(bytes + off);
+  off += 4;
+  for (SegmentGrant* grant : {&msg->grant, &msg->grant2}) {
+    grant->segment.base = LoadU64(bytes + off);
+    off += 8;
+    grant->segment.length = LoadU64(bytes + off);
+    off += 8;
+    const uint8_t flags = bytes[off++];
+    grant->valid = (flags & 1) != 0;
+    grant->can_read = (flags & 2) != 0;
+    grant->can_write = (flags & 4) != 0;
+    grant->can_grant = (flags & 8) != 0;
+  }
+  return LoadU32(bytes + off);
 }
 
 }  // namespace
+
+void PutU32(PayloadBuf& buf, uint32_t v) {
+  buf.reserve(buf.size() + 4);
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(PayloadBuf& buf, uint64_t v) {
+  buf.reserve(buf.size() + 8);
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint32_t GetU32(const PayloadBuf& buf, size_t offset) { return LoadU32(buf.data() + offset); }
+
+uint64_t GetU64(const PayloadBuf& buf, size_t offset) { return LoadU64(buf.data() + offset); }
 
 void PutU32(std::vector<uint8_t>& buf, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -33,19 +148,11 @@ void PutU64(std::vector<uint8_t>& buf, uint64_t v) {
 }
 
 uint32_t GetU32(const std::vector<uint8_t>& buf, size_t offset) {
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(buf[offset + i]) << (8 * i);
-  }
-  return v;
+  return LoadU32(buf.data() + offset);
 }
 
 uint64_t GetU64(const std::vector<uint8_t>& buf, size_t offset) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(buf[offset + i]) << (8 * i);
-  }
-  return v;
+  return LoadU64(buf.data() + offset);
 }
 
 const char* MsgStatusName(MsgStatus status) {
@@ -80,75 +187,75 @@ const char* MsgStatusName(MsgStatus status) {
   return "unknown";
 }
 
-size_t Message::WireBytes() const { return kHeaderBytes + payload.size(); }
+size_t Message::WireBytes() const { return kMessageHeaderBytes + payload.size(); }
+
+void SetMessageLegacyAllocMode(bool legacy) { g_legacy_alloc_mode = legacy; }
+
+bool MessageLegacyAllocMode() { return g_legacy_alloc_mode; }
+
+void SerializeMessageInto(Message&& msg, NocPacket& packet) {
+  if (g_legacy_alloc_mode) {
+    // Ablation path: materialize the contiguous wire copy (heap vector +
+    // full payload memcpy) and hash it in a second pass, like the pre-pool
+    // implementation did.
+    const std::vector<uint8_t> wire = SerializeMessage(msg);
+    packet.head_len = static_cast<uint16_t>(kMessageHeaderBytes);
+    std::memcpy(packet.head.data(), wire.data(), kMessageHeaderBytes);
+    packet.payload.assign(wire.data() + kMessageHeaderBytes,
+                          wire.size() - kMessageHeaderBytes);
+    packet.checksum = PacketChecksum(wire);
+    return;
+  }
+  packet.head_len = static_cast<uint16_t>(kMessageHeaderBytes);
+  WriteHeader(msg, packet.head.data());
+  packet.payload = std::move(msg.payload);
+  // Checksum folded into the serialize pass: head region then payload,
+  // byte-identical to hashing the contiguous copy.
+  packet.checksum = PacketWireChecksum(packet);
+}
+
+std::optional<Message> DeserializeMessage(NocPacket& packet) {
+  if (g_legacy_alloc_mode) {
+    std::vector<uint8_t> wire(packet.wire_bytes());
+    std::memcpy(wire.data(), packet.head.data(), packet.head_len);
+    std::memcpy(wire.data() + packet.head_len, packet.payload.data(),
+                packet.payload.size());
+    return DeserializeMessage(wire);
+  }
+  if (packet.head_len == 0) {
+    // Hand-built packet (tests, raw injectors): the whole contiguous wire
+    // image lives in the payload.
+    return DeserializeMessage(packet.payload.ToVector());
+  }
+  if (packet.head_len != kMessageHeaderBytes) {
+    return std::nullopt;
+  }
+  Message msg;
+  const uint32_t payload_len = ParseHeader(packet.head.data(), &msg);
+  if (payload_len != packet.payload.size()) {
+    return std::nullopt;
+  }
+  msg.payload = std::move(packet.payload);
+  return msg;
+}
 
 std::vector<uint8_t> SerializeMessage(const Message& msg) {
-  std::vector<uint8_t> out;
-  out.reserve(msg.WireBytes());
-  PutU32(out, msg.dst_service);
-  out.push_back(static_cast<uint8_t>(msg.kind));
-  PutU16(out, msg.opcode);
-  out.push_back(static_cast<uint8_t>(msg.status));
-  PutU64(out, msg.request_id);
-  PutU32(out, msg.dst_process);
-  PutU32(out, msg.src_tile);
-  PutU32(out, msg.src_service);
-  PutU32(out, msg.src_app);
-  for (const SegmentGrant* grant : {&msg.grant, &msg.grant2}) {
-    PutU64(out, grant->segment.base);
-    PutU64(out, grant->segment.length);
-    const uint8_t flags = static_cast<uint8_t>(
-        (grant->valid ? 1 : 0) | (grant->can_read ? 2 : 0) | (grant->can_write ? 4 : 0) |
-        (grant->can_grant ? 8 : 0));
-    out.push_back(flags);
-  }
-  PutU32(out, static_cast<uint32_t>(msg.payload.size()));
-  out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+  std::vector<uint8_t> out(msg.WireBytes());
+  WriteHeader(msg, out.data());
+  std::memcpy(out.data() + kMessageHeaderBytes, msg.payload.data(), msg.payload.size());
   return out;
 }
 
 std::optional<Message> DeserializeMessage(const std::vector<uint8_t>& bytes) {
-  if (bytes.size() < kHeaderBytes) {
+  if (bytes.size() < kMessageHeaderBytes) {
     return std::nullopt;
   }
   Message msg;
-  size_t off = 0;
-  msg.dst_service = GetU32(bytes, off);
-  off += 4;
-  msg.kind = static_cast<MsgKind>(bytes[off]);
-  off += 1;
-  msg.opcode = GetU16(bytes, off);
-  off += 2;
-  msg.status = static_cast<MsgStatus>(bytes[off]);
-  off += 1;
-  msg.request_id = GetU64(bytes, off);
-  off += 8;
-  msg.dst_process = GetU32(bytes, off);
-  off += 4;
-  msg.src_tile = GetU32(bytes, off);
-  off += 4;
-  msg.src_service = GetU32(bytes, off);
-  off += 4;
-  msg.src_app = GetU32(bytes, off);
-  off += 4;
-  for (SegmentGrant* grant : {&msg.grant, &msg.grant2}) {
-    grant->segment.base = GetU64(bytes, off);
-    off += 8;
-    grant->segment.length = GetU64(bytes, off);
-    off += 8;
-    const uint8_t flags = bytes[off];
-    off += 1;
-    grant->valid = (flags & 1) != 0;
-    grant->can_read = (flags & 2) != 0;
-    grant->can_write = (flags & 4) != 0;
-    grant->can_grant = (flags & 8) != 0;
-  }
-  const uint32_t payload_len = GetU32(bytes, off);
-  off += 4;
-  if (bytes.size() != kHeaderBytes + payload_len) {
+  const uint32_t payload_len = ParseHeader(bytes.data(), &msg);
+  if (bytes.size() != kMessageHeaderBytes + payload_len) {
     return std::nullopt;
   }
-  msg.payload.assign(bytes.begin() + static_cast<ptrdiff_t>(off), bytes.end());
+  msg.payload.assign(bytes.data() + kMessageHeaderBytes, payload_len);
   return msg;
 }
 

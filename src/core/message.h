@@ -3,7 +3,10 @@
 // Accelerators compose a Message and hand it to their monitor together with
 // a capability reference; the monitor validates, stamps the trusted header
 // fields, and injects it onto the NoC. The wire format packs the header into
-// the head flit and the payload into body flits.
+// the head-flit region of the packet and moves the payload alongside it —
+// serialization is move-through: the header is written in place and the
+// PayloadBuf payload changes owner without being recopied (DESIGN.md
+// "Hot-path memory discipline").
 #ifndef SRC_CORE_MESSAGE_H_
 #define SRC_CORE_MESSAGE_H_
 
@@ -14,6 +17,7 @@
 
 #include "src/mem/segment_allocator.h"
 #include "src/noc/packet.h"
+#include "src/sim/payload_buf.h"
 #include "src/sim/types.h"
 
 namespace apiary {
@@ -66,7 +70,7 @@ struct Message {
   MsgStatus status = MsgStatus::kOk;  // Meaningful on responses.
   uint64_t request_id = 0;            // Request/response correlation.
   ProcessId dst_process = 0;          // Context within the destination.
-  std::vector<uint8_t> payload;
+  PayloadBuf payload;
 
   // --- Trusted fields (stamped by the sending monitor; receivers may rely
   //     on them for policy). ---
@@ -81,11 +85,38 @@ struct Message {
   size_t WireBytes() const;
 };
 
-// Little-endian wire encoding.
+// Fixed little-endian header size; static_asserted <= kPacketHeadBytes in
+// message.cc so the whole header always fits the packet's head region.
+inline constexpr size_t kMessageHeaderBytes =
+    4 + 1 + 2 + 1 + 8 + 4 + 4 + 4 + 4 + 2 * (8 + 8 + 1) + 4;
+
+// Move-through wire encoding: writes the header into packet.head, moves
+// msg.payload into packet.payload (no copy), and stamps packet.checksum in
+// the same pass. `msg` is consumed.
+void SerializeMessageInto(Message&& msg, NocPacket& packet);
+
+// Move-through decode: parses packet.head and moves packet.payload out into
+// the returned Message. Returns nullopt on a malformed header (the packet's
+// payload is left untouched in that case).
+std::optional<Message> DeserializeMessage(NocPacket& packet);
+
+// Contiguous-buffer encoding, kept for tests and cold callers (state
+// snapshots, golden vectors). The hot path never materializes this copy.
 std::vector<uint8_t> SerializeMessage(const Message& msg);
 std::optional<Message> DeserializeMessage(const std::vector<uint8_t>& bytes);
 
-// Payload helpers used by services and accelerators.
+// Ablation hook for bench/b2_hot_path: routes Serialize/DeserializeMessage
+// through the contiguous copy path (one heap vector + full memcpy + second
+// checksum pass per message each way), reproducing the pre-pool cost shape.
+void SetMessageLegacyAllocMode(bool legacy);
+bool MessageLegacyAllocMode();
+
+// Payload helpers used by services and accelerators; overloads for plain
+// vectors remain for state snapshots and tests.
+void PutU64(PayloadBuf& buf, uint64_t v);
+void PutU32(PayloadBuf& buf, uint32_t v);
+uint64_t GetU64(const PayloadBuf& buf, size_t offset);
+uint32_t GetU32(const PayloadBuf& buf, size_t offset);
 void PutU64(std::vector<uint8_t>& buf, uint64_t v);
 void PutU32(std::vector<uint8_t>& buf, uint32_t v);
 uint64_t GetU64(const std::vector<uint8_t>& buf, size_t offset);

@@ -1,6 +1,7 @@
 #include "src/core/monitor.h"
 
 #include "src/fpga/resource_model.h"
+#include "src/noc/packet_pool.h"
 
 namespace apiary {
 
@@ -192,15 +193,22 @@ SendResult Monitor::SendInternal(Message msg, TileId dst_tile, CapRef mem, CapRe
 void Monitor::FlushOutbox() {
   while (!outbox_.empty() && outbox_.front().ready_at <= now_) {
     Outbound& out = outbox_.front();
-    auto packet = std::make_shared<NocPacket>();
-    packet->src = tile_;
-    packet->dst = out.dst_tile;
-    packet->vc = out.msg.kind == MsgKind::kResponse ? Vc::kResponse : Vc::kRequest;
-    packet->payload = SerializeMessage(out.msg);
-    if (!ni_->Inject(std::move(packet), now_)) {
+    const Vc vc = out.msg.kind == MsgKind::kResponse ? Vc::kResponse : Vc::kRequest;
+    // Pre-check injection space: serialization consumes the message (the
+    // payload moves into the packet), so backpressure must be detected
+    // before the message is touched for the retry next cycle to resend it.
+    const uint32_t flits =
+        1 + static_cast<uint32_t>((out.msg.WireBytes() + kFlitBytes - 1) / kFlitBytes);
+    if (!ni_->CanInject(flits, ni_->EffectiveVc(vc))) {
       // NoC backpressure: retry next cycle, preserving order.
       break;
     }
+    PacketRef packet = PacketPool::Default().Acquire();
+    packet->src = tile_;
+    packet->dst = out.dst_tile;
+    packet->vc = vc;
+    SerializeMessageInto(std::move(out.msg), *packet);
+    (void)ni_->Inject(std::move(packet), now_);  // Cannot fail: space checked above.
     outbox_.pop_front();
   }
 }
@@ -241,11 +249,11 @@ void Monitor::DeliverIncoming(Message msg) {
 void Monitor::BeginCycle(Cycle now) {
   now_ = now;
   while (true) {
-    auto packet = ni_->Retrieve();
+    PacketRef packet = ni_->Retrieve();
     if (packet == nullptr) {
       break;
     }
-    auto msg = DeserializeMessage(packet->payload);
+    auto msg = DeserializeMessage(*packet);
     if (!msg.has_value()) {
       counters_.Add("monitor.malformed");
       continue;

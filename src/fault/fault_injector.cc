@@ -182,10 +182,13 @@ bool FaultInjector::OnLinkTraverse(TileId router_tile, const Flit& flit, Cycle n
     return true;
   }
   if (WindowHit(corrupt_windows_, router_tile, now)) {
-    auto& payload = flit.packet->payload;
-    if (!payload.empty()) {
-      const size_t index = static_cast<size_t>(rng_.NextBelow(payload.size()));
-      payload[index] ^= static_cast<uint8_t>(1u << rng_.NextBelow(8));
+    // Flip one bit anywhere in the wire image (serialized header region or
+    // payload) — the stale end-to-end checksum is how the ejecting NI
+    // detects it, wherever it lands.
+    NocPacket& packet = *flit.packet;
+    if (packet.wire_bytes() > 0) {
+      const size_t index = static_cast<size_t>(rng_.NextBelow(packet.wire_bytes()));
+      *packet.wire_byte(index) ^= static_cast<uint8_t>(1u << rng_.NextBelow(8));
       counters_.Add("fault.link_corruptions_applied");
     }
   }

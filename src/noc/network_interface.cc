@@ -7,7 +7,11 @@ NetworkInterface::NetworkInterface(TileId tile, Router* router, uint32_t inject_
     : tile_(tile),
       router_(router),
       inject_queue_flits_(inject_queue_flits),
-      force_single_vc_(force_single_vc) {}
+      force_single_vc_(force_single_vc) {
+  for (auto& queue : inject_queues_) {
+    queue.Init(inject_queue_flits_);
+  }
+}
 
 uint32_t NetworkInterface::LogicCellCost() {
   // Packetization, reassembly and queue logic; roughly half a router.
@@ -18,21 +22,28 @@ bool NetworkInterface::CanInject(uint32_t flits, Vc vc) const {
   return inject_queues_[static_cast<int>(vc)].size() + flits <= inject_queue_flits_;
 }
 
-bool NetworkInterface::Inject(std::shared_ptr<NocPacket> packet, Cycle now) {
+bool NetworkInterface::Inject(PacketRef packet, Cycle now) {
   if (force_single_vc_) {
     packet->vc = Vc::kRequest;  // Single-VC ablation: everything shares VC0.
   }
-  const uint32_t flits = FlitCount(*packet);
+  // Flit count is computed once here and cached; every subsequent
+  // is_tail() on the wire is a compare, not a division.
+  const uint32_t flits = ComputeFlitCount(*packet);
+  packet->flit_count = flits;
   if (!CanInject(flits, packet->vc)) {
     counters_.Add("ni.inject_backpressure");
     return false;
   }
   packet->inject_cycle = now;
-  packet->checksum = PacketChecksum(packet->payload);
+  if (packet->checksum == 0) {
+    // Hand-built packet (no serializer stamp): checksum the wire image now.
+    packet->checksum = PacketWireChecksum(*packet);
+  }
   auto& queue = inject_queues_[static_cast<int>(packet->vc)];
-  for (uint32_t i = 0; i < flits; ++i) {
+  for (uint32_t i = 0; i + 1 < flits; ++i) {
     queue.push_back(Flit{packet, i});
   }
+  queue.push_back(Flit{std::move(packet), flits - 1});
   counters_.Add("ni.packets_injected");
   counters_.Add("ni.flits_injected", flits);
   return true;
@@ -59,13 +70,16 @@ void NetworkInterface::EjectFlit(const Flit& flit, Cycle now) {
   if (!flit.is_tail()) {
     return;
   }
+  // The cached flit count must still describe the wire image; a mismatch
+  // means something resized the payload mid-flight.
+  assert(flit.packet->flit_count == ComputeFlitCount(*flit.packet));
   if (flit.packet->dropped) {
     // A link fault swallowed part of this packet in flight.
     counters_.Add("ni.packets_dropped_fault");
     return;
   }
   if (flit.packet->checksum != 0 &&
-      flit.packet->checksum != PacketChecksum(flit.packet->payload)) {
+      flit.packet->checksum != PacketWireChecksum(*flit.packet)) {
     // Corruption is detected here, never silently consumed: the packet is
     // discarded and the loss surfaces as a counter (and, one layer up, as a
     // request timeout rather than a garbled message).
@@ -77,11 +91,11 @@ void NetworkInterface::EjectFlit(const Flit& flit, Cycle now) {
   delivered_.push_back(flit.packet);
 }
 
-std::shared_ptr<NocPacket> NetworkInterface::Retrieve() {
+PacketRef NetworkInterface::Retrieve() {
   if (delivered_.empty()) {
-    return nullptr;
+    return PacketRef();
   }
-  auto packet = delivered_.front();
+  PacketRef packet = std::move(delivered_.front());
   delivered_.pop_front();
   return packet;
 }

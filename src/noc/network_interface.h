@@ -6,6 +6,7 @@
 #ifndef SRC_NOC_NETWORK_INTERFACE_H_
 #define SRC_NOC_NETWORK_INTERFACE_H_
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -13,6 +14,7 @@
 
 #include "src/noc/packet.h"
 #include "src/noc/router.h"
+#include "src/sim/ring_buffer.h"
 #include "src/stats/histogram.h"
 #include "src/stats/summary.h"
 
@@ -25,10 +27,15 @@ class NetworkInterface {
 
   // Queues a packet for injection. Returns false when the packet's VC
   // injection queue cannot hold its flits (backpressure to the monitor).
-  bool Inject(std::shared_ptr<NocPacket> packet, Cycle now);
+  bool Inject(PacketRef packet, Cycle now);
 
   // True if a packet of `flits` flits would fit in the given VC's queue.
   bool CanInject(uint32_t flits, Vc vc = Vc::kRequest) const;
+
+  // The VC a packet tagged `vc` will actually travel on (the single-VC
+  // ablation folds everything onto VC0). Lets the monitor pre-check
+  // CanInject before consuming a message into a packet.
+  Vc EffectiveVc(Vc vc) const { return force_single_vc_ ? Vc::kRequest : vc; }
 
   // Called by the Mesh each cycle: moves up to one flit from the injection
   // queue into the router's local input port.
@@ -38,7 +45,7 @@ class NetworkInterface {
   void EjectFlit(const Flit& flit, Cycle now);
 
   // Pops the next fully reassembled inbound packet, if any.
-  std::shared_ptr<NocPacket> Retrieve();
+  PacketRef Retrieve();
 
   bool HasDeliverable() const { return !delivered_.empty(); }
 
@@ -70,10 +77,12 @@ class NetworkInterface {
   uint32_t inject_queue_flits_;
   bool force_single_vc_;
   // Per-VC injection queues so response traffic never queues behind a
-  // request backlog (mirrors the router's VC separation).
-  std::deque<Flit> inject_queues_[kNumVcs];
+  // request backlog (mirrors the router's VC separation). Fixed-capacity
+  // rings: the bound is inject_queue_flits by construction, so the queue
+  // never touches the heap after wiring.
+  std::array<RingBuffer<Flit>, kNumVcs> inject_queues_;
   int inject_rr_ = 0;
-  std::deque<std::shared_ptr<NocPacket>> delivered_;
+  std::deque<PacketRef> delivered_;
   CounterSet counters_;
   Histogram latency_;  // Injection-to-tail-ejection latency, in cycles.
 };

@@ -1,19 +1,35 @@
 // NoC wire format: packets and flits.
 //
 // The NoC layer is deliberately ignorant of Apiary message semantics: it
-// moves opaque payload bytes between tiles. Service naming, capabilities and
+// moves opaque bytes between tiles. Service naming, capabilities and
 // policy all live one layer up in the monitor (Section 4.3: "the NoC allows
 // us to move service naming to an API-layer interface").
+//
+// Hot-path memory discipline (DESIGN.md): packets are recycled through a
+// PacketPool rather than heap-allocated per message, and are shared between
+// their in-flight flits via the intrusive, non-atomic PacketRef instead of
+// std::shared_ptr — the simulator is single-threaded, so every flit hop
+// paying for atomic refcount traffic bought nothing. The wire image is
+// split into a fixed head region (the serialized message header, filled in
+// place by SerializeMessageInto) and a PayloadBuf payload (moved, never
+// copied, from the sending Message); together they are what the flit count
+// and the end-to-end checksum cover.
 #ifndef SRC_NOC_PACKET_H_
 #define SRC_NOC_PACKET_H_
 
+#include <array>
+#include <cassert>
 #include <cstdint>
-#include <memory>
+#include <cstring>
+#include <utility>
 #include <vector>
 
+#include "src/sim/payload_buf.h"
 #include "src/sim/types.h"
 
 namespace apiary {
+
+class PacketPool;
 
 // Virtual channels. Two VCs break message-dependent (request-response)
 // deadlock cycles, per the deadlock literature the paper cites in 4.5.
@@ -23,50 +39,159 @@ enum class Vc : uint8_t {
 };
 inline constexpr int kNumVcs = 2;
 
+// Width of a flit's data path. One head flit carries routing info; the wire
+// image (head region + payload) rides in kFlitBytes-wide body flits.
+inline constexpr uint32_t kFlitBytes = 32;
+
+// Fixed head region: three flits' worth, enough for the core message
+// header (70 bytes — message.cc static_asserts its layout fits here).
+inline constexpr uint32_t kPacketHeadBytes = 3 * kFlitBytes;
+
 struct NocPacket {
   TileId src = kInvalidTile;
   TileId dst = kInvalidTile;
   Vc vc = Vc::kRequest;
   uint64_t packet_id = 0;
   Cycle inject_cycle = 0;
-  std::vector<uint8_t> payload;
-  // End-to-end payload checksum, stamped by the injecting NI. The ejecting
-  // NI recomputes it so link-level corruption is *detected* (and the packet
-  // discarded) instead of a garbled message being silently consumed.
+  // Serialized message header, written in place by SerializeMessageInto;
+  // head_len == 0 for hand-built (header-less) packets.
+  uint16_t head_len = 0;
+  std::array<uint8_t, kPacketHeadBytes> head{};
+  PayloadBuf payload;
+  // End-to-end wire checksum, stamped at serialization (or by the injecting
+  // NI for hand-built packets). The ejecting NI recomputes it so link-level
+  // corruption is *detected* (and the packet discarded) instead of a garbled
+  // message being silently consumed.
   uint32_t checksum = 0;  // 0 = unstamped (hand-built packets skip the check).
+  // Flit count cached at injection so the per-hop is_tail() test is one
+  // compare instead of a division through a pointer chase; the ejecting NI
+  // asserts it still matches the wire size.
+  uint32_t flit_count = 1;
   // Set when a link fault dropped one of this packet's flits in flight. The
   // remaining flits still traverse the wormhole path (preserving router
   // state) but the ejecting NI discards the packet.
   bool dropped = false;
+
+  // Intrusive lifetime state, managed by PacketRef / PacketPool.
+  uint32_t refs = 0;
+  PacketPool* pool = nullptr;
+
+  // The bytes the flit count and checksum cover: head region + payload.
+  size_t wire_bytes() const { return head_len + payload.size(); }
+  uint8_t* wire_byte(size_t i) {
+    return i < head_len ? &head[i] : payload.data() + (i - head_len);
+  }
+  const uint8_t* wire_byte(size_t i) const {
+    return i < head_len ? &head[i] : payload.data() + (i - head_len);
+  }
 };
 
-// FNV-1a over the payload bytes; cheap stand-in for a per-packet CRC.
-inline uint32_t PacketChecksum(const std::vector<uint8_t>& payload) {
-  uint32_t h = 2166136261u;
-  for (uint8_t byte : payload) {
-    h = (h ^ byte) * 16777619u;
+// Defined in packet_pool.cc: returns the packet to its pool, or deletes it
+// when it was heap-allocated (pool exhaustion / pooling disabled).
+void ReleasePacket(NocPacket* packet);
+
+// Intrusive non-atomic refcounted handle shared by a packet's flits and the
+// delivery queue. When the last reference drops, the packet returns to its
+// PacketPool (or the heap) — there is no control block to allocate and no
+// atomic traffic on the per-hop copies.
+class PacketRef {
+ public:
+  PacketRef() = default;
+  // Adopts `packet`, adding one reference.
+  explicit PacketRef(NocPacket* packet) : packet_(packet) {
+    if (packet_ != nullptr) {
+      ++packet_->refs;
+    }
+  }
+  PacketRef(const PacketRef& other) : packet_(other.packet_) {
+    if (packet_ != nullptr) {
+      ++packet_->refs;
+    }
+  }
+  PacketRef(PacketRef&& other) noexcept : packet_(other.packet_) { other.packet_ = nullptr; }
+  PacketRef& operator=(const PacketRef& other) {
+    if (this != &other) {
+      Reset();
+      packet_ = other.packet_;
+      if (packet_ != nullptr) {
+        ++packet_->refs;
+      }
+    }
+    return *this;
+  }
+  PacketRef& operator=(PacketRef&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      packet_ = other.packet_;
+      other.packet_ = nullptr;
+    }
+    return *this;
+  }
+  ~PacketRef() { Reset(); }
+
+  NocPacket* get() const { return packet_; }
+  NocPacket& operator*() const { return *packet_; }
+  NocPacket* operator->() const { return packet_; }
+  explicit operator bool() const { return packet_ != nullptr; }
+  friend bool operator==(const PacketRef& a, std::nullptr_t) { return a.packet_ == nullptr; }
+  friend bool operator!=(const PacketRef& a, std::nullptr_t) { return a.packet_ != nullptr; }
+
+  void Reset() {
+    if (packet_ != nullptr && --packet_->refs == 0) {
+      ReleasePacket(packet_);
+    }
+    packet_ = nullptr;
+  }
+
+ private:
+  NocPacket* packet_ = nullptr;
+};
+
+// FNV-1a running update; cheap stand-in for a per-packet CRC. Exposed so
+// the serializer can fold the head region and payload into one logical pass
+// without materializing a contiguous wire copy.
+inline uint32_t ChecksumUpdate(uint32_t h, const uint8_t* bytes, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    h = (h ^ bytes[i]) * 16777619u;
   }
   return h;
 }
 
-// Width of a flit's data path. One head flit carries the header; payload
-// flits carry kFlitBytes each.
-inline constexpr uint32_t kFlitBytes = 32;
+inline constexpr uint32_t kChecksumSeed = 2166136261u;
 
-// Number of flits a packet occupies on the wire.
-inline uint32_t FlitCount(const NocPacket& packet) {
-  return 1 + static_cast<uint32_t>((packet.payload.size() + kFlitBytes - 1) / kFlitBytes);
+inline uint32_t PacketChecksum(const uint8_t* bytes, size_t len) {
+  return ChecksumUpdate(kChecksumSeed, bytes, len);
+}
+
+// Thin overload for tests and cold callers that still hold vectors.
+// NOLINTNEXTLINE(apiary-hot-path)
+inline uint32_t PacketChecksum(const std::vector<uint8_t>& payload) {
+  return PacketChecksum(payload.data(), payload.size());
+}
+
+// Checksum over a packet's full wire image (head region, then payload —
+// byte-identical to hashing the old contiguous serialization).
+inline uint32_t PacketWireChecksum(const NocPacket& packet) {
+  const uint32_t h = ChecksumUpdate(kChecksumSeed, packet.head.data(), packet.head_len);
+  return ChecksumUpdate(h, packet.payload.data(), packet.payload.size());
+}
+
+// Number of flits a packet occupies on the wire: one head flit plus the
+// wire image in kFlitBytes chunks. Evaluated once at injection (cached in
+// NocPacket::flit_count), not per hop.
+inline uint32_t ComputeFlitCount(const NocPacket& packet) {
+  return 1 + static_cast<uint32_t>((packet.wire_bytes() + kFlitBytes - 1) / kFlitBytes);
 }
 
 // A flit in flight: a reference into its parent packet. The packet object is
 // shared by all of its flits and handed to the destination NI when the tail
 // arrives.
 struct Flit {
-  std::shared_ptr<NocPacket> packet;
+  PacketRef packet;
   uint32_t index = 0;
 
   bool is_head() const { return index == 0; }
-  bool is_tail() const { return index + 1 == FlitCount(*packet); }
+  bool is_tail() const { return index + 1 == packet->flit_count; }
   TileId dst() const { return packet->dst; }
   Vc vc() const { return packet->vc; }
 };

@@ -7,7 +7,16 @@ namespace apiary {
 Router::Router(uint32_t x, uint32_t y, uint32_t mesh_width, uint32_t mesh_height,
                uint32_t buffer_depth)
     : x_(x), y_(y), mesh_width_(mesh_width), mesh_height_(mesh_height),
-      buffer_depth_(buffer_depth) {}
+      buffer_depth_(buffer_depth) {
+  // flits + staged together never exceed buffer_depth (FreeSlots counts
+  // both), but either side alone may briefly hold the full depth.
+  for (auto& port_bufs : inputs_) {
+    for (auto& buf : port_bufs) {
+      buf.flits.Init(buffer_depth_);
+      buf.staged.Init(buffer_depth_);
+    }
+  }
+}
 
 uint32_t Router::LogicCellCost(uint32_t buffer_depth) {
   // Calibrated against published soft-NoC routers (e.g. CONNECT-style 5-port,
@@ -53,8 +62,7 @@ void Router::CommitStaged() {
   for (auto& port_bufs : inputs_) {
     for (auto& buf : port_bufs) {
       while (!buf.staged.empty()) {
-        buf.flits.push_back(buf.staged.front());
-        buf.staged.pop_front();
+        buf.flits.push_back(buf.staged.take_front());
       }
     }
   }

@@ -9,11 +9,11 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <optional>
 
 #include "src/noc/fault_hooks.h"
 #include "src/noc/packet.h"
+#include "src/sim/ring_buffer.h"
 #include "src/stats/summary.h"
 
 namespace apiary {
@@ -67,9 +67,12 @@ class Router {
   static uint32_t LogicCellCost(uint32_t buffer_depth);
 
  private:
+  // Fixed-capacity rings (buffer_depth each, sized once at construction):
+  // the input buffer models a hardware FIFO, so its bound is architectural
+  // and per-flit queue churn must not touch the heap.
   struct InputBuffer {
-    std::deque<Flit> flits;
-    std::deque<Flit> staged;
+    RingBuffer<Flit> flits;
+    RingBuffer<Flit> staged;
   };
   struct OutputVcState {
     // Wormhole ownership: the (input port, vc) whose packet currently holds

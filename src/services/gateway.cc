@@ -16,7 +16,7 @@ void NetGateway::OnBoot(TileApi& api) {
 }
 
 void NetGateway::SendToClient(uint32_t endpoint, uint64_t client_id, MsgStatus status,
-                              const std::vector<uint8_t>& data, TileApi& api) {
+                              const PayloadBuf& data, TileApi& api) {
   Message out;
   out.opcode = kOpNetSend;
   PutU32(out.payload, endpoint);

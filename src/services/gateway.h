@@ -40,7 +40,7 @@ class NetGateway : public Accelerator {
   void HandleInbound(const Message& msg, TileApi& api);
   void HandleBackendResponse(const Message& msg, TileApi& api);
   void SendToClient(uint32_t endpoint, uint64_t client_id, MsgStatus status,
-                    const std::vector<uint8_t>& data, TileApi& api);
+                    const PayloadBuf& data, TileApi& api);
 
   CapRef netsvc_ = kInvalidCapRef;
   CapRef backend_ = kInvalidCapRef;

@@ -16,7 +16,7 @@ ClientHost::ClientHost(ClientConfig config, ExternalNetwork* network, RequestFac
   my_endpoint_ = network_->RegisterEndpoint(this);
 }
 
-void ClientHost::Transmit(uint64_t id, uint16_t opcode, const std::vector<uint8_t>& payload,
+void ClientHost::Transmit(uint64_t id, uint16_t opcode, const PayloadBuf& payload,
                           Cycle now) {
   std::vector<uint8_t> app;
   PutU32(app, config_.dst_service);
@@ -54,6 +54,7 @@ void ClientHost::OnFrame(EthFrame frame, Cycle now) {
   HandleResponsePayload(frame.payload, now);
 }
 
+// NOLINTNEXTLINE(apiary-hot-path) -- external-fabric frame bytes.
 void ClientHost::HandleResponsePayload(const std::vector<uint8_t>& payload, Cycle now) {
   // Response: u64 client_id | u8 status | payload. The hosted baseline
   // echoes our request frame verbatim (including the leading service word),

@@ -15,6 +15,7 @@
 #include <map>
 
 #include "src/fpga/ethernet.h"
+#include "src/sim/payload_buf.h"
 #include "src/services/transport.h"
 #include "src/sim/random.h"
 #include "src/stats/histogram.h"
@@ -24,7 +25,7 @@ namespace apiary {
 
 struct ClientRequest {
   uint16_t opcode = 0;
-  std::vector<uint8_t> payload;
+  PayloadBuf payload;
 };
 
 struct ClientConfig {
@@ -80,11 +81,13 @@ class ClientHost : public Clocked, public ExternalEndpoint {
     Cycle issued;        // Last transmission (drives the retry timer).
     Cycle first_issued;  // Original submission (drives latency accounting).
     uint16_t opcode;
-    std::vector<uint8_t> payload;
+    PayloadBuf payload;
   };
 
   void SendOne(Cycle now);
-  void Transmit(uint64_t id, uint16_t opcode, const std::vector<uint8_t>& payload, Cycle now);
+  void Transmit(uint64_t id, uint16_t opcode, const PayloadBuf& payload, Cycle now);
+  // External-fabric frame bytes, not a NoC message payload.
+  // NOLINTNEXTLINE(apiary-hot-path)
   void HandleResponsePayload(const std::vector<uint8_t>& payload, Cycle now);
   bool DoneIssuing() const {
     return config_.max_requests != 0 && issued_ >= config_.max_requests;

@@ -34,9 +34,9 @@ std::vector<uint8_t> GenerateFrame(uint32_t width, uint32_t height, uint64_t see
   return pixels;
 }
 
-std::vector<uint8_t> FrameToRequestPayload(uint32_t width, uint32_t height,
+PayloadBuf FrameToRequestPayload(uint32_t width, uint32_t height,
                                            const std::vector<uint8_t>& pixels) {
-  std::vector<uint8_t> payload;
+  PayloadBuf payload;
   payload.reserve(8 + pixels.size());
   PutU32(payload, width);
   PutU32(payload, height);

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/sim/payload_buf.h"
+
 namespace apiary {
 
 // Returns width*height grayscale pixels for frame `frame_index` of a scene
@@ -18,7 +20,7 @@ std::vector<uint8_t> GenerateFrame(uint32_t width, uint32_t height, uint64_t see
 
 // Serializes a frame into the video encoder's request payload
 // (u32 width, u32 height, pixels).
-std::vector<uint8_t> FrameToRequestPayload(uint32_t width, uint32_t height,
+PayloadBuf FrameToRequestPayload(uint32_t width, uint32_t height,
                                            const std::vector<uint8_t>& pixels);
 
 }  // namespace apiary

@@ -5,16 +5,16 @@
 
 namespace apiary {
 
-std::vector<uint8_t> MakeKvGetPayload(const std::string& key) {
-  std::vector<uint8_t> payload;
+PayloadBuf MakeKvGetPayload(const std::string& key) {
+  PayloadBuf payload;
   PutU32(payload, static_cast<uint32_t>(key.size()));
   payload.insert(payload.end(), key.begin(), key.end());
   return payload;
 }
 
-std::vector<uint8_t> MakeKvPutPayload(const std::string& key,
+PayloadBuf MakeKvPutPayload(const std::string& key,
                                       const std::vector<uint8_t>& value) {
-  std::vector<uint8_t> payload = MakeKvGetPayload(key);
+  PayloadBuf payload = MakeKvGetPayload(key);
   payload.insert(payload.end(), value.begin(), value.end());
   return payload;
 }

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/payload_buf.h"
+
 #include "src/sim/random.h"
 #include "src/workload/client.h"
 
@@ -21,8 +23,8 @@ struct KvWorkloadConfig {
 };
 
 // Builds the payload of a kOpKvGet/kOpKvPut request for `key`.
-std::vector<uint8_t> MakeKvGetPayload(const std::string& key);
-std::vector<uint8_t> MakeKvPutPayload(const std::string& key,
+PayloadBuf MakeKvGetPayload(const std::string& key);
+PayloadBuf MakeKvPutPayload(const std::string& key,
                                       const std::vector<uint8_t>& value);
 
 // Canonical key/value derivation so independent components (loader, checker,

@@ -95,8 +95,8 @@ TEST(VideoCodecTest, NonMultipleOf8Dimensions) {
 }
 
 TEST(VideoCodecTest, DecodeRejectsGarbage) {
-  EXPECT_TRUE(DecodeFrame({}, nullptr, nullptr).empty());
-  EXPECT_TRUE(DecodeFrame({1, 2, 3, 4, 5}, nullptr, nullptr).empty());
+  EXPECT_TRUE(DecodeFrame(std::vector<uint8_t>{}, nullptr, nullptr).empty());
+  EXPECT_TRUE(DecodeFrame(std::vector<uint8_t>{1, 2, 3, 4, 5}, nullptr, nullptr).empty());
 }
 
 TEST(LzTest, RoundTripStructuredData) {
@@ -137,7 +137,7 @@ TEST_P(LzRoundTripTest, RandomAndMixedDataRoundTrips) {
 INSTANTIATE_TEST_SUITE_P(Seeds, LzRoundTripTest, ::testing::Values(1, 2, 3, 4, 5));
 
 TEST(LzTest, EmptyInput) {
-  const auto compressed = LzCompress({});
+  const auto compressed = LzCompress(std::vector<uint8_t>{});
   EXPECT_EQ(LzDecompress(compressed), std::vector<uint8_t>{});
 }
 
@@ -152,7 +152,7 @@ TEST(LzTest, IncompressibleDataSurvives) {
 }
 
 TEST(LzTest, DecompressRejectsCorruptStreams) {
-  EXPECT_TRUE(LzDecompress({}).empty());
+  EXPECT_TRUE(LzDecompress(std::vector<uint8_t>{}).empty());
   // Valid header claiming 100 bytes but bogus token stream.
   std::vector<uint8_t> bogus = {100, 0, 0, 0, 0xee};
   EXPECT_TRUE(LzDecompress(bogus).empty());

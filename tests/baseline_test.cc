@@ -135,7 +135,7 @@ TEST(RawQueueTest, TransfersAfterSerialization) {
   RawQueue q(32, 16);
   sim.Register(&q);
   std::vector<uint8_t> data(96, 7);  // 3 cycles at 32 B/cycle.
-  ASSERT_TRUE(q.Push(data, sim.now()));
+  ASSERT_TRUE(q.Push(PayloadBuf(data), sim.now()));
   EXPECT_FALSE(q.Pop(sim.now()).has_value());  // Not yet transferred.
   sim.Run(5);
   auto got = q.Pop(sim.now());

@@ -398,7 +398,7 @@ TEST(MonitorTest, SpoofedWireSourceDropped) {
   msg.opcode = 1;
   msg.kind = MsgKind::kRequest;
   msg.src_tile = 0;  // Claims tile 0...
-  auto packet = std::make_shared<NocPacket>();
+  PacketRef packet(new NocPacket());
   packet->src = 1;  // ...but was actually injected at tile 1.
   packet->dst = tbt;
   packet->payload = SerializeMessage(msg);

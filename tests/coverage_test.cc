@@ -78,11 +78,12 @@ TEST(MonitorLimitsTest, InboxOverflowBouncesBackpressure) {
     Message msg;
     msg.kind = MsgKind::kRequest;
     msg.src_tile = 1;
-    auto packet = std::make_shared<NocPacket>();
+    PacketRef packet(new NocPacket());
     packet->src = 1;
     packet->dst = 0;
     packet->payload = SerializeMessage(msg);
-    tb.board.mesh().ni(0).EjectFlit(Flit{packet, FlitCount(*packet) - 1}, 0);
+    packet->flit_count = ComputeFlitCount(*packet);
+    tb.board.mesh().ni(0).EjectFlit(Flit{packet, packet->flit_count - 1}, 0);
   }
   monitor.BeginCycle(1);
   EXPECT_EQ(monitor.counters().Get("monitor.delivered"), 4u);

@@ -6,8 +6,10 @@
 #include "src/accel/echo.h"
 #include "src/accel/kv_store.h"
 #include "src/core/service_ids.h"
+#include "src/core/message.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
+#include "src/noc/packet_pool.h"
 #include "src/services/gateway.h"
 #include "src/services/supervisor.h"
 #include "src/services/memory_service.h"
@@ -127,6 +129,24 @@ TEST(DeterminismTest, FullTraceOfTwoSeededRunsIsByteIdentical) {
   // empty or seed-blind trace cannot fake the test out.
   const std::string c = RunScenarioTrace(12);
   EXPECT_NE(a, c);
+}
+
+// The hot-path machinery (PacketPool recycling, PayloadBuf arena backing,
+// the move-through serialization path) must change only *where* bytes live,
+// never what the simulation does: a run with every optimization disabled —
+// the legacy allocate-per-message shape — has to trace byte-identically to
+// the pooled run. This is what licenses bench/b2's --no-pool ablation as a
+// fair comparison.
+TEST(DeterminismTest, PooledAndLegacyAllocRunsAreByteIdentical) {
+  PacketPool::Default().SetEnabled(false);
+  PayloadBuf::SetArenaEnabled(false);
+  SetMessageLegacyAllocMode(true);
+  const std::string legacy = RunScenarioTrace(11);
+  PacketPool::Default().SetEnabled(true);
+  PayloadBuf::SetArenaEnabled(true);
+  SetMessageLegacyAllocMode(false);
+  const std::string pooled = RunScenarioTrace(11);
+  EXPECT_EQ(legacy, pooled);
 }
 
 // A periodic closed-fire client: one echo request every `period` cycles,

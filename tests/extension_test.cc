@@ -400,7 +400,7 @@ TEST(SingleVcTest, ForcedVcStillDeliversCorrectly) {
   cfg.force_single_vc = true;
   Mesh mesh(cfg);
   sim.Register(&mesh);
-  auto p = std::make_shared<NocPacket>();
+  PacketRef p(new NocPacket());
   p->src = 0;
   p->dst = 15;
   p->vc = Vc::kResponse;  // Will be forced onto the request VC.

@@ -7,6 +7,7 @@
 
 #include "src/noc/mesh.h"
 #include "src/noc/packet.h"
+#include "src/noc/packet_pool.h"
 #include "src/noc/rate_limiter.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
@@ -14,9 +15,9 @@
 namespace apiary {
 namespace {
 
-std::shared_ptr<NocPacket> MakePacket(TileId src, TileId dst, size_t payload_bytes,
-                                      uint64_t id = 0, Vc vc = Vc::kRequest) {
-  auto p = std::make_shared<NocPacket>();
+PacketRef MakePacket(TileId src, TileId dst, size_t payload_bytes, uint64_t id = 0,
+                     Vc vc = Vc::kRequest) {
+  PacketRef p = PacketPool::Default().Acquire();
   p->src = src;
   p->dst = dst;
   p->vc = vc;
@@ -26,14 +27,15 @@ std::shared_ptr<NocPacket> MakePacket(TileId src, TileId dst, size_t payload_byt
 }
 
 TEST(PacketTest, FlitCountRounding) {
-  EXPECT_EQ(FlitCount(*MakePacket(0, 1, 0)), 1u);
-  EXPECT_EQ(FlitCount(*MakePacket(0, 1, 1)), 2u);
-  EXPECT_EQ(FlitCount(*MakePacket(0, 1, kFlitBytes)), 2u);
-  EXPECT_EQ(FlitCount(*MakePacket(0, 1, kFlitBytes + 1)), 3u);
+  EXPECT_EQ(ComputeFlitCount(*MakePacket(0, 1, 0)), 1u);
+  EXPECT_EQ(ComputeFlitCount(*MakePacket(0, 1, 1)), 2u);
+  EXPECT_EQ(ComputeFlitCount(*MakePacket(0, 1, kFlitBytes)), 2u);
+  EXPECT_EQ(ComputeFlitCount(*MakePacket(0, 1, kFlitBytes + 1)), 3u);
 }
 
 TEST(PacketTest, FlitHeadTailFlags) {
   auto p = MakePacket(0, 1, kFlitBytes * 2);  // 3 flits.
+  p->flit_count = ComputeFlitCount(*p);
   Flit head{p, 0};
   Flit mid{p, 1};
   Flit tail{p, 2};
@@ -107,7 +109,7 @@ TEST_P(MeshStressTest, AllPacketsDeliveredExactlyOnce) {
   int injected = 0;
   uint64_t next_id = 1;
 
-  std::map<uint64_t, std::vector<uint8_t>> payloads;
+  std::map<uint64_t, PayloadBuf> payloads;
   std::map<uint64_t, int> received;
   auto drain = [&] {
     for (uint32_t t = 0; t < n; ++t) {

@@ -127,7 +127,7 @@ TEST(NocLatencyModelTest, ZeroLoadLatencyIsAffineInHopsAndFlits) {
     Simulator sim;
     Mesh mesh(MeshConfig{8, 1, 8, 512});
     sim.Register(&mesh);
-    auto p = std::make_shared<NocPacket>();
+    PacketRef p(new NocPacket());
     p->src = 0;
     p->dst = hops;
     p->payload.assign(payload, 1);

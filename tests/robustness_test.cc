@@ -210,12 +210,12 @@ TEST(RouterCountersTest, StallsVisibleUnderContention) {
   sim.Register(&mesh);
   // Two sources hammer one sink.
   for (int i = 0; i < 30; ++i) {
-    auto a = std::make_shared<NocPacket>();
+    PacketRef a(new NocPacket());
     a->src = 0;
     a->dst = 3;
     a->payload.assign(128, 1);
     mesh.ni(0).Inject(a, sim.now());
-    auto b = std::make_shared<NocPacket>();
+    PacketRef b(new NocPacket());
     b->src = 1;
     b->dst = 3;
     b->payload.assign(128, 1);

@@ -228,8 +228,8 @@ TEST(SkipDifferentialTest, RawQueueReadyCycleIsAnActivityBoundary) {
     sim.SetSkipEnabled(skip);
     RawQueue q(/*width_bytes=*/8, /*depth_entries=*/4);
     sim.Register(&q);
-    EXPECT_TRUE(q.Push(std::vector<uint8_t>(64, 0xab), sim.now()));
-    std::vector<uint8_t> got;
+    EXPECT_TRUE(q.Push(PayloadBuf(64, 0xab), sim.now()));
+    PayloadBuf got;
     EXPECT_TRUE(sim.RunUntil(
         [&] {
           auto popped = q.Pop(sim.now());

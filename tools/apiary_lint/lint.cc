@@ -360,6 +360,16 @@ LintConfig DefaultConfig() {
 
   config.opcode_def_files = {"src/services/opcodes.h", "src/accel/accel_opcodes.h"};
 
+  // Hot path: only the pool/serialization layer may allocate packets or
+  // materialize contiguous wire vectors (the legacy-alloc ablation lives
+  // there too).
+  // The external Ethernet fabric (frames to/from simulated client hosts) is
+  // a different wire domain from the NoC: its frame buffers are vectors by
+  // design and never ride the executed-cycle packet path.
+  config.hot_path_exempt_prefixes = {"src/noc/packet_pool.", "src/core/message.",
+                                     "src/sim/payload_buf.", "src/fpga/ethernet.",
+                                     "src/services/transport."};
+
   // src/sim/clocked.h rides along for quiescence hygiene: an ignored
   // NextActivity() result means a computed wake-up cycle was dropped on the
   // floor, the same leak shape as an orphaned capability.
@@ -606,6 +616,50 @@ void CheckNodiscard(const SourceFile& file, const LintConfig& config,
   }
 }
 
+void CheckHotPath(const SourceFile& file, const LintConfig& config,
+                  std::vector<Finding>* findings) {
+  // Discipline applies to simulator code only; tests and bench hand-build
+  // packets freely.
+  if (!StartsWith(file.path, "src/")) {
+    return;
+  }
+  for (const auto& prefix : config.hot_path_exempt_prefixes) {
+    if (StartsWith(file.path, prefix)) {
+      return;
+    }
+  }
+  for (size_t i = 0; i < file.code_lines.size(); ++i) {
+    const std::string& line = file.code_lines[i];
+    const int lineno = static_cast<int>(i) + 1;
+    if (line.find("make_shared<NocPacket") != std::string::npos ||
+        line.find("make_shared< NocPacket") != std::string::npos) {
+      findings->push_back({file.path, lineno, "apiary-hot-path",
+                           "std::make_shared<NocPacket> allocates a control block per "
+                           "message; draw packets from PacketPool::Acquire()"});
+    } else if ([&line] {
+                 size_t pos = line.find("new NocPacket");
+                 while (pos != std::string::npos) {
+                   if (pos == 0 || !IsIdentChar(line[pos - 1])) {
+                     return true;
+                   }
+                   pos = line.find("new NocPacket", pos + 1);
+                 }
+                 return false;
+               }()) {
+      findings->push_back({file.path, lineno, "apiary-hot-path",
+                           "bare new NocPacket heap-allocates per message; draw packets "
+                           "from PacketPool::Acquire()"});
+    }
+    if (line.find("std::vector<uint8_t>") != std::string::npos &&
+        !FindIdentifier(line, "payload").empty()) {
+      findings->push_back({file.path, lineno, "apiary-hot-path",
+                           "message payloads ride in PayloadBuf end-to-end; a "
+                           "std::vector<uint8_t> copy reintroduces per-message heap "
+                           "allocation on the executed-cycle path"});
+    }
+  }
+}
+
 void CheckOpcodeCoverage(const std::vector<SourceFile>& files, const LintConfig& config,
                          std::vector<Finding>* findings) {
   struct OpcodeDef {
@@ -697,6 +751,7 @@ std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files,
     CheckIncludeGuard(file, config, &raw);
     CheckDebugName(file, config, &raw);
     CheckNodiscard(file, config, &raw);
+    CheckHotPath(file, config, &raw);
   }
   CheckOpcodeCoverage(files, config, &raw);
 

@@ -12,6 +12,8 @@
 //   apiary-include-guard   SRC_PATH_H_ include-guard convention
 //   apiary-debug-name      Clocked subclasses override DebugName()
 //   apiary-nodiscard       capability/segment-minting APIs are [[nodiscard]]
+//   apiary-hot-path        packets come from PacketPool, payloads ride in
+//                          PayloadBuf (no per-message heap allocation)
 //
 // Any finding is suppressible in-line with clang-tidy style markers:
 //   // NOLINT(apiary-<check>)          suppress on this line
@@ -89,6 +91,12 @@ struct LintConfig {
   // headers; analogous to a syscall-number header visible to userland).
   std::vector<std::string> layering_exempt_includes;
 
+  // --- apiary-hot-path ---
+  // Path prefixes where the hot-path memory discipline does not apply: the
+  // pool/serialization layer itself, which is the one place allowed to
+  // allocate packets and touch raw wire vectors.
+  std::vector<std::string> hot_path_exempt_prefixes;
+
   // --- apiary-opcode-coverage ---
   // Path suffixes of the headers that define the opcode ABI.
   std::vector<std::string> opcode_def_files;
@@ -115,6 +123,13 @@ void CheckDebugName(const SourceFile& file, const LintConfig& config,
                     std::vector<Finding>* findings);
 void CheckNodiscard(const SourceFile& file, const LintConfig& config,
                     std::vector<Finding>* findings);
+// Hot-path memory discipline (DESIGN.md): under src/, NocPackets must come
+// from PacketPool::Acquire() — never std::make_shared<NocPacket> or a bare
+// new NocPacket — and message payloads ride in PayloadBuf, so a
+// std::vector<uint8_t> touching a payload reintroduces per-message heap
+// allocation. The pool/serialization layer itself is exempt.
+void CheckHotPath(const SourceFile& file, const LintConfig& config,
+                  std::vector<Finding>* findings);
 
 // Corpus-wide: every kOp* constant in an opcode-ABI header must be
 // referenced by a handler under src/ and by at least one file under tests/.

@@ -309,6 +309,53 @@ TEST(Nodiscard, IgnoresParametersAndOtherFiles) {
 }
 
 // ---------------------------------------------------------------------------
+// apiary-hot-path.
+// ---------------------------------------------------------------------------
+
+TEST(HotPath, FlagsPacketAllocationAndPayloadVectors) {
+  const auto findings = LintOne("src/noc/x.cc",
+                                "void f() {\n"
+                                "  auto p = std::make_shared<NocPacket>();\n"
+                                "  NocPacket* q = new NocPacket();\n"
+                                "  std::vector<uint8_t> copy(p->payload);\n"
+                                "}\n");
+  ASSERT_EQ(findings.size(), 3u);
+  for (const auto& finding : findings) {
+    EXPECT_EQ(finding.check, "apiary-hot-path");
+  }
+  EXPECT_NE(findings[0].message.find("PacketPool::Acquire"), std::string::npos);
+}
+
+TEST(HotPath, DoesNotFlagPooledOrPayloadBufCode) {
+  EXPECT_TRUE(LintOne("src/noc/x.cc",
+                      "PacketRef p = PacketPool::Default().Acquire();\n"
+                      "PayloadBuf staging;\n"
+                      "std::vector<uint8_t> unrelated;\n"
+                      "NocPacket& packet = *p;\n")
+                  .empty());
+}
+
+TEST(HotPath, ExemptsPoolAndSerializationLayer) {
+  EXPECT_TRUE(LintOne("src/noc/packet_pool.cc", "NocPacket* p = new NocPacket();\n")
+                  .empty());
+  EXPECT_TRUE(LintOne("src/core/message.cc",
+                      "std::vector<uint8_t> wire(msg.payload.size());\n")
+                  .empty());
+}
+
+TEST(HotPath, TestsAndBenchAreUnrestricted) {
+  EXPECT_TRUE(LintOne("tests/x.cc", "PacketRef p(new NocPacket());\n").empty());
+  EXPECT_TRUE(LintOne("bench/x.cc", "auto p = std::make_shared<NocPacket>();\n").empty());
+}
+
+TEST(HotPath, NolintSuppresses) {
+  EXPECT_FALSE(HasCheck(
+      LintOne("src/noc/x.cc",
+              "NocPacket* p = new NocPacket();  // NOLINT(apiary-hot-path)\n"),
+      "apiary-hot-path"));
+}
+
+// ---------------------------------------------------------------------------
 // apiary-opcode-coverage.
 // ---------------------------------------------------------------------------
 
@@ -418,6 +465,9 @@ TEST(Fixtures, GoodTreesAreCleanBadTreesFail) {
       {"debugname/bad", {"src"}, 1, "apiary-debug-name"},
       {"nodiscard/good", {"src"}, 0, ""},
       {"nodiscard/bad", {"src"}, 1, "apiary-nodiscard"},
+      {"hotpath/good", {"src"}, 0, ""},
+      {"hotpath/bad", {"src"}, 1, "apiary-hot-path"},
+      {"hotpath/suppressed", {"src"}, 0, ""},
   };
   for (const auto& c : cases) {
     std::string output;

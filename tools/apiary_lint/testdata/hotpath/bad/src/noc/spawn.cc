@@ -1,0 +1,19 @@
+// Bad: every hot-path memory-discipline violation the check bans.
+#include <memory>
+#include <vector>
+
+namespace apiary {
+
+struct NocPacket {
+  std::vector<unsigned char> payload;
+};
+
+void Spawn() {
+  auto a = std::make_shared<NocPacket>();
+  NocPacket* b = new NocPacket();
+  std::vector<uint8_t> payload_copy(a->payload.begin(), a->payload.end());
+  (void)b;
+  (void)payload_copy;
+}
+
+}  // namespace apiary

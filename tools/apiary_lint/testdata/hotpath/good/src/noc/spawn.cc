@@ -1,0 +1,12 @@
+// Good: packets come from the pool; payloads stay in PayloadBuf.
+#include "src/noc/packet_pool.h"
+
+namespace apiary {
+
+void Spawn() {
+  PacketRef packet = PacketPool::Default().Acquire();
+  PayloadBuf staging;
+  staging.append(packet->payload.data(), packet->payload.size());
+}
+
+}  // namespace apiary

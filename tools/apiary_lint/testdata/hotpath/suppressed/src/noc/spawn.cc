@@ -1,0 +1,18 @@
+// Suppressed: a deliberately unpooled packet (exhaustion-fallback shape)
+// with the in-line marker the check honors.
+#include <vector>
+
+namespace apiary {
+
+struct NocPacket {
+  std::vector<unsigned char> payload;
+};
+
+void Spawn() {
+  NocPacket* fallback = new NocPacket();  // NOLINT(apiary-hot-path)
+  // NOLINTNEXTLINE(apiary-hot-path)
+  std::vector<uint8_t> payload_copy(fallback->payload.begin(), fallback->payload.end());
+  (void)payload_copy;
+}
+
+}  // namespace apiary
