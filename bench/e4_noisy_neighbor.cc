@@ -94,9 +94,21 @@ Result Run(bool with_flooder, uint64_t limit_flits_per_1k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("E4: noisy neighbor vs monitor rate limiting (300k-cycle runs)\n");
   std::printf("victim: echo service + closed-loop client; flooder: 256B blasts at the victim\n");
+
+  BenchJson json("e4_noisy_neighbor");
+  json.Param("run_cycles", static_cast<uint64_t>(300000));
+  auto emit = [&json](const std::string& scenario, uint64_t limit, const Result& r) {
+    json.BeginRow();
+    json.Metric("scenario", scenario);
+    json.Metric("limit_flits_per_1k", limit);
+    json.Metric("flood_delivered", r.flood_delivered);
+    json.Metric("victim_ops", r.victim_done);
+    json.Metric("victim_p50_cycles", static_cast<uint64_t>(r.victim_p50));
+    json.Metric("victim_p99_cycles", static_cast<uint64_t>(r.victim_p99));
+  };
 
   Table table("E4: victim latency under flood, by flooder rate limit");
   table.SetHeader({"scenario", "flood msgs delivered", "victim ops", "victim p50 (cyc)",
@@ -104,10 +116,12 @@ int main() {
   const Result baseline = Run(false, 0);
   table.AddRow({"no flooder", "-", Table::Int(baseline.victim_done),
                 Table::Num(baseline.victim_p50, 0), Table::Num(baseline.victim_p99, 0)});
+  emit("no flooder", 0, baseline);
   const Result unlimited = Run(true, 0);
   table.AddRow({"flood, no limit", Table::Int(unlimited.flood_delivered),
                 Table::Int(unlimited.victim_done), Table::Num(unlimited.victim_p50, 0),
                 Table::Num(unlimited.victim_p99, 0)});
+  emit("flood, no limit", 0, unlimited);
   for (uint64_t limit : {2000u, 500u, 100u}) {
     const Result r = Run(true, limit);
     char label[64];
@@ -115,8 +129,14 @@ int main() {
                   static_cast<unsigned long long>(limit));
     table.AddRow({label, Table::Int(r.flood_delivered), Table::Int(r.victim_done),
                   Table::Num(r.victim_p50, 0), Table::Num(r.victim_p99, 0)});
+    emit(label, limit, r);
   }
   table.Print();
+
+  const std::string json_path = JsonPathArg(argc, argv);
+  if (!json_path.empty()) {
+    json.WriteFile(json_path);
+  }
   std::printf(
       "\nexpected shape: with no limit the flooder monopolizes the victim's inbox and\n"
       "NoC path, inflating the polite client's p99 and collapsing its throughput; as\n"

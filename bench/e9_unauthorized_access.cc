@@ -20,8 +20,11 @@
 
 using namespace apiary;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("E9: unauthorized access and revocation (Sections 2, 4.6)\n");
+
+  BenchJson json("e9_unauthorized_access");
+  json.Param("snoop_cycles", static_cast<uint64_t>(200000));
 
   // ---- Part A: the snooper's haul. ----
   {
@@ -44,6 +47,13 @@ int main() {
                    Table::Int(snoop->denied_remote())});
     part_a.AddRow({"bytes of victim data obtained", Table::Int(snoop->leaked())});
     part_a.Print();
+
+    json.BeginRow();
+    json.Metric("part", "snooper");
+    json.Metric("attempts", snoop->attempts());
+    json.Metric("denied_local", snoop->denied_local());
+    json.Metric("denied_remote", snoop->denied_remote());
+    json.Metric("leaked_bytes", snoop->leaked());
   }
 
   // ---- Part B: revocation latency. ----
@@ -60,27 +70,30 @@ int main() {
 
     Table part_b("E9b: revocation is immediate (same-cycle send outcomes)");
     part_b.SetHeader({"action", "send status"});
-    Message before;
-    before.opcode = kOpEcho;
-    part_b.AddRow({"send with live capability",
-                   MsgStatusName(os.monitor(pt).Send(std::move(before), cap).status)});
+    auto try_send = [&](const char* action, CapRef ref) {
+      Message msg;
+      msg.opcode = kOpEcho;
+      const char* status = MsgStatusName(os.monitor(pt).Send(std::move(msg), ref).status);
+      part_b.AddRow({action, status});
+      json.BeginRow();
+      json.Metric("part", "revocation");
+      json.Metric("action", action);
+      json.Metric("status", status);
+    };
+    try_send("send with live capability", cap);
     os.Revoke(pt, cap);
-    Message after;
-    after.opcode = kOpEcho;
-    part_b.AddRow({"send after Revoke() — same cycle",
-                   MsgStatusName(os.monitor(pt).Send(std::move(after), cap).status)});
+    try_send("send after Revoke() — same cycle", cap);
     // Slot reuse: a new grant occupies the same slot with a new generation;
     // the stale reference still fails.
     const CapRef fresh = os.GrantSendToService(pt, svc);
-    Message stale;
-    stale.opcode = kOpEcho;
-    part_b.AddRow({"send with STALE ref after slot reuse",
-                   MsgStatusName(os.monitor(pt).Send(std::move(stale), cap).status)});
-    Message live;
-    live.opcode = kOpEcho;
-    part_b.AddRow({"send with the fresh capability",
-                   MsgStatusName(os.monitor(pt).Send(std::move(live), fresh).status)});
+    try_send("send with STALE ref after slot reuse", cap);
+    try_send("send with the fresh capability", fresh);
     part_b.Print();
+  }
+
+  const std::string json_path = JsonPathArg(argc, argv);
+  if (!json_path.empty()) {
+    json.WriteFile(json_path);
   }
 
   std::printf(

@@ -168,6 +168,11 @@ bool ApiaryOs::Undeploy(TileId tile, bool immediate) {
                                   [tile](const GrantEdge& e) { return e.src == tile; }),
                    grant_log_.end());
   tiles_[tile]->monitor().SetIdentity(kInvalidApp, kInvalidService);
+  // A vacated region leaves its tenant: drop the shared injection budget and
+  // return the tile's traffic to the default arbitration class so the next
+  // occupant cannot draw against (or bill to) the old tenant.
+  tiles_[tile]->monitor().SetSharedLimiter(nullptr);
+  tiles_[tile]->monitor().SetArbClass(0);
   tiles_[tile]->Configure(nullptr, immediate);
   return true;
 }
@@ -323,6 +328,16 @@ void ApiaryOs::SetRateLimit(TileId tile, uint64_t flits_per_1k_cycles, uint64_t 
   if (tile < tiles_.size()) {
     tiles_[tile]->monitor().SetRateLimit(flits_per_1k_cycles, burst_flits);
   }
+}
+
+void ApiaryOs::SetArbClass(TileId tile, uint8_t cls) {
+  if (tile < tiles_.size()) {
+    tiles_[tile]->monitor().SetArbClass(cls);
+  }
+}
+
+void ApiaryOs::SetNocClassWeight(uint8_t cls, uint32_t weight) {
+  board_->mesh().SetArbClassWeight(cls, weight);
 }
 
 void ApiaryOs::FailStop(TileId tile, const std::string& reason) {

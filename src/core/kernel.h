@@ -90,6 +90,12 @@ class ApiaryOs {
 
   void SetRateLimit(TileId tile, uint64_t flits_per_1k_cycles, uint64_t burst_flits);
 
+  // Tenant bandwidth controls: assigns a tile's injected traffic to a NoC
+  // arbitration class, and configures the board-wide weight of a class
+  // (see Router::SetClassWeight). Both are kernel-only operations.
+  void SetArbClass(TileId tile, uint8_t cls);
+  void SetNocClassWeight(uint8_t cls, uint32_t weight);
+
   // ------------------------------------------------------------------
   // Orchestration support (used by src/orch).
   // ------------------------------------------------------------------

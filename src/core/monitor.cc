@@ -172,11 +172,18 @@ SendResult Monitor::SendInternal(Message msg, TileId dst_tile, CapRef mem, CapRe
     counters_.Add("monitor.send_too_large");
     return SendResult{MsgStatus::kBadRequest};
   }
-  if (!limiter_.TryConsume(now_, flits)) {
+  // Check both budgets before consuming either, so a denial never leaves a
+  // partial charge against the per-tile or tenant-shared bucket.
+  const bool shared_ok = shared_limiter_ == nullptr || shared_limiter_->WouldAllow(now_, flits);
+  if (!limiter_.WouldAllow(now_, flits) || !shared_ok) {
     counters_.Add("monitor.send_rate_limited");
     Trace(TraceEvent::kDenySend, dst_tile, msg.dst_service, msg.opcode,
           MsgStatus::kRateLimited);
     return SendResult{MsgStatus::kRateLimited};
+  }
+  limiter_.TryConsume(now_, flits);
+  if (shared_limiter_ != nullptr) {
+    shared_limiter_->TryConsume(now_, flits);
   }
   if (!EnqueuePacket(msg, dst_tile)) {
     counters_.Add("monitor.send_backpressure");
@@ -207,8 +214,10 @@ void Monitor::FlushOutbox() {
     packet->src = tile_;
     packet->dst = out.dst_tile;
     packet->vc = vc;
+    packet->arb_class = arb_class_;
     SerializeMessageInto(std::move(out.msg), *packet);
     (void)ni_->Inject(std::move(packet), now_);  // Cannot fail: space checked above.
+    counters_.Add("monitor.flits_sent", flits);
     outbox_.pop_front();
   }
 }

@@ -60,6 +60,14 @@ class Monitor : public TileApi {
   void DisallowSender(TileId src) { allowed_senders_.erase(src); }
   void SetRateLimit(uint64_t flits_per_1k_cycles, uint64_t burst_flits);
   void ClearRateLimit() { limiter_ = TokenBucket(); }
+  // Tenant-shared injection budget: a bucket owned by the tenant manager
+  // and shared by every monitor in the tenant, drawn down alongside the
+  // per-tile limiter. nullptr clears it. The monitor never owns the bucket.
+  void SetSharedLimiter(TokenBucket* limiter) { shared_limiter_ = limiter; }
+  // Arbitration class stamped on every packet this monitor injects (see
+  // NocPacket::arb_class). Class 0 is the default/kernel class.
+  void SetArbClass(uint8_t cls) { arb_class_ = cls; }
+  uint8_t arb_class() const { return arb_class_; }
   void SetIdentity(AppId app, ServiceId service);
 
   // Fail-stop: sink the inbox/outbox and bounce future traffic (4.4).
@@ -151,6 +159,8 @@ class Monitor : public TileApi {
   std::map<TileId, uint64_t> pending_responses_;
 
   TokenBucket limiter_;
+  TokenBucket* shared_limiter_ = nullptr;  // Tenant-wide budget, not owned.
+  uint8_t arb_class_ = 0;
   TileFaultState fault_state_ = TileFaultState::kHealthy;
   std::string fault_reason_;
   bool accelerator_faulted_ = false;

@@ -17,6 +17,7 @@ inline constexpr ServiceId kNameService = 3;
 inline constexpr ServiceId kMgmtService = 4;
 inline constexpr ServiceId kDmaService = 5;
 inline constexpr ServiceId kOrchService = 6;
+inline constexpr ServiceId kTenantService = 7;
 
 // Application endpoints are assigned logical ids starting here.
 inline constexpr ServiceId kFirstAppService = 100;

@@ -77,6 +77,12 @@ void Mesh::SetFaultModel(NocFaultModel* model) {
   }
 }
 
+void Mesh::SetArbClassWeight(uint8_t cls, uint32_t weight) {
+  for (auto& r : routers_) {
+    r->SetClassWeight(cls, weight);
+  }
+}
+
 uint32_t Mesh::Hops(TileId a, TileId b) const {
   const int ax = static_cast<int>(a % config_.width);
   const int ay = static_cast<int>(a / config_.width);

@@ -52,6 +52,11 @@ class Mesh : public Clocked {
   // Installs (or clears, with nullptr) the fault model on every router.
   void SetFaultModel(NocFaultModel* model);
 
+  // Configures a weighted-arbitration class weight on every router (see
+  // Router::SetClassWeight). Used by the kernel to give tenants
+  // proportional NoC bandwidth shares.
+  void SetArbClassWeight(uint8_t cls, uint32_t weight);
+
   // Minimal hop count between two tiles under XY routing.
   uint32_t Hops(TileId a, TileId b) const;
 

@@ -47,10 +47,20 @@ inline constexpr uint32_t kFlitBytes = 32;
 // header (70 bytes — message.cc static_asserts its layout fits here).
 inline constexpr uint32_t kPacketHeadBytes = 3 * kFlitBytes;
 
+// Arbitration classes for weighted bandwidth sharing. Class 0 is the
+// default (kernel/services/unassigned traffic); tenants are mapped onto
+// classes 1..kNumArbClasses-1 by the tenant manager. Routers with no
+// configured weights ignore the field entirely.
+inline constexpr int kNumArbClasses = 8;
+
 struct NocPacket {
   TileId src = kInvalidTile;
   TileId dst = kInvalidTile;
   Vc vc = Vc::kRequest;
+  // Bandwidth-arbitration class, stamped by the injecting monitor/NI.
+  // Pooled packets are recycled without field resets, so every injection
+  // site must assign it.
+  uint8_t arb_class = 0;
   uint64_t packet_id = 0;
   Cycle inject_cycle = 0;
   // Serialized message header, written in place by SerializeMessageInto;

@@ -25,6 +25,24 @@ uint32_t Router::LogicCellCost(uint32_t buffer_depth) {
   return 4500 + 150 * buffer_depth * kNumVcs;
 }
 
+void Router::SetClassWeight(uint8_t cls, uint32_t weight) {
+  if (cls >= kNumArbClasses) {
+    return;
+  }
+  class_weights_[cls] = weight;
+  weighted_ = false;
+  for (const uint32_t w : class_weights_) {
+    if (w != 0) {
+      weighted_ = true;
+    }
+  }
+  // (Re)configuring weights starts a fresh contest: no stale debt, no
+  // banked bursts.
+  for (auto& per_out : class_deficit_) {
+    per_out.fill(0);
+  }
+}
+
 RouterPort Router::RoutePort(TileId dst) const {
   const uint32_t dx = dst % mesh_width_;
   const uint32_t dy = dst / mesh_width_;
@@ -138,21 +156,106 @@ bool Router::TryForward(RouterPort out, int in, int vc, Cycle now) {
   return true;
 }
 
+bool Router::AcquireWeighted(RouterPort out, int vc, Cycle now) {
+  // Scan the candidate head flits for this free (out, vc): per class, the
+  // first candidate in input round-robin priority order.
+  struct Candidate {
+    int in = -1;
+    uint32_t flits = 0;
+  };
+  std::array<Candidate, kNumArbClasses> cand;
+  int num_classes = 0;
+  bool stalled = false;
+  for (int pi = 0; pi < kNumPorts; ++pi) {
+    const int in = (rr_input_[out] + pi) % kNumPorts;
+    const InputBuffer& buf = inputs_[in][vc];
+    if (buf.flits.empty()) {
+      continue;
+    }
+    const Flit& flit = buf.flits.front();
+    if (RoutePort(flit.dst()) != out || static_cast<int>(flit.vc()) != vc ||
+        !flit.is_head()) {
+      continue;
+    }
+    if (!DownstreamHasSpace(out, flit.vc())) {
+      stalled = true;  // Applies to every candidate: space is per (out, vc).
+      break;
+    }
+    const int cls = flit.packet->arb_class % kNumArbClasses;
+    if (cand[cls].in == -1) {
+      cand[cls].in = in;
+      cand[cls].flits = flit.packet->flit_count;
+      ++num_classes;
+    }
+  }
+  if (stalled) {
+    counters_.Add("router.stalls");
+    return false;
+  }
+  if (num_classes == 0) {
+    return false;
+  }
+  if (num_classes == 1) {
+    // No contention: pass free of charge, and restart the contest — weights
+    // divide contended bandwidth only.
+    class_deficit_[out].fill(0);
+    for (int cls = 0; cls < kNumArbClasses; ++cls) {
+      if (cand[cls].in != -1) {
+        if (TryForward(out, cand[cls].in, vc, now)) {
+          rr_input_[out] = (cand[cls].in + 1) % kNumPorts;
+          return true;
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+  // Contested: every competing class banks its weight, idle classes reset,
+  // and the largest deficit wins (ties to the lowest class id — fixed and
+  // deterministic). The winner pays its packet's flit count, so over time
+  // each class's grant share converges to weight / sum(weights).
+  int winner = -1;
+  for (int cls = 0; cls < kNumArbClasses; ++cls) {
+    if (cand[cls].in == -1) {
+      class_deficit_[out][cls] = 0;
+      continue;
+    }
+    const int64_t weight = class_weights_[cls] == 0 ? 1 : class_weights_[cls];
+    class_deficit_[out][cls] += weight;
+    if (winner == -1 || class_deficit_[out][cls] > class_deficit_[out][winner]) {
+      winner = cls;
+    }
+  }
+  if (TryForward(out, cand[winner].in, vc, now)) {
+    class_deficit_[out][winner] -= static_cast<int64_t>(cand[winner].flits);
+    rr_input_[out] = (cand[winner].in + 1) % kNumPorts;
+    counters_.Add("router.weighted_grants");
+    return true;
+  }
+  return false;
+}
+
 void Router::RouteCycle(Cycle now) {
   if (fault_model_ != nullptr && fault_model_->RouterStalled(tile(), now)) {
     counters_.Add("router.fault_stalled_cycles");
     return;  // Wedged crossbar: buffers fill, upstream backpressure builds.
   }
   // One flit per output port per cycle (the physical link constraint).
+  // VC-level round robin, then input-port round robin within a vc. When
+  // weights are configured, acquisition of a free output vc goes through the
+  // deficit arbiter instead of plain input round robin.
   for (int out = 0; out < kNumPorts; ++out) {
     bool sent = false;
-    // VC-level round robin, then input-port round robin within a vc.
     for (int vci = 0; vci < kNumVcs && !sent; ++vci) {
       const int vc = (rr_vc_[out] + vci) % kNumVcs;
       const OutputVcState& state = outputs_[out][vc];
       if (state.owner_port != -1) {
         // Continue the packet that owns this output vc.
         sent = TryForward(static_cast<RouterPort>(out), state.owner_port, vc, now);
+        continue;
+      }
+      if (weighted_) {
+        sent = AcquireWeighted(static_cast<RouterPort>(out), vc, now);
         continue;
       }
       for (int pi = 0; pi < kNumPorts && !sent; ++pi) {

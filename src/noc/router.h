@@ -39,6 +39,21 @@ class Router {
   void SetLocalInterface(NetworkInterface* ni) { ni_ = ni; }
   void SetFaultModel(NocFaultModel* model) { fault_model_ = model; }
 
+  // Weighted bandwidth arbitration: assigns a deficit weight to an
+  // arbitration class. While any weight is configured and two or more
+  // classes compete for the same free output VC, a deficit arbiter picks
+  // the winner: each contested attempt banks `weight` of deficit for every
+  // competing class, the largest deficit wins, and the winner pays its
+  // packet's flit count back out of its deficit — so long-run contended
+  // grants converge to the weight ratio. A class with no queued traffic is
+  // reset to zero deficit (idle classes cannot bank bursts, and debts are
+  // forgiven once contention ends). The scheme is work-conserving — a sole
+  // competitor passes immediately and free of charge, because weights
+  // divide *contended* bandwidth and are not absolute caps. With no weights
+  // configured the arbitration path is untouched. Weight 0 restores a class
+  // to the default weight (1).
+  void SetClassWeight(uint8_t cls, uint32_t weight);
+
   // Phase 1: staged flits (arrived last cycle) become visible.
   void CommitStaged();
 
@@ -87,6 +102,14 @@ class Router {
   // `out`. Returns true on success.
   bool TryForward(RouterPort out, int in, int vc, Cycle now);
 
+  // Weighted acquisition of a free output vc: scans this vc's candidate
+  // head flits, and when two or more arbitration classes compete, lets the
+  // class with the largest deficit win (deficits accrue by weight per
+  // contested attempt and the winner pays its packet's flit count, so
+  // long-run grants converge to the weight ratio). A sole candidate class
+  // passes immediately and free of charge.
+  bool AcquireWeighted(RouterPort out, int vc, Cycle now);
+
   bool DownstreamHasSpace(RouterPort out, Vc vc) const;
   void SendDownstream(RouterPort out, const Flit& flit, Cycle now);
 
@@ -106,6 +129,15 @@ class Router {
   std::array<int, kNumPorts> rr_input_{};
   // Per output port, the next vc to consider (VC-level interleaving).
   std::array<int, kNumPorts> rr_vc_{};
+
+  // Weighted-arbitration state. `weighted_` gates the whole mechanism so
+  // boards that never configure weights keep the original arbitration
+  // byte-for-byte. Deficits are per (output port, class) and only move while
+  // that class is actually contending at that output: an idle class is reset
+  // to zero (no banked bursts, no lingering debt once contention ends).
+  bool weighted_ = false;
+  std::array<uint32_t, kNumArbClasses> class_weights_{};
+  std::array<std::array<int64_t, kNumArbClasses>, kNumPorts> class_deficit_{};
 
   uint64_t flits_routed_ = 0;
   // Total flits resident across all input buffers (staged + committed).

@@ -146,6 +146,12 @@ void Autoscaler::Poll() {
 }
 
 void Autoscaler::ScaleUp() {
+  if (admit_ && !admit_()) {
+    // Tenant tile quota (or other policy) refuses the new region; stay at
+    // the current size and retry on a later poll.
+    counters_.Add("orch.scale_up_quota_denied");
+    return;
+  }
   PlacementRequest req;
   req.logic_cells = config_.replica_logic_cells;
   // Hug the balancer; spread away from the replicas already serving.

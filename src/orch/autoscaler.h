@@ -84,6 +84,12 @@ class Autoscaler : public Clocked {
   // corrected on the next poll, bypassing cooldown.
   void SetBounds(uint32_t min_replicas, uint32_t max_replicas);
 
+  // Admission control for scale-ups: when set, a scale-up proceeds only if
+  // the predicate returns true (the tenant manager wires its tile-quota
+  // check here). A denied attempt counts "orch.scale_up_quota_denied" and
+  // retries on a later poll.
+  void SetAdmission(std::function<bool()> admit) { admit_ = std::move(admit); }
+
   void Tick(Cycle now) override;
   // The control loop only acts at poll multiples; the region-cycle integral
   // (the other per-tick effect) is reconstructed exactly on fast-forward
@@ -135,6 +141,7 @@ class Autoscaler : public Clocked {
   Placer* placer_;
   ReconfigScheduler* scheduler_;
   AutoscalerConfig config_;
+  std::function<bool()> admit_;
 
   std::vector<Replica> replicas_;
   uint32_t target_ = 0;

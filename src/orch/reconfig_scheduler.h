@@ -72,6 +72,20 @@ class ReconfigScheduler : public Clocked {
   bool busy() const { return active_.has_value() || !jobs_.empty(); }
   const CounterSet& counters() const { return counters_; }
 
+  // ICAP rate quota: at most `loads_per_window` bitstream pushes (loads or
+  // blanks) per `window_cycles` window. Jobs over quota wait at the head of
+  // the queue ("orch.quota_stall_cycles") instead of being dropped — a
+  // reconfig-thrashing tenant throttles itself without losing work. Zero
+  // `loads_per_window` clears the quota. The window counter is kept inline
+  // (not a noc WindowMeter): orchestration sits below noc in the layering
+  // DAG and must not include it.
+  void SetRateQuota(uint32_t loads_per_window, Cycle window_cycles);
+  uint64_t quota_loads_in_window(Cycle now) const {
+    return quota_window_cycles_ != 0 && now / quota_window_cycles_ == quota_window_index_
+               ? quota_used_
+               : 0;
+  }
+
  private:
   enum class JobKind : uint8_t { kLoad, kTeardown };
   struct Job {
@@ -96,6 +110,9 @@ class ReconfigScheduler : public Clocked {
   // True when no tile on the board is mid-reconfiguration — the ICAP is
   // free. Supervisor recoveries claim it through the same board state.
   bool IcapFree() const;
+  // Rate-quota window accounting (see SetRateQuota).
+  bool QuotaAllows(Cycle now);
+  void ChargeQuota(Cycle now);
   void StartNext(Cycle now);
   void FinishActive(bool ok);
 
@@ -105,6 +122,10 @@ class ReconfigScheduler : public Clocked {
   std::deque<Job> jobs_;
   std::optional<Active> active_;
   Cycle now_ = 0;
+  uint32_t quota_loads_per_window_ = 0;  // 0 = unlimited.
+  Cycle quota_window_cycles_ = 0;
+  Cycle quota_window_index_ = 0;
+  uint64_t quota_used_ = 0;
   CounterSet counters_;
 };
 

@@ -46,6 +46,13 @@ inline constexpr uint16_t kOpOrchScale = 0x0602;
 // u64 scale_downs.
 inline constexpr uint16_t kOpOrchStatus = 0x0603;
 
+// --- Tenant accounting (src/tenant) ---
+// Per-tenant metering export. req: u32 tenant_id; resp: u32 tenant_id,
+// u32 tiles, u64 tile_cycles, u64 flits_sent, u64 messages_sent,
+// u64 quota_denials, u32 records, u32 records_digest (FNV-1a over the
+// deterministic billing-record text).
+inline constexpr uint16_t kOpTenantStats = 0x0701;
+
 // --- Application-defined opcodes start here ---
 inline constexpr uint16_t kOpAppBase = 0x1000;
 

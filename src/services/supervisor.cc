@@ -44,6 +44,26 @@ bool Supervisor::AllHealthy() const {
   });
 }
 
+void Supervisor::Quarantine(TileId tile, const std::string& reason) {
+  os_->FailStop(tile, reason);
+  Managed& m = managed_[tile];  // Unmanaged tiles quarantine too (no factory needed).
+  if (m.state == TileState::kQuarantined) {
+    return;
+  }
+  m.state = TileState::kQuarantined;
+  counters_.Add("supervisor.quarantines");
+  APIARY_LOG(kWarn) << "supervisor: tile " << tile << " quarantined (" << reason << ")";
+}
+
+bool Supervisor::IcapFree() const {
+  for (TileId t = 0; t < os_->num_tiles(); ++t) {
+    if (os_->tile(t).reconfiguring()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void Supervisor::OnTileFault(TileId tile, const std::string& reason) {
   auto it = managed_.find(tile);
   if (it == managed_.end()) {
@@ -173,6 +193,12 @@ void Supervisor::Tick(Cycle now) {
     switch (m.state) {
       case TileState::kBackoff:
         if (now >= m.restart_at) {
+          if (!IcapFree()) {
+            // Another region owns the configuration port; recovery waits
+            // its turn rather than stacking a second load on the ICAP.
+            counters_.Add("supervisor.icap_wait_cycles");
+            break;
+          }
           // Revoke-and-reload, then immediately replay the kernel's grant
           // log: the caps sit in the monitor table through reconfiguration
           // so the fresh logic finds them at boot.

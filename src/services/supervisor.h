@@ -69,6 +69,12 @@ class Supervisor : public Clocked {
   // from any other detector. Idempotent while a recovery is in progress.
   void OnTileFault(TileId tile, const std::string& reason);
 
+  // Policy escalation: fail-stop `tile` and leave it quarantined (no
+  // restarts) until operator intervention. Used by the tenant manager for
+  // repeat quota offenders; the crash-loop path reaches the same state
+  // automatically.
+  void Quarantine(TileId tile, const std::string& reason);
+
   void Tick(Cycle now) override;
   // Wakes for backoff expiries, and for the next poll multiple while any
   // healthy-state managed tile sits fail-stopped (the poll's only effect).
@@ -107,6 +113,11 @@ class Supervisor : public Clocked {
   };
 
   void BeginRecovery(TileId tile, Managed& m, Cycle now);
+  // True when no tile on the board is mid-reconfiguration: the recovery
+  // reconfiguration shares the single ICAP with the orchestrator's
+  // scheduler, so a due restart waits its turn instead of double-claiming
+  // the port.
+  bool IcapFree() const;
 
   ApiaryOs* os_;
   SupervisorConfig config_;

@@ -1,0 +1,42 @@
+// Tenant stats service: the on-fabric endpoint that exports per-tenant
+// metering (kOpTenantStats) to management clients. The billing records
+// themselves are deterministic text held by the TenantManager; this service
+// answers with the summary totals plus an FNV-1a digest of the record text,
+// so a client can prove byte-identical metering across reruns without
+// shipping the full ledger over the NoC.
+#ifndef SRC_TENANT_TENANT_SERVICE_H_
+#define SRC_TENANT_TENANT_SERVICE_H_
+
+#include <string>
+
+#include "src/core/accelerator.h"
+#include "src/services/opcodes.h"
+#include "src/stats/summary.h"
+#include "src/tenant/tenant.h"
+
+namespace apiary {
+
+class TenantStatsService : public Accelerator {
+ public:
+  explicit TenantStatsService(TenantManager* manager) : manager_(manager) {}
+
+  void OnMessage(const Message& msg, TileApi& api) override;
+  void Tick(TileApi& api) override { (void)api; }
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    (void)now;
+    return kNoActivity;  // Purely reactive.
+  }
+
+  std::string name() const override { return "tenant_stats_service"; }
+  uint32_t LogicCellCost() const override { return 6000; }
+
+  const CounterSet& counters() const { return counters_; }
+
+ private:
+  TenantManager* manager_;
+  CounterSet counters_;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_TENANT_TENANT_SERVICE_H_

@@ -7,10 +7,14 @@
 #include "src/accel/faulty.h"
 #include "src/accel/video_encoder.h"
 #include "src/accel/kv_store.h"
+#include "src/core/message.h"
 #include "src/core/service_ids.h"
+#include "src/orch/autoscaler.h"
 #include "src/services/dma_service.h"
 #include "src/services/load_balancer.h"
 #include "src/services/memory_service.h"
+#include "src/tenant/tenant.h"
+#include "src/tenant/tenant_service.h"
 #include "src/workload/frame_source.h"
 #include "src/workload/kv_workload.h"
 #include "tests/test_util.h"
@@ -246,6 +250,208 @@ TEST(WedgeTest, HealthyPhaseServes) {
   // wedge (no watchdog deployed here, so nothing bounces).
   EXPECT_EQ(probe->received.size(), 3u);
   EXPECT_TRUE(wedge->wedged());
+}
+
+// ------------------------------------------------------------------
+// Tenant quotas under pressure: exhaustion paths and metering.
+// ------------------------------------------------------------------
+
+TEST(TenantQuotaTest, TileQuotaBlocksAutoscaleUp) {
+  TestBoardOptions opts;
+  opts.reconfig_cycles = 1'000;
+  TestBoard tb(opts);
+  TenantManager tmgr(&tb.os);
+  TenantQuota quota;
+  quota.max_tiles = 2;  // Balancer + one replica: already at the ceiling.
+  const TenantId tenant = tmgr.CreateTenant("capped", quota);
+  const AppId app = tmgr.CreateApp(tenant, "elastic");
+
+  auto* lb = new LoadBalancer();
+  ServiceId lb_svc = 0;
+  const TileId lb_tile = tmgr.Deploy(tenant, app, std::unique_ptr<Accelerator>(lb), &lb_svc);
+  ASSERT_NE(lb_tile, kInvalidTile);
+  auto factory = [] { return std::make_unique<EchoAccelerator>(200); };
+  ServiceId rsvc = 0;
+  const TileId rt = tmgr.Deploy(tenant, app, factory(), &rsvc);
+  ASSERT_NE(rt, kInvalidTile);
+  const CapRef ep = tb.os.GrantSendToService(lb_tile, rsvc);
+  lb->AddBackend(ep);
+
+  Placer placer(&tb.os);
+  ReconfigScheduler scheduler(&tb.os, app);
+  AutoscalerConfig acfg;
+  acfg.min_replicas = 1;
+  acfg.max_replicas = 4;
+  acfg.poll_period = 1'000;
+  acfg.up_queue_per_replica = 2.0;
+  acfg.replica_logic_cells = 1'000;
+  Autoscaler autoscaler(&tb.os, lb, lb_tile, app, factory, &placer, &scheduler, acfg);
+  autoscaler.AdoptReplica(rsvc, rt, ep);
+  autoscaler.SetAdmission([&] { return tmgr.AdmitTile(tenant); });
+
+  // Saturating burst: one 200-cycle replica cannot keep up, so every poll
+  // wants a scale-up — which the tenant's tile quota must keep refusing.
+  auto* client = new ProbeAccelerator();
+  const TileId ct = tb.os.Deploy(app, std::unique_ptr<Accelerator>(client));
+  const CapRef cap = tb.os.GrantSendToService(ct, lb_svc);
+  for (int i = 0; i < 200; ++i) {
+    Message msg;
+    msg.opcode = kOpEcho;
+    client->EnqueueSend(msg, cap);
+  }
+  tb.sim.Run(50'000);
+
+  EXPECT_FALSE(tmgr.AdmitTile(tenant));
+  EXPECT_EQ(autoscaler.live_replicas(), 1u);
+  EXPECT_EQ(autoscaler.scale_ups(), 0u);
+  EXPECT_GT(autoscaler.counters().Get("orch.scale_up_quota_denied"), 0u);
+  EXPECT_EQ(tmgr.Tiles(tenant).size(), 2u);
+}
+
+TEST(TenantQuotaTest, ReconfigRateQuotaStallsTeardownMidDrain) {
+  TestBoardOptions opts;
+  opts.reconfig_cycles = 1'000;
+  TestBoard tb(opts);
+  TenantManager tmgr(&tb.os);
+  TenantQuota quota;
+  quota.reconfig_loads_per_window = 1;
+  quota.reconfig_window_cycles = 30'000;
+  const TenantId tenant = tmgr.CreateTenant("thrasher", quota);
+  const AppId app = tmgr.CreateApp(tenant, "a");
+
+  ReconfigSchedulerConfig rcfg;
+  rcfg.drain_cycles = 200;
+  rcfg.drain_deadline_cycles = 20'000;
+  ReconfigScheduler sched(&tb.os, app, rcfg);
+  tmgr.AttachScheduler(tenant, &sched);  // Installs the tenant's ICAP quota.
+
+  const TileId victim = tmgr.Deploy(tenant, app, std::make_unique<EchoAccelerator>(0));
+  ASSERT_NE(victim, kInvalidTile);
+  const std::vector<TileId> free_tiles = tb.os.FreeTiles();
+  ASSERT_FALSE(free_tiles.empty());
+
+  // The window's one bitstream push goes to a load...
+  bool loaded = false;
+  sched.ScheduleLoad(
+      free_tiles[0], [] { return std::make_unique<EchoAccelerator>(0); },
+      [&](TileId, ServiceId, bool ok) {
+        ASSERT_TRUE(ok);
+        loaded = true;
+      });
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return loaded; }, 20'000));
+
+  // ...so the teardown drains fine but its blanking bitstream must stall at
+  // the head of the queue (backpressure, not a drop) until the window rolls.
+  bool torn_down = false;
+  sched.ScheduleTeardown(
+      victim, [] { return true; }, [&](TileId, bool) { torn_down = true; });
+  tb.sim.Run(25'000 - tb.sim.now());
+  EXPECT_FALSE(torn_down);
+  EXPECT_FALSE(tb.os.tile(victim).vacant());
+  EXPECT_GT(sched.counters().Get("orch.quota_stall_cycles"), 0u);
+
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return torn_down; }, 40'000));
+  EXPECT_TRUE(tb.os.tile(victim).vacant());
+  // The blanking landed in the next window, not by exceeding this one's.
+  EXPECT_GE(tb.sim.now(), quota.reconfig_window_cycles);
+}
+
+namespace {
+
+// One deterministic tenant workload: an echoing service plus a probe client,
+// some early traffic, then a long idle tail (so fast-forwarding engages when
+// skip is enabled). Returns the billing-record text and its digest.
+std::pair<std::string, uint32_t> RunMeteredTenant(bool skip_enabled) {
+  TestBoard tb;
+  tb.sim.SetSkipEnabled(skip_enabled);
+  TenantManager tmgr(&tb.os, /*meter_period=*/5'000);
+  const TenantId tenant = tmgr.CreateTenant("metered", TenantQuota{});
+  const AppId app = tmgr.CreateApp(tenant, "kv");
+  ServiceId svc = 0;
+  EXPECT_NE(tmgr.Deploy(tenant, app, std::make_unique<EchoAccelerator>(30), &svc),
+            kInvalidTile);
+  auto* probe = new ProbeAccelerator();
+  const TileId pt = tmgr.Deploy(tenant, app, std::unique_ptr<Accelerator>(probe));
+  const CapRef cap = tmgr.GrantSendToService(tenant, pt, svc);
+  for (int i = 0; i < 12; ++i) {
+    Message msg;
+    msg.opcode = kOpEcho;
+    msg.payload.assign(48, static_cast<uint8_t>(i));
+    probe->EnqueueSend(msg, cap);
+  }
+  tb.sim.Run(26'000);
+  return {tmgr.BillingRecords(tenant), tmgr.BillingDigest(tenant)};
+}
+
+}  // namespace
+
+TEST(TenantMeteringTest, RecordsByteIdenticalAcrossRerunsAndSkipModes) {
+  const auto first = RunMeteredTenant(/*skip_enabled=*/true);
+  const auto rerun = RunMeteredTenant(/*skip_enabled=*/true);
+  const auto no_skip = RunMeteredTenant(/*skip_enabled=*/false);
+  EXPECT_FALSE(first.first.empty());
+  // Byte-identical ledgers: same text and digest across a plain rerun and a
+  // run with fast-forwarding disabled (boundary cycles always execute).
+  EXPECT_EQ(first.first, rerun.first);
+  EXPECT_EQ(first.first, no_skip.first);
+  EXPECT_EQ(first.second, rerun.second);
+  EXPECT_EQ(first.second, no_skip.second);
+}
+
+TEST(TenantStatsTest, StatsOpcodeRoundTripsUsageAndDigest) {
+  TestBoard tb;
+  TenantManager tmgr(&tb.os, /*meter_period=*/2'000);
+  const TenantId tenant = tmgr.CreateTenant("billed", TenantQuota{});
+  const AppId app = tmgr.CreateApp(tenant, "kv");
+  ServiceId svc = 0;
+  ASSERT_NE(tmgr.Deploy(tenant, app, std::make_unique<EchoAccelerator>(10), &svc),
+            kInvalidTile);
+  auto* worker = new ProbeAccelerator();
+  const TileId wt = tmgr.Deploy(tenant, app, std::unique_ptr<Accelerator>(worker));
+  const CapRef wcap = tmgr.GrantSendToService(tenant, wt, svc);
+  for (int i = 0; i < 6; ++i) {
+    Message msg;
+    msg.opcode = kOpEcho;
+    worker->EnqueueSend(msg, wcap);
+  }
+
+  // The stats endpoint is just another service; the mgmt client is not a
+  // member of the tenant it is asking about.
+  AppId mgmt_app = tb.os.CreateApp("mgmt");
+  ServiceId stats_svc = 0;
+  ASSERT_NE(tb.os.Deploy(mgmt_app, std::make_unique<TenantStatsService>(&tmgr), &stats_svc),
+            kInvalidTile);
+  auto* client = new ProbeAccelerator();
+  const TileId ct = tb.os.Deploy(mgmt_app, std::unique_ptr<Accelerator>(client));
+  const CapRef scap = tb.os.GrantSendToService(ct, stats_svc);
+  tb.sim.Run(10'000);
+
+  Message req;
+  req.opcode = kOpTenantStats;
+  PutU32(req.payload, tenant);
+  client->EnqueueSend(req, scap);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !client->received.empty(); }, 20'000));
+  const Message& reply = client->received.front();
+  ASSERT_EQ(reply.status, MsgStatus::kOk);
+  ASSERT_EQ(reply.payload.size(), 48u);
+  const TenantUsage usage = tmgr.Usage(tenant);
+  EXPECT_EQ(GetU32(reply.payload, 0), tenant);
+  EXPECT_EQ(GetU32(reply.payload, 4), usage.tiles);
+  EXPECT_EQ(GetU64(reply.payload, 8), usage.tile_cycles);
+  EXPECT_EQ(GetU64(reply.payload, 16), usage.flits_sent);
+  EXPECT_EQ(GetU64(reply.payload, 24), usage.messages_sent);
+  EXPECT_EQ(GetU64(reply.payload, 32), usage.quota_denials);
+  EXPECT_EQ(GetU32(reply.payload, 40), tmgr.BillingRecordCount(tenant));
+  EXPECT_EQ(GetU32(reply.payload, 44), tmgr.BillingDigest(tenant));
+  EXPECT_GT(GetU64(reply.payload, 24), 0u);  // The workload actually ran.
+
+  // A malformed query (no tenant id) fails closed with kBadRequest.
+  client->received.clear();
+  Message bad;
+  bad.opcode = kOpTenantStats;
+  client->EnqueueSend(bad, scap);
+  ASSERT_TRUE(tb.sim.RunUntil([&] { return !client->received.empty(); }, 20'000));
+  EXPECT_EQ(client->received.front().status, MsgStatus::kBadRequest);
 }
 
 }  // namespace

@@ -349,6 +349,11 @@ LintConfig DefaultConfig() {
       // balancer) but below applications: accel/baseline must not see it.
       {"orch", {"orch", "core", "fpga", "services", "sim", "stats"}},
       {"fault", {"fault", "core", "fpga", "mem", "noc", "sim", "stats"}},
+      // Tenant policy sits above orchestration (it owns quotas that the
+      // scheduler, services and NoC enforce) but must never reach into
+      // accel: tenants are principals, not accelerator logic.
+      {"tenant",
+       {"tenant", "orch", "services", "fault", "core", "fpga", "mem", "noc", "sim", "stats"}},
       {"accel", {"accel", "core", "sim", "stats"}},
       {"baseline", {"baseline", "fpga", "mem", "noc", "sim", "stats"}},
       {"workload", {"workload", "accel", "core", "services", "fpga", "sim", "stats"}},

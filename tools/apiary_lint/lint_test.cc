@@ -168,6 +168,25 @@ TEST(Layering, BlocksAccelAndBaselineFromOrch) {
                        "apiary-layering"));
 }
 
+TEST(Layering, TenantSeesOrchServicesAndNoc) {
+  EXPECT_TRUE(LintOne("src/tenant/x.cc",
+                      "#include \"src/core/kernel.h\"\n"
+                      "#include \"src/noc/rate_limiter.h\"\n"
+                      "#include \"src/orch/reconfig_scheduler.h\"\n"
+                      "#include \"src/services/memory_service.h\"\n"
+                      "#include \"src/tenant/tenant.h\"\n")
+                  .empty());
+}
+
+TEST(Layering, BlocksTenantAndAccelFromEachOther) {
+  EXPECT_TRUE(HasCheck(LintOne("src/tenant/x.cc",
+                               "#include \"src/accel/echo.h\"\n"),
+                       "apiary-layering"));
+  EXPECT_TRUE(HasCheck(LintOne("src/accel/x.cc",
+                               "#include \"src/tenant/tenant.h\"\n"),
+                       "apiary-layering"));
+}
+
 TEST(Layering, BlocksOrchFromNocAndMem) {
   const auto findings = LintOne("src/orch/x.cc",
                                 "#include \"src/mem/dram.h\"\n"

@@ -1,0 +1,9 @@
+// Bad: tenant policy reaching into accelerator logic — tenants are
+// principals with quotas, not implementations; the dependency must stay
+// one-way (accelerators never see tenants either).
+#ifndef SRC_TENANT_ROGUE_H_
+#define SRC_TENANT_ROGUE_H_
+
+#include "src/accel/echo.h"
+
+#endif  // SRC_TENANT_ROGUE_H_

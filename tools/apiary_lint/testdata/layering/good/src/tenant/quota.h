@@ -1,0 +1,13 @@
+// Good: tenant policy sits above orchestration and the service stack — it
+// installs quotas that the scheduler, services and NoC enforce.
+#ifndef SRC_TENANT_QUOTA_H_
+#define SRC_TENANT_QUOTA_H_
+
+#include "src/core/kernel.h"
+#include "src/noc/rate_limiter.h"
+#include "src/orch/reconfig_scheduler.h"
+#include "src/services/memory_service.h"
+#include "src/sim/clocked.h"
+#include "src/stats/summary.h"
+
+#endif  // SRC_TENANT_QUOTA_H_
