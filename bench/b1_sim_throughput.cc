@@ -168,9 +168,9 @@ RunResult RunOne(Scenario scenario, bool skip_enabled, Cycle run_cycles) {
 
   // Host wall time is the measurand here (simulated cycles per wall-second);
   // it never feeds back into simulated state, so determinism is unaffected.
-  const auto t0 = std::chrono::steady_clock::now();  // NOLINT(apiary-determinism)
+  const auto t0 = std::chrono::steady_clock::now();  // NOLINT(apiary-determinism): host wall time is the measurand, never fed back into sim state
   bb.sim.Run(run_cycles);
-  const auto t1 = std::chrono::steady_clock::now();  // NOLINT(apiary-determinism)
+  const auto t1 = std::chrono::steady_clock::now();  // NOLINT(apiary-determinism): host wall time is the measurand, never fed back into sim state
 
   RunResult r;
   r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();

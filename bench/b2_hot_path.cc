@@ -102,11 +102,13 @@ struct RunResult {
 };
 
 RunResult RunConfig(bool pooled, Cycle warmup_cycles, Cycle measure_cycles) {
-  PacketPool::Default().SetEnabled(pooled);
-  PayloadBuf::SetArenaEnabled(pooled);
+  BenchBoard bb;
+  // Pools and arenas are per-simulator domain state: toggle this board's
+  // mesh pool and this sim's context arena, not process-wide globals.
+  bb.board.mesh().pool().SetEnabled(pooled);
+  bb.sim.context().arena().SetEnabled(pooled);
   SetMessageLegacyAllocMode(!pooled);
 
-  BenchBoard bb;
   ApiaryOs& os = bb.os;
   const AppId app = os.CreateApp("b2");
 
@@ -126,8 +128,8 @@ RunResult RunConfig(bool pooled, Cycle warmup_cycles, Cycle measure_cycles) {
   // freelists fill, queues reach steady occupancy. Everything after the
   // ledger reset is steady state.
   bb.sim.Run(warmup_cycles);
-  PacketPool::Default().ResetStats();
-  PayloadBuf::ResetArenaStats();
+  bb.board.mesh().pool().ResetStats();
+  bb.sim.context().arena().ResetStats();
   uint64_t sent0 = 0;
   uint64_t received0 = 0;
   for (const SaturatingClient* c : clients) {
@@ -138,9 +140,9 @@ RunResult RunConfig(bool pooled, Cycle warmup_cycles, Cycle measure_cycles) {
 
   // Host wall time is the measurand; it never feeds back into simulated
   // state, so determinism is unaffected.
-  const auto t0 = std::chrono::steady_clock::now();  // NOLINT(apiary-determinism)
+  const auto t0 = std::chrono::steady_clock::now();  // NOLINT(apiary-determinism): host wall time is the measurand, never fed back into sim state
   bb.sim.Run(measure_cycles);
-  const auto t1 = std::chrono::steady_clock::now();  // NOLINT(apiary-determinism)
+  const auto t1 = std::chrono::steady_clock::now();  // NOLINT(apiary-determinism): host wall time is the measurand, never fed back into sim state
 
   RunResult r;
   r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -152,8 +154,8 @@ RunResult RunConfig(bool pooled, Cycle warmup_cycles, Cycle measure_cycles) {
   r.received -= received0;
   r.flits = bb.board.mesh().TotalFlitsRouted() - flits0;
 
-  const PacketPoolStats& pool = PacketPool::Default().stats();
-  const PayloadArenaStats& arena = PayloadBuf::ArenaStats();
+  const PacketPoolStats& pool = bb.board.mesh().pool().stats();
+  const PayloadArenaStats& arena = bb.sim.context().arena().stats();
   r.acquires = pool.acquires;
   r.pool_hits = pool.pool_hits;
   r.heap_allocs = pool.heap_allocs;
@@ -169,9 +171,8 @@ RunResult RunConfig(bool pooled, Cycle warmup_cycles, Cycle measure_cycles) {
   r.mcycles_per_sec =
       r.wall_seconds > 0 ? static_cast<double>(measure_cycles) / r.wall_seconds / 1e6 : 0;
 
-  // Leave the process in the default (pooled) configuration.
-  PacketPool::Default().SetEnabled(true);
-  PayloadBuf::SetArenaEnabled(true);
+  // Leave the process in the default (pooled) configuration; the pool and
+  // arena die with this run's board and context, nothing else to restore.
   SetMessageLegacyAllocMode(false);
   return r;
 }

@@ -49,12 +49,15 @@ BENCHMARK(BM_MessageRoundTrip)->Arg(64)->Arg(1024);
 // end, isolated from the router model.
 void BM_MessagePacketPath(benchmark::State& state) {
   const bool pooled = state.range(1) != 0;
-  PacketPool::Default().SetEnabled(pooled);
+  // Bench-local pool: the process-wide default is gone (pools are per-
+  // simulator domain state), so the ablation toggles a pool this loop owns.
+  PacketPool packet_pool;
+  packet_pool.SetEnabled(pooled);
   PayloadBuf::SetArenaEnabled(pooled);
   SetMessageLegacyAllocMode(!pooled);
   PayloadBuf payload(static_cast<size_t>(state.range(0)), 0xab);
   for (auto _ : state) {
-    PacketRef packet = PacketPool::Default().Acquire();
+    PacketRef packet = packet_pool.Acquire();
     Message msg;
     msg.dst_service = 5;
     msg.opcode = 0x1234;
@@ -63,7 +66,6 @@ void BM_MessagePacketPath(benchmark::State& state) {
     packet->flit_count = ComputeFlitCount(*packet);
     benchmark::DoNotOptimize(DeserializeMessage(*packet));
   }
-  PacketPool::Default().SetEnabled(true);
   PayloadBuf::SetArenaEnabled(true);
   SetMessageLegacyAllocMode(false);
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *

@@ -10,6 +10,9 @@ namespace {
 static_assert(kMessageHeaderBytes <= kPacketHeadBytes,
               "message header must fit the packet head-flit region");
 
+// Benchmark ablation toggle (bench/b2 --legacy-alloc): set once before a
+// run starts, never written while any simulator is running.
+// APIARY-SHARED(process): read-only during runs; per-domain copies would change the ablation's meaning.
 bool g_legacy_alloc_mode = false;
 
 void StoreU16(uint8_t* p, uint16_t v) {

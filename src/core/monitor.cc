@@ -210,7 +210,7 @@ void Monitor::FlushOutbox() {
       // NoC backpressure: retry next cycle, preserving order.
       break;
     }
-    PacketRef packet = PacketPool::Default().Acquire();
+    PacketRef packet = ni_->pool()->Acquire();
     packet->src = tile_;
     packet->dst = out.dst_tile;
     packet->vc = vc;

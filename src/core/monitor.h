@@ -159,7 +159,10 @@ class Monitor : public TileApi {
   std::map<TileId, uint64_t> pending_responses_;
 
   TokenBucket limiter_;
-  TokenBucket* shared_limiter_ = nullptr;  // Tenant-wide budget, not owned.
+  // Tenant-wide budget, not owned: the kernel installs one bucket across a
+  // tenant's monitors by design (enforced aggregate NoC share).
+  // NOLINTNEXTLINE(apiary-domain-confinement): deliberate tenant-scoped sharing; a sharded engine must split this into per-domain sub-buckets (ROADMAP item 1)
+  TokenBucket* shared_limiter_ = nullptr;
   uint8_t arb_class_ = 0;
   TileFaultState fault_state_ = TileFaultState::kHealthy;
   std::string fault_reason_;

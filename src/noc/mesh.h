@@ -13,8 +13,10 @@
 #include "src/noc/fault_hooks.h"
 #include "src/noc/network_interface.h"
 #include "src/noc/packet.h"
+#include "src/noc/packet_pool.h"
 #include "src/noc/router.h"
 #include "src/sim/clocked.h"
+#include "src/sim/sim_context.h"
 
 namespace apiary {
 
@@ -31,7 +33,11 @@ struct MeshConfig {
 
 class Mesh : public Clocked {
  public:
-  explicit Mesh(MeshConfig config);
+  // `context` selects the packet pool: the domain-local pool of the owning
+  // simulator's SimContext when given (the Board constructor path), or a
+  // mesh-private pool when null (standalone meshes in tests/benches).
+  // Either way there is no process-wide pool to contend on.
+  explicit Mesh(MeshConfig config, SimContext* context = nullptr);
 
   void Tick(Cycle now) override;
   // Quiescent when no router buffers a flit, no NI has flits queued for
@@ -48,6 +54,11 @@ class Mesh : public Clocked {
   NetworkInterface& ni(TileId tile) { return *nis_[tile]; }
   const NetworkInterface& ni(TileId tile) const { return *nis_[tile]; }
   Router& router(TileId tile) { return *routers_[tile]; }
+
+  // The pool every packet injected into this mesh is drawn from (monitors
+  // reach it through their NI). Bench/test ablations toggle it here.
+  PacketPool& pool() { return *pool_; }
+  const PacketPool& pool() const { return *pool_; }
 
   // Installs (or clears, with nullptr) the fault model on every router.
   void SetFaultModel(NocFaultModel* model);
@@ -70,6 +81,8 @@ class Mesh : public Clocked {
 
  private:
   MeshConfig config_;
+  std::unique_ptr<PacketPool> owned_pool_;  // Set only for standalone meshes.
+  PacketPool* pool_;                        // Context slot pool or owned_pool_.
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   NocFaultModel* fault_model_ = nullptr;

@@ -3,11 +3,12 @@
 namespace apiary {
 
 NetworkInterface::NetworkInterface(TileId tile, Router* router, uint32_t inject_queue_flits,
-                                   bool force_single_vc)
+                                   bool force_single_vc, PacketPool* pool)
     : tile_(tile),
       router_(router),
       inject_queue_flits_(inject_queue_flits),
-      force_single_vc_(force_single_vc) {
+      force_single_vc_(force_single_vc),
+      pool_(pool) {
   for (auto& queue : inject_queues_) {
     queue.Init(inject_queue_flits_);
   }

@@ -20,10 +20,15 @@
 
 namespace apiary {
 
+class PacketPool;
+
 class NetworkInterface {
  public:
+  // `pool` is the packet pool senders on this tile draw from (the mesh's
+  // domain pool); the NI itself never allocates, it only hands the pool to
+  // the monitor above it.
   NetworkInterface(TileId tile, Router* router, uint32_t inject_queue_flits,
-                   bool force_single_vc = false);
+                   bool force_single_vc = false, PacketPool* pool = nullptr);
 
   // Queues a packet for injection. Returns false when the packet's VC
   // injection queue cannot hold its flits (backpressure to the monitor).
@@ -62,6 +67,10 @@ class NetworkInterface {
 
   TileId tile() const { return tile_; }
 
+  // The domain pool packets injected here should come from. Never null on
+  // the Board path (the mesh always wires one in).
+  PacketPool* pool() const { return pool_; }
+
   // Largest packet (in flits) that can ever be injected; senders must
   // segment above this.
   uint32_t max_packet_flits() const { return inject_queue_flits_; }
@@ -76,6 +85,7 @@ class NetworkInterface {
   Router* router_;
   uint32_t inject_queue_flits_;
   bool force_single_vc_;
+  PacketPool* pool_;
   // Per-VC injection queues so response traffic never queues behind a
   // request backlog (mirrors the router's VC separation). Fixed-capacity
   // rings: the bound is inject_queue_flits by construction, so the queue

@@ -174,7 +174,7 @@ inline uint32_t PacketChecksum(const uint8_t* bytes, size_t len) {
 }
 
 // Thin overload for tests and cold callers that still hold vectors.
-// NOLINTNEXTLINE(apiary-hot-path)
+// NOLINTNEXTLINE(apiary-hot-path): cold-caller convenience overload, never on the executed-cycle path
 inline uint32_t PacketChecksum(const std::vector<uint8_t>& payload) {
   return PacketChecksum(payload.data(), payload.size());
 }

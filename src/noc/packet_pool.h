@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/noc/packet.h"
+#include "src/sim/sim_context.h"
 
 namespace apiary {
 
@@ -64,8 +65,12 @@ class PacketPool {
   void SetEnabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
-  // The process-wide pool the monitor injection path draws from.
-  static PacketPool& Default();
+  // The domain-local pool for `context`, created on first use in the
+  // context's PacketPool slot (destroyed with the context). This replaced
+  // the old process-wide Default() pool: every simulation domain now
+  // recycles packets privately, so concurrent Simulators never contend —
+  // the confinement ROADMAP item 1's sharded engine builds on.
+  static PacketPool& ForContext(SimContext& context);
 
  private:
   uint32_t max_packets_;

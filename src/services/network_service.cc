@@ -62,7 +62,7 @@ void NetworkService::HandleNetSend(const Message& msg, TileApi& api) {
   const uint32_t dst = GetU32(msg.payload, 0);
   // Crossing into the external-fabric domain: the copy is inherent (the
   // 4-byte destination prefix is stripped off the NoC payload).
-  // NOLINTNEXTLINE(apiary-hot-path)
+  // NOLINTNEXTLINE(apiary-hot-path): crossing into the external-fabric domain; the strip-copy is inherent
   std::vector<uint8_t> data(msg.payload.begin() + 4, msg.payload.end());
   counters_.Add("netsvc.tx_requests");
   if (reliable_) {

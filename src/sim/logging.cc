@@ -2,11 +2,21 @@
 
 #include <cstdio>
 
+#include "src/sim/parallel/thread_domain.h"
+#include "src/sim/sim_context.h"
+
 namespace apiary {
 namespace {
 
+// Process-wide observability defaults. A domain with its own trace sink
+// (SimContext::SetLogSink) shadows g_sink while installed; the level
+// threshold stays global — it is set once at startup and only read on the
+// hot path.
+// APIARY-SHARED(process): log threshold, set before any run starts.
 LogLevel g_level = LogLevel::kOff;
+// APIARY-SHARED(process): default sink for code outside any domain.
 LogSink g_sink = nullptr;
+// APIARY-SHARED(process): user cookie for g_sink.
 void* g_sink_user = nullptr;
 
 const char* LevelName(LogLevel level) {
@@ -38,6 +48,13 @@ void SetLogSink(LogSink sink, void* user) {
 
 void LogMessage(LogLevel level, const std::string& msg) {
   if (level < g_level || level == LogLevel::kOff) {
+    return;
+  }
+  // Domain sink first: a threaded run captures each domain's trace
+  // separately, without any write to process state.
+  SimContext* context = ThreadDomain::Current();
+  if (context != nullptr && context->log_sink() != nullptr) {
+    context->log_sink()(level, msg, context->log_sink_user());
     return;
   }
   if (g_sink != nullptr) {

@@ -1,0 +1,41 @@
+// ThreadDomain: which simulation domain the current thread belongs to.
+//
+// This directory (src/sim/parallel/) is the one place in the tree allowed
+// to hold synchronization and thread-affine state — apiary-sync-discipline
+// enforces it. The rest of the simulator stays single-threaded code that
+// merely *asks* for its current domain; the sharded engine (ROADMAP item 1)
+// will pin one SimContext per worker thread through this same API.
+//
+// Install is scoped and nestable: Simulator::Run()/RunUntil() install the
+// simulator's own context automatically, and threaded harnesses (e.g.
+// tests/parallel_smoke_test.cc) install one around an entire build+run so
+// construction-time allocations land in the right domain too.
+#ifndef SRC_SIM_PARALLEL_THREAD_DOMAIN_H_
+#define SRC_SIM_PARALLEL_THREAD_DOMAIN_H_
+
+namespace apiary {
+
+class SimContext;
+
+class ThreadDomain {
+ public:
+  // The context installed on this thread, or nullptr outside any domain
+  // (then PayloadBuf falls back to the process arena).
+  static SimContext* Current();
+
+  // RAII install; restores the previous context on destruction.
+  class ScopedInstall {
+   public:
+    explicit ScopedInstall(SimContext* context);
+    ScopedInstall(const ScopedInstall&) = delete;
+    ScopedInstall& operator=(const ScopedInstall&) = delete;
+    ~ScopedInstall();
+
+   private:
+    SimContext* previous_;
+  };
+};
+
+}  // namespace apiary
+
+#endif  // SRC_SIM_PARALLEL_THREAD_DOMAIN_H_

@@ -1,101 +1,34 @@
 #include "src/sim/payload_buf.h"
 
+#include "src/sim/parallel/thread_domain.h"
+#include "src/sim/sim_context.h"
+
 namespace apiary {
 namespace {
 
-// Size-classed chunk freelists: 128B, 256B, ... 1MB. A retired chunk parks
-// in its class's freelist; the next payload that outgrows its inline
-// storage takes it back instead of calling operator new. Larger-than-1MB
-// requests (none exist today — the NI bounds packets well below that) fall
-// through to plain new/delete and are counted as allocs.
-constexpr size_t kMinChunkBytes = 128;
-constexpr size_t kMaxChunkBytes = 1u << 20;
-constexpr int kNumClasses = 14;  // 128 << 13 == 1MB.
-
-int ClassForBytes(size_t bytes) {
-  size_t cap = kMinChunkBytes;
-  for (int c = 0; c < kNumClasses; ++c) {
-    if (bytes <= cap) {
-      return c;
-    }
-    cap <<= 1;
-  }
-  return -1;  // Oversized: unpooled.
-}
-
-size_t ClassBytes(int cls) { return kMinChunkBytes << cls; }
-
-struct Arena {
-  std::vector<uint8_t*> freelists[kNumClasses];
-  PayloadArenaStats stats;
-  bool enabled = true;
-
-  // Parked chunks are a cache, not a leak: hand them back at exit so the
-  // sanitized CI job sees a clean shutdown.
-  ~Arena() { Trim(); }
-
-  uint8_t* Acquire(size_t min_bytes, size_t* capacity) {
-    ++stats.chunk_acquires;
-    ++stats.live_chunks;
-    const int cls = ClassForBytes(min_bytes);
-    if (cls < 0) {
-      ++stats.chunk_allocs;
-      *capacity = min_bytes;
-      return new uint8_t[min_bytes];
-    }
-    *capacity = ClassBytes(cls);
-    if (enabled && !freelists[cls].empty()) {
-      uint8_t* chunk = freelists[cls].back();
-      freelists[cls].pop_back();
-      stats.freelist_bytes -= ClassBytes(cls);
-      ++stats.chunk_reuses;
-      return chunk;
-    }
-    ++stats.chunk_allocs;
-    return new uint8_t[*capacity];
-  }
-
-  void Release(uint8_t* chunk, size_t capacity) {
-    ++stats.chunk_releases;
-    --stats.live_chunks;
-    const int cls = ClassForBytes(capacity);
-    if (!enabled || cls < 0 || ClassBytes(cls) != capacity) {
-      delete[] chunk;
-      return;
-    }
-    freelists[cls].push_back(chunk);
-    stats.freelist_bytes += capacity;
-  }
-
-  void Trim() {
-    for (auto& list : freelists) {
-      for (uint8_t* chunk : list) {
-        delete[] chunk;
-      }
-      list.clear();
-    }
-    stats.freelist_bytes = 0;
-  }
-};
-
-Arena& TheArena() {
-  static Arena arena;
-  return arena;
+// The arena a freshly growing buf binds to: the installed domain's arena,
+// or the process fallback outside any domain.
+PayloadArena& CurrentArena() {
+  SimContext* context = ThreadDomain::Current();
+  return context != nullptr ? context->arena() : FallbackPayloadArena();
 }
 
 }  // namespace
 
 void PayloadBuf::Grow(size_t min_capacity) {
+  if (arena_ == nullptr) {
+    arena_ = &CurrentArena();
+  }
   // Geometric growth, then rounded up to the arena's size class.
   size_t want = capacity_ * 2;
   if (want < min_capacity) {
     want = min_capacity;
   }
   size_t new_capacity = 0;
-  uint8_t* chunk = TheArena().Acquire(want, &new_capacity);
+  uint8_t* chunk = arena_->Acquire(want, &new_capacity);
   std::memcpy(chunk, data_, size_);
   if (data_ != inline_) {
-    TheArena().Release(data_, capacity_);
+    arena_->Release(data_, capacity_);
   }
   data_ = chunk;
   capacity_ = new_capacity;
@@ -103,26 +36,24 @@ void PayloadBuf::Grow(size_t min_capacity) {
 
 void PayloadBuf::ReleaseHeap() {
   if (data_ != inline_) {
-    TheArena().Release(data_, capacity_);
+    arena_->Release(data_, capacity_);
     data_ = inline_;
     capacity_ = kInlineBytes;
     size_ = 0;
+    arena_ = nullptr;  // A reused buf re-binds to the then-current domain.
   }
 }
 
-void PayloadBuf::SetArenaEnabled(bool enabled) { TheArena().enabled = enabled; }
-
-const PayloadArenaStats& PayloadBuf::ArenaStats() { return TheArena().stats; }
-
-void PayloadBuf::ResetArenaStats() {
-  PayloadArenaStats& stats = TheArena().stats;
-  const uint64_t live = stats.live_chunks;
-  const uint64_t parked = stats.freelist_bytes;
-  stats = PayloadArenaStats{};
-  stats.live_chunks = live;
-  stats.freelist_bytes = parked;
+void PayloadBuf::SetArenaEnabled(bool enabled) {
+  FallbackPayloadArena().SetEnabled(enabled);
 }
 
-void PayloadBuf::TrimArena() { TheArena().Trim(); }
+const PayloadArenaStats& PayloadBuf::ArenaStats() {
+  return FallbackPayloadArena().stats();
+}
+
+void PayloadBuf::ResetArenaStats() { FallbackPayloadArena().ResetStats(); }
+
+void PayloadBuf::TrimArena() { FallbackPayloadArena().Trim(); }
 
 }  // namespace apiary

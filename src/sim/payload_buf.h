@@ -7,11 +7,17 @@
 //     worth — the overwhelmingly common control-message size) live inline
 //     in the object, so moving them is a bounded memcpy and they never
 //     allocate at all;
-//   * pooled backing: larger payloads borrow a chunk from a process-wide
-//     size-classed freelist (the "arena"), so after warmup a growing buffer
-//     reuses a previously retired chunk instead of calling operator new.
+//   * pooled backing: larger payloads borrow a chunk from a size-classed
+//     freelist (a PayloadArena), so after warmup a growing buffer reuses a
+//     previously retired chunk instead of calling operator new.
 // Moves steal the chunk pointer, which is what lets Serialize/Deserialize
 // pass a payload through the wire stack without copying it.
+//
+// Domain confinement: the backing arena is the *current thread's installed
+// SimContext* arena (src/sim/parallel/thread_domain.h), falling back to the
+// process arena outside any domain. A buf records its birth arena and
+// always releases back to it, so chunks never migrate between domains and
+// two Simulators on two threads share no allocator state.
 //
 // Determinism: the arena only changes *where* bytes live, never their
 // values or any simulation-visible ordering; seeded runs are byte-identical
@@ -26,18 +32,9 @@
 #include <type_traits>
 #include <vector>
 
-namespace apiary {
+#include "src/sim/payload_arena.h"
 
-// Observability for the chunk arena: the hot-path benchmark (bench/b2)
-// derives "heap allocations per message" from these.
-struct PayloadArenaStats {
-  uint64_t chunk_acquires = 0;  // Requests for heap-tier backing.
-  uint64_t chunk_reuses = 0;    // Served from a freelist (no heap call).
-  uint64_t chunk_allocs = 0;    // Fell through to operator new.
-  uint64_t chunk_releases = 0;  // Chunks returned (freelist or heap).
-  uint64_t live_chunks = 0;     // Outstanding (acquired - released).
-  uint64_t freelist_bytes = 0;  // Capacity parked in the freelists.
-};
+namespace apiary {
 
 class PayloadBuf {
  public:
@@ -203,9 +200,10 @@ class PayloadBuf {
     return b == a;
   }
 
-  // --- Arena controls (bench ablation + tests). ---
-  // When disabled, heap-tier backing comes straight from operator new and
-  // is deleted on release (the --no-pool configuration).
+  // --- Fallback-arena controls (bench ablation + tests). ---
+  // These operate on the process fallback arena — the one serving bufs
+  // created outside any installed SimContext. Code running under a
+  // Simulator reaches its domain arena via sim.context().arena() instead.
   static void SetArenaEnabled(bool enabled);
   static const PayloadArenaStats& ArenaStats();
   static void ResetArenaStats();
@@ -223,8 +221,10 @@ class PayloadBuf {
       data_ = other.data_;
       capacity_ = other.capacity_;
       size_ = other.size_;
+      arena_ = other.arena_;  // The chunk's birth arena rides with it.
       other.data_ = other.inline_;
       other.capacity_ = kInlineBytes;
+      other.arena_ = nullptr;
     }
     other.size_ = 0;
   }
@@ -236,6 +236,9 @@ class PayloadBuf {
   size_t size_ = 0;
   size_t capacity_ = kInlineBytes;
   uint8_t* data_ = inline_;
+  // Birth arena of the current heap chunk (null while inline). Chosen at
+  // first Grow from the installed SimContext; releases always return here.
+  PayloadArena* arena_ = nullptr;
   uint8_t inline_[kInlineBytes];
 };
 

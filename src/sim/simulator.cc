@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/sim/parallel/thread_domain.h"
+
 namespace apiary {
 
 void Simulator::Register(Clocked* block) { blocks_.push_back(block); }
@@ -82,6 +84,9 @@ void Simulator::SkipAhead(Cycle limit) {
 }
 
 void Simulator::Run(Cycle cycles) {
+  // Everything this run allocates or logs belongs to this simulator's
+  // domain (nested installs of the same context are harmless no-ops).
+  ThreadDomain::ScopedInstall install(&context_);
   const Cycle end = now_ + cycles;
   while (now_ < end) {
     Step();
@@ -90,6 +95,7 @@ void Simulator::Run(Cycle cycles) {
 }
 
 bool Simulator::RunUntil(const std::function<bool()>& pred, Cycle max_cycles) {
+  ThreadDomain::ScopedInstall install(&context_);
   const Cycle end = now_ + max_cycles;
   while (now_ < end) {
     if (pred()) {

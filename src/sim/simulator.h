@@ -8,6 +8,7 @@
 
 #include "src/sim/clocked.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/sim_context.h"
 #include "src/sim/types.h"
 
 namespace apiary {
@@ -62,6 +63,13 @@ class Simulator {
   Cycle now() const { return now_; }
   double frequency_mhz() const { return frequency_mhz_; }
 
+  // This simulator's domain context: the home of every pool/arena its
+  // blocks allocate from. Installed as the current thread's domain for the
+  // duration of Run()/RunUntil(); harnesses that build boards off the run
+  // path install it explicitly (ThreadDomain::ScopedInstall) so
+  // construction-time allocations land in the same domain.
+  SimContext& context() { return context_; }
+
   // Converts a cycle count to nanoseconds at the configured frequency.
   double CyclesToNs(Cycle cycles) const {
     return static_cast<double>(cycles) * 1000.0 / frequency_mhz_;
@@ -85,6 +93,7 @@ class Simulator {
   void SkipAhead(Cycle limit);
   void ApplyPendingRemovals();
 
+  SimContext context_;
   double frequency_mhz_;
   Cycle now_ = 0;
   bool skip_enabled_ = true;

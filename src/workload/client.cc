@@ -54,7 +54,7 @@ void ClientHost::OnFrame(EthFrame frame, Cycle now) {
   HandleResponsePayload(frame.payload, now);
 }
 
-// NOLINTNEXTLINE(apiary-hot-path) -- external-fabric frame bytes.
+// NOLINTNEXTLINE(apiary-hot-path): external-fabric frame bytes, not a NoC message payload
 void ClientHost::HandleResponsePayload(const std::vector<uint8_t>& payload, Cycle now) {
   // Response: u64 client_id | u8 status | payload. The hosted baseline
   // echoes our request frame verbatim (including the leading service word),

@@ -86,8 +86,7 @@ class ClientHost : public Clocked, public ExternalEndpoint {
 
   void SendOne(Cycle now);
   void Transmit(uint64_t id, uint16_t opcode, const PayloadBuf& payload, Cycle now);
-  // External-fabric frame bytes, not a NoC message payload.
-  // NOLINTNEXTLINE(apiary-hot-path)
+  // NOLINTNEXTLINE(apiary-hot-path): external-fabric frame bytes, not a NoC message payload
   void HandleResponsePayload(const std::vector<uint8_t>& payload, Cycle now);
   bool DoneIssuing() const {
     return config_.max_requests != 0 && issued_ >= config_.max_requests;

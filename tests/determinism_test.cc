@@ -32,8 +32,13 @@ struct ScenarioResult {
   std::vector<uint8_t> last_response;
 };
 
-ScenarioResult RunScenario(uint64_t seed) {
+ScenarioResult RunScenario(uint64_t seed, bool pooled = true) {
   TestBoard tb;
+  // Hot-path ablation switch: pools and arenas are per-simulator domain state
+  // now, so the toggles live on this board's pool and this sim's context.
+  tb.board.mesh().pool().SetEnabled(pooled);
+  tb.sim.context().arena().SetEnabled(pooled);
+  SetMessageLegacyAllocMode(!pooled);
   tb.net.SetLossRate(0.02, 7);  // Loss + retries stress the determinism.
   tb.os.DeployService(kMemoryService,
                       std::make_unique<MemoryService>(&tb.os, &tb.board.memory()));
@@ -76,6 +81,7 @@ ScenarioResult RunScenario(uint64_t seed) {
   r.p50 = client.latency().P50();
   r.p999 = client.latency().P999();
   r.last_response = client.last_response();
+  SetMessageLegacyAllocMode(false);
   return r;
 }
 
@@ -102,7 +108,7 @@ TEST(DeterminismTest, DifferentSeedsDiverge) {
 // the same seed must produce byte-identical traces — a far stricter probe
 // than comparing end-of-run aggregates, since any intermediate divergence
 // (event order, retry timing, map iteration order) shows up in the trace.
-std::string RunScenarioTrace(uint64_t seed) {
+std::string RunScenarioTrace(uint64_t seed, bool pooled = true) {
   std::string trace;
   SetLogSink(
       [](LogLevel level, const std::string& line, void* user) {
@@ -115,7 +121,7 @@ std::string RunScenarioTrace(uint64_t seed) {
       &trace);
   const LogLevel prev = GetLogLevel();
   SetLogLevel(LogLevel::kDebug);
-  (void)RunScenario(seed);
+  (void)RunScenario(seed, pooled);
   SetLogLevel(prev);
   SetLogSink(nullptr, nullptr);
   return trace;
@@ -138,14 +144,8 @@ TEST(DeterminismTest, FullTraceOfTwoSeededRunsIsByteIdentical) {
 // the pooled run. This is what licenses bench/b2's --no-pool ablation as a
 // fair comparison.
 TEST(DeterminismTest, PooledAndLegacyAllocRunsAreByteIdentical) {
-  PacketPool::Default().SetEnabled(false);
-  PayloadBuf::SetArenaEnabled(false);
-  SetMessageLegacyAllocMode(true);
-  const std::string legacy = RunScenarioTrace(11);
-  PacketPool::Default().SetEnabled(true);
-  PayloadBuf::SetArenaEnabled(true);
-  SetMessageLegacyAllocMode(false);
-  const std::string pooled = RunScenarioTrace(11);
+  const std::string legacy = RunScenarioTrace(11, /*pooled=*/false);
+  const std::string pooled = RunScenarioTrace(11, /*pooled=*/true);
   EXPECT_EQ(legacy, pooled);
 }
 

@@ -15,9 +15,17 @@
 namespace apiary {
 namespace {
 
+// Test-local pool for hand-built packets; outlives every PacketRef the
+// helpers below hand out (packets may be parked in mesh buffers until a
+// test-scope Mesh drains or destructs).
+PacketPool& TestPool() {
+  static PacketPool pool;
+  return pool;
+}
+
 PacketRef MakePacket(TileId src, TileId dst, size_t payload_bytes, uint64_t id = 0,
                      Vc vc = Vc::kRequest) {
-  PacketRef p = PacketPool::Default().Acquire();
+  PacketRef p = TestPool().Acquire();
   p->src = src;
   p->dst = dst;
   p->vc = vc;

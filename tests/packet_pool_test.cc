@@ -170,12 +170,13 @@ TEST(PacketPoolTest, ResetStatsPreservesOccupancy) {
 // ------------------------------------------------------------------
 
 TEST(PacketPoolChaosTest, CampaignLeavesLedgerBalanced) {
-  PacketPool& pool = PacketPool::Default();
-  pool.ResetStats();
-  const uint32_t live_before = pool.stats().live;
-
   {
     TestBoard tb;
+    // The pool is per-simulator domain state now: this board's mesh owns it
+    // via the sim's context, and it dies with the TestBoard below.
+    PacketPool& pool = tb.board.mesh().pool();
+    pool.ResetStats();
+    const uint32_t live_before = pool.stats().live;
     AppId app = tb.os.CreateApp("app");
     ServiceId svc = 0;
     auto* echo = new EchoAccelerator(0);
@@ -221,8 +222,8 @@ TEST(PacketPoolChaosTest, CampaignLeavesLedgerBalanced) {
     // Steady state reuses the freelist instead of the heap.
     EXPECT_GT(s.pool_hits, s.heap_allocs);
   }
-
-  EXPECT_EQ(pool.stats().live, live_before);
+  // TestBoard destruction tears down the pool with its owning context; a
+  // leaked PacketRef would have shown up as live > live_before above.
 }
 
 }  // namespace

@@ -136,6 +136,31 @@ std::vector<std::string> ParseNolintList(const std::string& line, size_t after) 
   return checks;
 }
 
+// Parses one "APIARY-SHARED(<domain>): <reason>" marker starting at the
+// marker text itself. Well-formed means: non-empty parenthesized domain,
+// a ':' after the close paren, and a non-empty reason after the colon.
+SharedAnnotation ParseSharedAnnotation(const std::string& raw, size_t marker_pos) {
+  size_t pos = marker_pos + 13;  // strlen("APIARY-SHARED")
+  if (pos >= raw.size() || raw[pos] != '(') {
+    return SharedAnnotation::kMalformed;
+  }
+  size_t close = raw.find(')', pos);
+  if (close == std::string::npos || Trimmed(raw.substr(pos + 1, close - pos - 1)).empty()) {
+    return SharedAnnotation::kMalformed;
+  }
+  pos = close + 1;
+  while (pos < raw.size() && (raw[pos] == ' ' || raw[pos] == '\t')) {
+    ++pos;
+  }
+  if (pos >= raw.size() || raw[pos] != ':') {
+    return SharedAnnotation::kMalformed;
+  }
+  if (Trimmed(raw.substr(pos + 1)).empty()) {
+    return SharedAnnotation::kMalformed;
+  }
+  return SharedAnnotation::kOk;
+}
+
 std::string ExpectedGuard(const std::string& path) {
   std::string guard;
   guard.reserve(path.size() + 1);
@@ -170,6 +195,18 @@ bool SourceFile::IsSuppressed(int line, const std::string& check) const {
   return false;
 }
 
+bool SourceFile::IsSharedAnnotated(int line) const {
+  // The annotation blesses the declaration on its own line (trailing
+  // comment) or on the line directly below it (comment-above style).
+  for (int candidate : {line, line - 1}) {
+    if (candidate >= 1 && candidate <= static_cast<int>(shared.size()) &&
+        shared[candidate - 1] == SharedAnnotation::kOk) {
+      return true;
+    }
+  }
+  return false;
+}
+
 SourceFile LexSource(std::string path, const std::string& content) {
   SourceFile file;
   file.path = std::move(path);
@@ -190,6 +227,16 @@ SourceFile LexSource(std::string path, const std::string& content) {
   }
   file.raw_lines = lines;
   file.nolint.assign(lines.size(), {});
+  file.shared.assign(lines.size(), SharedAnnotation::kNone);
+
+  // Record APIARY-SHARED annotations from the raw text (they live inside
+  // comments, which the code view erases).
+  for (size_t i = 0; i < lines.size(); ++i) {
+    size_t pos = lines[i].find("APIARY-SHARED");
+    if (pos != std::string::npos) {
+      file.shared[i] = ParseSharedAnnotation(lines[i], pos);
+    }
+  }
 
   // Record NOLINT markers from the raw text (they live inside comments,
   // which the code view erases). NOLINTNEXTLINE is matched first since
@@ -382,6 +429,39 @@ LintConfig DefaultConfig() {
                             "src/mem/segment_allocator.h", "src/sim/clocked.h"};
   config.nodiscard_types = {"CapRef", "std::optional<CapRef>", "std::optional<Segment>",
                             "Cycle"};
+
+  // Global state: no path is exempt — the APIARY-SHARED annotation is the
+  // only sanctioned way to keep process-global mutable state alive, so
+  // every survivor carries its own audit trail.
+  config.global_state_exempt_prefixes = {};
+
+  // Domain confinement: these layers hold the per-domain simulation state
+  // that ROADMAP item 1 shards across worker threads. A raw pointer or
+  // reference member crossing between them is an edge a sharded run would
+  // race on unless it rides one of the registered channel types below.
+  config.confined_layers = {"sim", "noc", "core"};
+  // Sanctioned crossing points: the simulator substrate every block is
+  // built on, the per-domain context, the NI injection surface, intrusive
+  // packet refs, and the pool/arena handles SimContext hands out.
+  config.confinement_channel_types = {"Simulator", "SimContext", "Clocked",
+                                      "NetworkInterface", "PacketRef", "PacketPool",
+                                      "PayloadArena", "Rng"};
+
+  // Sync discipline: every synchronization primitive in simulator code
+  // lives in the one reviewed home, src/sim/parallel/. Ad-hoc mutexes and
+  // atomics elsewhere are how "thread-safe enough" state sneaks back in.
+  config.banned_sync_identifiers = {
+      "std::mutex", "std::recursive_mutex", "std::timed_mutex",
+      "std::recursive_timed_mutex", "std::shared_mutex", "std::shared_timed_mutex",
+      "std::atomic", "std::atomic_flag", "std::atomic_bool", "std::atomic_int",
+      "std::atomic_uint", "std::atomic_size_t", "std::atomic_uint64_t",
+      "std::atomic_thread_fence", "std::atomic_signal_fence", "std::memory_order",
+      "std::condition_variable", "std::condition_variable_any",
+      "std::thread", "std::jthread", "std::async", "std::future", "std::promise",
+      "std::lock_guard", "std::unique_lock", "std::scoped_lock", "std::shared_lock",
+      "std::call_once", "std::once_flag", "std::counting_semaphore",
+      "std::binary_semaphore", "std::latch", "std::barrier", "thread_local"};
+  config.sync_allowed_prefixes = {"src/sim/parallel/"};
   return config;
 }
 
@@ -665,6 +745,436 @@ void CheckHotPath(const SourceFile& file, const LintConfig& config,
   }
 }
 
+namespace {
+
+// Splits a statement into identifier tokens (type names keep their '::'
+// qualification; punctuation is dropped).
+std::vector<std::string> StatementTokens(const std::string& stmt) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (size_t i = 0; i < stmt.size(); ++i) {
+    const char c = stmt[i];
+    if (IsIdentChar(c) || (c == ':' && i + 1 < stmt.size() && stmt[i + 1] == ':') ||
+        (c == ':' && !current.empty() && current.back() == ':')) {
+      current.push_back(c);
+    } else if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    tokens.push_back(current);
+  }
+  return tokens;
+}
+
+bool HasToken(const std::vector<std::string>& tokens, const std::string& token) {
+  return std::find(tokens.begin(), tokens.end(), token) != tokens.end();
+}
+
+// True when the declared object itself is const: a "const" token after the
+// last '*' / '&' (pointer-to-const with a mutable pointer does not count).
+bool DeclaredObjectIsConst(const std::string& stmt) {
+  const size_t last_ptr = stmt.find_last_of("*&");
+  size_t pos = 0;
+  while ((pos = stmt.find("const", pos)) != std::string::npos) {
+    const bool head_ok = pos == 0 || !IsIdentChar(stmt[pos - 1]);
+    const bool tail_ok = pos + 5 >= stmt.size() || !IsIdentChar(stmt[pos + 5]);
+    if (head_ok && tail_ok && (last_ptr == std::string::npos || pos > last_ptr)) {
+      return true;
+    }
+    pos += 5;
+  }
+  return false;
+}
+
+// True when the statement looks like a function declaration/definition
+// head rather than a variable: its first '(' comes before any '='.
+bool LooksLikeFunctionDecl(const std::string& stmt) {
+  const size_t paren = stmt.find('(');
+  if (paren == std::string::npos) {
+    return false;
+  }
+  const size_t equals = stmt.find('=');
+  return equals == std::string::npos || paren < equals;
+}
+
+// Last declarator-ish identifier before '=', '[' or the end — the variable
+// name, for the finding message.
+std::string DeclaredName(const std::string& stmt) {
+  size_t end = stmt.find_first_of("=[{");
+  std::string head = end == std::string::npos ? stmt : stmt.substr(0, end);
+  const auto tokens = StatementTokens(head);
+  return tokens.empty() ? "<unnamed>" : tokens.back();
+}
+
+// Statement-head keywords that mean "not a variable declaration".
+bool IsNonDeclarationStatement(const std::vector<std::string>& tokens) {
+  static const char* kSkip[] = {
+      "using", "typedef", "extern", "friend", "template", "static_assert",
+      "struct", "class", "enum", "union", "namespace", "return", "operator",
+      "delete", "case", "default", "goto", "throw", "co_return", "co_yield",
+      "if", "else", "for", "while", "do", "switch", "break", "continue",
+      "public", "private", "protected", "asm"};
+  if (tokens.empty()) {
+    return true;
+  }
+  for (const char* word : kSkip) {
+    if (HasToken(tokens, word)) {
+      return true;
+    }
+  }
+  // A lone token ("g_anon" after an anonymous-struct body) has no type.
+  return tokens.size() < 2;
+}
+
+}  // namespace
+
+void CheckGlobalState(const SourceFile& file, const LintConfig& config,
+                      std::vector<Finding>* findings) {
+  if (!StartsWith(file.path, "src/")) {
+    return;
+  }
+  for (const auto& prefix : config.global_state_exempt_prefixes) {
+    if (StartsWith(file.path, prefix)) {
+      return;
+    }
+  }
+
+  // Reports one global-state finding, honoring APIARY-SHARED annotations.
+  auto report = [&](int lineno, const std::string& what) {
+    if (file.IsSharedAnnotated(lineno)) {
+      return;
+    }
+    for (int candidate : {lineno, lineno - 1}) {
+      if (candidate >= 1 && candidate <= static_cast<int>(file.shared.size()) &&
+          file.shared[candidate - 1] == SharedAnnotation::kMalformed) {
+        findings->push_back(
+            {file.path, candidate, "apiary-global-state",
+             "malformed APIARY-SHARED annotation; the grammar is "
+             "// APIARY-SHARED(<domain>): <reason>"});
+        return;
+      }
+    }
+    findings->push_back(
+        {file.path, lineno, "apiary-global-state",
+         what + " is process-global mutable state a sharded simulation would race "
+                "on; make it domain-local (SimContext) or annotate the declaration "
+                "with // APIARY-SHARED(<domain>): <reason>"});
+  };
+
+  // Evaluates one flushed statement. `other_depth` counts enclosing braces
+  // that are not namespaces (class bodies, function bodies, initializers).
+  auto evaluate = [&](const std::string& stmt_in, int stmt_line, int other_depth) {
+    std::string stmt = Trimmed(stmt_in);
+    // Access-specifier labels are not statement terminators in this
+    // scanner; strip them so `public: static int x_;` still evaluates.
+    for (bool stripped = true; stripped;) {
+      stripped = false;
+      for (const char* label : {"public", "private", "protected"}) {
+        const size_t len = std::string(label).size();
+        if (StartsWith(stmt, label) &&
+            (stmt.size() == len || !IsIdentChar(stmt[len]))) {
+          const size_t colon = stmt.find(':', len);
+          if (colon != std::string::npos && Trimmed(stmt.substr(len, colon - len)).empty()) {
+            stmt = Trimmed(stmt.substr(colon + 1));
+            stripped = true;
+          }
+        }
+      }
+    }
+    if (stmt.empty()) {
+      return;
+    }
+    const auto tokens = StatementTokens(stmt);
+    if (IsNonDeclarationStatement(tokens)) {
+      return;
+    }
+    if (HasToken(tokens, "constexpr") || DeclaredObjectIsConst(stmt)) {
+      return;
+    }
+    if (LooksLikeFunctionDecl(stmt)) {
+      return;
+    }
+    if (other_depth == 0) {
+      report(stmt_line, "namespace-scope global '" + DeclaredName(stmt) + "'");
+    } else if (tokens[0] == "static" || (tokens[0] == "inline" && tokens[1] == "static")) {
+      report(stmt_line, "function-local/class static '" + DeclaredName(stmt) +
+                            "' (Meyers singletons included)");
+    }
+  };
+
+  // Brace kinds: namespaces don't open a scope for this check; initializer
+  // braces get the declaration evaluated at the '{' and add no scope.
+  enum class Brace : uint8_t { kNamespace, kOther, kInit };
+  std::vector<Brace> stack;
+  int other_depth = 0;
+  std::string stmt;
+  int stmt_line = 0;
+  int paren_depth = 0;
+  bool in_preproc = false;
+
+  for (size_t i = 0; i < file.code_lines.size(); ++i) {
+    const int lineno = static_cast<int>(i) + 1;
+    const std::string raw_trimmed = Trimmed(file.raw_lines[i]);
+    if (in_preproc || (!raw_trimmed.empty() && raw_trimmed[0] == '#')) {
+      in_preproc = !raw_trimmed.empty() && raw_trimmed.back() == '\\';
+      continue;
+    }
+    const std::string& line = file.code_lines[i];
+    for (char c : line) {
+      if (c == '(') {
+        ++paren_depth;
+      } else if (c == ')') {
+        paren_depth = paren_depth > 0 ? paren_depth - 1 : 0;
+      }
+      if (paren_depth > 0) {
+        if (Trimmed(stmt).empty() && c != ' ' && c != '\t') {
+          stmt_line = lineno;
+        }
+        stmt.push_back(c);
+        continue;
+      }
+      if (c == '{') {
+        const std::string head = Trimmed(stmt);
+        const auto tokens = StatementTokens(head);
+        if (!tokens.empty() && tokens[0] == "namespace") {
+          stack.push_back(Brace::kNamespace);
+        } else if (head.empty() || head.back() == ')' || LooksLikeFunctionDecl(head) ||
+                   IsNonDeclarationStatement(tokens)) {
+          stack.push_back(Brace::kOther);
+          ++other_depth;
+        } else {
+          // Brace-initialized declaration: `int g_x{0};`, `auto g = ...{`.
+          evaluate(head, stmt_line == 0 ? lineno : stmt_line, other_depth);
+          stack.push_back(Brace::kInit);
+        }
+        stmt.clear();
+        stmt_line = 0;
+      } else if (c == '}') {
+        if (!stack.empty()) {
+          if (stack.back() == Brace::kOther) {
+            --other_depth;
+          }
+          stack.pop_back();
+        }
+        stmt.clear();
+        stmt_line = 0;
+      } else if (c == ';') {
+        evaluate(stmt, stmt_line == 0 ? lineno : stmt_line, other_depth);
+        stmt.clear();
+        stmt_line = 0;
+      } else {
+        if (Trimmed(stmt).empty() && c != ' ' && c != '\t') {
+          stmt_line = lineno;
+        }
+        stmt.push_back(c);
+      }
+    }
+    stmt.push_back(' ');  // Statements spanning lines keep token boundaries.
+  }
+}
+
+void CheckSyncDiscipline(const SourceFile& file, const LintConfig& config,
+                         std::vector<Finding>* findings) {
+  if (!StartsWith(file.path, "src/")) {
+    return;
+  }
+  for (const auto& prefix : config.sync_allowed_prefixes) {
+    if (StartsWith(file.path, prefix)) {
+      return;
+    }
+  }
+  for (size_t i = 0; i < file.code_lines.size(); ++i) {
+    const std::string& line = file.code_lines[i];
+    const int lineno = static_cast<int>(i) + 1;
+    for (const auto& ident : config.banned_sync_identifiers) {
+      if (!FindIdentifier(line, ident).empty()) {
+        findings->push_back(
+            {file.path, lineno, "apiary-sync-discipline",
+             ident + " is ad-hoc synchronization; every primitive lives in the "
+                     "reviewed " +
+                 (config.sync_allowed_prefixes.empty()
+                      ? std::string("parallel home")
+                      : config.sync_allowed_prefixes.front()) +
+                 " so the sharded engine (ROADMAP item 1) has one concurrency "
+                 "surface to audit"});
+      }
+    }
+  }
+}
+
+void CheckNolintReason(const SourceFile& file, const LintConfig& /*config*/,
+                       std::vector<Finding>* findings) {
+  for (size_t i = 0; i < file.raw_lines.size(); ++i) {
+    const std::string& raw = file.raw_lines[i];
+    const int lineno = static_cast<int>(i) + 1;
+    size_t pos = 0;
+    while ((pos = raw.find("NOLINT", pos)) != std::string::npos) {
+      const size_t marker_len = raw.compare(pos, 14, "NOLINTNEXTLINE") == 0 ? 14 : 6;
+      size_t after = pos + marker_len;
+      const auto checks = ParseNolintList(raw, after);
+      bool names_apiary = false;
+      for (const auto& check : checks) {
+        if (StartsWith(check, "apiary-")) {
+          names_apiary = true;
+        }
+      }
+      if (names_apiary) {
+        // Reason grammar: "(...)": <non-empty text>.
+        size_t close = raw.find(')', after);
+        size_t p = close == std::string::npos ? after : close + 1;
+        while (p < raw.size() && (raw[p] == ' ' || raw[p] == '\t')) {
+          ++p;
+        }
+        const bool has_reason =
+            p < raw.size() && raw[p] == ':' && !Trimmed(raw.substr(p + 1)).empty();
+        if (!has_reason) {
+          findings->push_back(
+              {file.path, lineno, "apiary-nolint-reason",
+               "NOLINT(apiary-*) must carry a ': <reason>' suffix — the reason is "
+               "the audit trail for why the invariant is waived here"});
+        }
+      }
+      pos += marker_len;
+    }
+  }
+}
+
+void CheckDomainConfinement(const std::vector<SourceFile>& files, const LintConfig& config,
+                            std::vector<Finding>* findings) {
+  auto confined = [&](const std::string& layer) {
+    return std::find(config.confined_layers.begin(), config.confined_layers.end(), layer) !=
+           config.confined_layers.end();
+  };
+  auto is_channel = [&](const std::string& type) {
+    return std::find(config.confinement_channel_types.begin(),
+                     config.confinement_channel_types.end(),
+                     type) != config.confinement_channel_types.end();
+  };
+
+  // Pass 1: symbol table — class/struct definition name -> owning layer.
+  // Names defined in more than one layer are ambiguous and dropped.
+  std::map<std::string, std::set<std::string>> defs;
+  for (const auto& file : files) {
+    const std::string layer = SrcLayer(file.path);
+    if (layer.empty() || !confined(layer)) {
+      continue;
+    }
+    for (const auto& line : file.code_lines) {
+      for (const char* keyword : {"class ", "struct "}) {
+        const size_t klen = std::string(keyword).size();
+        size_t pos = 0;
+        while ((pos = line.find(keyword, pos)) != std::string::npos) {
+          const bool head_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+          // "enum class" defines a scoped enum, not a class.
+          const bool after_enum = pos >= 5 && line.compare(pos - 5, 5, "enum ") == 0;
+          if (!head_ok || after_enum) {
+            pos += klen;
+            continue;
+          }
+          size_t p = pos + klen;
+          while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) {
+            ++p;
+          }
+          const size_t name_start = p;
+          while (p < line.size() && IsIdentChar(line[p])) {
+            ++p;
+          }
+          const std::string name = line.substr(name_start, p - name_start);
+          while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) {
+            ++p;
+          }
+          if (line.compare(p, 5, "final") == 0) {
+            p += 5;
+            while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) {
+              ++p;
+            }
+          }
+          // Definition heads end the line or open a body/base list; anything
+          // else (';' forward decl, '>' template param, '*' usage) is not one.
+          const bool definition = !name.empty() &&
+                                  (p >= line.size() || line[p] == '{' || line[p] == ':');
+          if (definition) {
+            defs[name].insert(layer);
+          }
+          pos += klen;
+        }
+      }
+    }
+  }
+  std::map<std::string, std::string> type_layer;
+  for (const auto& [name, layers] : defs) {
+    if (layers.size() == 1 && !is_channel(name)) {
+      type_layer[name] = *layers.begin();
+    }
+  }
+
+  // Pass 2: flag raw pointer/reference *members* (trailing-underscore
+  // declarator convention) whose pointee type lives in a different
+  // confined layer than the declaring file.
+  for (const auto& file : files) {
+    const std::string layer = SrcLayer(file.path);
+    if (layer.empty() || !confined(layer)) {
+      continue;
+    }
+    for (size_t i = 0; i < file.code_lines.size(); ++i) {
+      const std::string& line = file.code_lines[i];
+      const int lineno = static_cast<int>(i) + 1;
+      for (const auto& [type, owner] : type_layer) {
+        if (owner == layer) {
+          continue;
+        }
+        for (size_t pos : FindIdentifier(line, type)) {
+          size_t p = pos + type.size();
+          while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) {
+            ++p;
+          }
+          bool raw_indirect = false;
+          while (p < line.size() && (line[p] == '*' || line[p] == '&')) {
+            raw_indirect = true;
+            ++p;
+          }
+          if (!raw_indirect) {
+            continue;
+          }
+          while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) {
+            ++p;
+          }
+          if (line.compare(p, 5, "const") == 0 && (p + 5 >= line.size() ||
+                                                   !IsIdentChar(line[p + 5]))) {
+            p += 5;
+            while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) {
+              ++p;
+            }
+          }
+          const size_t name_start = p;
+          while (p < line.size() && IsIdentChar(line[p])) {
+            ++p;
+          }
+          const std::string member = line.substr(name_start, p - name_start);
+          if (member.size() < 2 || member.back() != '_') {
+            continue;
+          }
+          while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) {
+            ++p;
+          }
+          if (p < line.size() && line[p] != ';' && line[p] != '=' && line[p] != ',' &&
+              line[p] != '{') {
+            continue;
+          }
+          findings->push_back(
+              {file.path, lineno, "apiary-domain-confinement",
+               "member '" + member + "' holds a raw pointer/reference to " + type +
+                   " (" + owner + "-owned) from src/" + layer + "/ — cross-domain "
+                   "state must ride PacketRef, a capability handle, or a registered "
+                   "channel type so domains stay shardable (ROADMAP item 1)"});
+        }
+      }
+    }
+  }
+}
+
 void CheckOpcodeCoverage(const std::vector<SourceFile>& files, const LintConfig& config,
                          std::vector<Finding>* findings) {
   struct OpcodeDef {
@@ -757,8 +1267,12 @@ std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files,
     CheckDebugName(file, config, &raw);
     CheckNodiscard(file, config, &raw);
     CheckHotPath(file, config, &raw);
+    CheckGlobalState(file, config, &raw);
+    CheckSyncDiscipline(file, config, &raw);
+    CheckNolintReason(file, config, &raw);
   }
   CheckOpcodeCoverage(files, config, &raw);
+  CheckDomainConfinement(files, config, &raw);
 
   std::map<std::string, const SourceFile*> by_path;
   for (const auto& file : files) {

@@ -14,12 +14,30 @@
 //   apiary-nodiscard       capability/segment-minting APIs are [[nodiscard]]
 //   apiary-hot-path        packets come from PacketPool, payloads ride in
 //                          PayloadBuf (no per-message heap allocation)
+//   apiary-global-state    no unannotated process-global mutable state under
+//                          src/ (survivors carry APIARY-SHARED(<domain>))
+//   apiary-domain-confinement
+//                          raw pointer/reference members may not cross the
+//                          sim/noc/core domain boundary except through
+//                          registered channel types
+//   apiary-sync-discipline ad-hoc std::mutex/std::atomic/thread_local are
+//                          banned under src/ outside src/sim/parallel/
+//   apiary-nolint-reason   every NOLINT(apiary-*) carries a ": <reason>"
 //
 // Any finding is suppressible in-line with clang-tidy style markers:
-//   // NOLINT(apiary-<check>)          suppress on this line
-//   // NOLINTNEXTLINE(apiary-<check>)  suppress on the next line
+//   // NOLINT(apiary-<check>): <reason>          suppress on this line
+//   // NOLINTNEXTLINE(apiary-<check>): <reason>  suppress on the next line
 // A bare NOLINT (no parenthesized list) suppresses every apiary check on
-// the line.
+// the line. Suppressions naming an apiary check must carry a ": <reason>"
+// suffix (enforced by apiary-nolint-reason).
+//
+// Global mutable state that is *deliberately* shared (a process-wide
+// observability sink, an ablation toggle) is kept alive with the sanctioned
+// annotation on or directly above the declaration:
+//   // APIARY-SHARED(<domain>): <reason>
+// where <domain> names the sharing scope (e.g. "process") and <reason> says
+// why the state cannot be domain-local. The annotation is the audit trail
+// that makes ROADMAP item 1's domain decomposition mechanical.
 //
 // Implementation: a hand-rolled lexer strips comments and string/char
 // literals (so commented-out code never fires) and records NOLINT markers,
@@ -28,6 +46,7 @@
 #ifndef TOOLS_APIARY_LINT_LINT_H_
 #define TOOLS_APIARY_LINT_LINT_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -44,6 +63,13 @@ struct Finding {
   std::string ToString() const;
 };
 
+// One APIARY-SHARED annotation parsed from a comment.
+enum class SharedAnnotation : uint8_t {
+  kNone = 0,       // No annotation on this line.
+  kOk = 1,         // APIARY-SHARED(<domain>): <reason> — well-formed.
+  kMalformed = 2,  // Marker present but domain or reason missing.
+};
+
 // A lexed source file: raw lines (for include parsing and NOLINT markers)
 // plus "code" lines with comments and string/char literals blanked out.
 struct SourceFile {
@@ -52,8 +78,14 @@ struct SourceFile {
   std::vector<std::string> code_lines;
   // Per-line suppression lists; "*" suppresses every apiary check.
   std::vector<std::vector<std::string>> nolint;
+  // Per-line APIARY-SHARED(<domain>): <reason> annotations. An annotation
+  // blesses the global declared on its own line or the line below it.
+  std::vector<SharedAnnotation> shared;
 
   bool IsSuppressed(int line, const std::string& check) const;
+  // True when `line` (1-based) carries or sits under a well-formed
+  // APIARY-SHARED annotation.
+  bool IsSharedAnnotated(int line) const;
 };
 
 // Lexes `content` as C++ source: strips // and /* */ comments and string
@@ -106,6 +138,27 @@ struct LintConfig {
   std::vector<std::string> nodiscard_files;
   // Return types that mint capabilities/segments.
   std::vector<std::string> nodiscard_types;
+
+  // --- apiary-global-state ---
+  // Path prefixes exempt from the global-state check (none by default: the
+  // APIARY-SHARED annotation is the only sanctioned escape).
+  std::vector<std::string> global_state_exempt_prefixes;
+
+  // --- apiary-domain-confinement ---
+  // The layers whose types form sharding domains: a raw pointer/reference
+  // member to one of these types from a *different* layer is a cross-domain
+  // edge that threads would race on.
+  std::vector<std::string> confined_layers;
+  // Registered channel/handle types that are the sanctioned way to cross a
+  // domain boundary (the NI injection surface, the simulator substrate, the
+  // per-domain context, intrusive packet refs).
+  std::vector<std::string> confinement_channel_types;
+
+  // --- apiary-sync-discipline ---
+  // Synchronization identifiers banned under src/.
+  std::vector<std::string> banned_sync_identifiers;
+  // The one reviewed home where synchronization may live.
+  std::vector<std::string> sync_allowed_prefixes;
 };
 
 // The Apiary repo policy (see tools/apiary_lint/README.md for rationale).
@@ -130,6 +183,22 @@ void CheckNodiscard(const SourceFile& file, const LintConfig& config,
 // allocation. The pool/serialization layer itself is exempt.
 void CheckHotPath(const SourceFile& file, const LintConfig& config,
                   std::vector<Finding>* findings);
+// Shared-state analysis (DESIGN.md "Domain confinement"): under src/, any
+// non-const namespace-scope global, function-local static mutable (Meyers
+// singleton included), or mutable static data member is process-shared
+// state that a sharded simulation would race on. Survivors must carry an
+// // APIARY-SHARED(<domain>): <reason> annotation on or above the line.
+void CheckGlobalState(const SourceFile& file, const LintConfig& config,
+                      std::vector<Finding>* findings);
+// Synchronization discipline: ad-hoc std::mutex/std::atomic/thread_local
+// under src/ is banned outside the allow-listed src/sim/parallel/ home, so
+// every synchronization primitive in the tree is in one reviewed place.
+void CheckSyncDiscipline(const SourceFile& file, const LintConfig& config,
+                         std::vector<Finding>* findings);
+// Suppression hygiene: a NOLINT/NOLINTNEXTLINE list naming an apiary-*
+// check must carry a ": <reason>" suffix — the reason is the audit trail.
+void CheckNolintReason(const SourceFile& file, const LintConfig& config,
+                       std::vector<Finding>* findings);
 
 // Corpus-wide: every kOp* constant in an opcode-ABI header must be
 // referenced by a handler under src/ and by at least one file under tests/.
@@ -137,6 +206,15 @@ void CheckHotPath(const SourceFile& file, const LintConfig& config,
 // (so `apiary_lint src` alone stays meaningful).
 void CheckOpcodeCoverage(const std::vector<SourceFile>& files, const LintConfig& config,
                          std::vector<Finding>* findings);
+
+// Corpus-wide, symbol-table-aware: builds a class/struct -> src layer table
+// from definitions, then flags raw pointer/reference *members* whose pointee
+// type lives in a different confined layer (sim/noc/core) than the declaring
+// file. Cross-domain state must ride PacketRef, capability handles, or a
+// registered channel type — that discipline is what makes the mesh
+// decomposable into per-thread domains (ROADMAP item 1).
+void CheckDomainConfinement(const std::vector<SourceFile>& files, const LintConfig& config,
+                            std::vector<Finding>* findings);
 
 // Runs every check over the corpus, drops NOLINT-suppressed findings, and
 // returns the rest sorted by (file, line, check).

@@ -6,7 +6,10 @@
 #include <sys/wait.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -18,6 +21,15 @@ namespace {
 std::vector<Finding> LintOne(const std::string& path, const std::string& content) {
   std::vector<SourceFile> files;
   files.push_back(LexSource(path, content));
+  return RunAllChecks(files, DefaultConfig());
+}
+
+std::vector<Finding> LintMany(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  std::vector<SourceFile> files;
+  for (const auto& [path, content] : sources) {
+    files.push_back(LexSource(path, content));
+  }
   return RunAllChecks(files, DefaultConfig());
 }
 
@@ -38,8 +50,10 @@ TEST(Lexer, StripsCommentsAndStrings) {
   const auto findings = LintOne("src/noc/x.cc",
                                 "// rand() and time(nullptr) in a comment\n"
                                 "/* std::random_device in a block comment */\n"
-                                "const char* s = \"srand(1) in a string\";\n"
-                                "char c = '\\'';\n");
+                                "void f() {\n"
+                                "  const char* s = \"srand(1) in a string\";\n"
+                                "  char c = '\\'';\n"
+                                "}\n");
   EXPECT_TRUE(findings.empty()) << findings.size();
 }
 
@@ -48,7 +62,10 @@ TEST(Lexer, BlockCommentSpansLines) {
                                 "/* begin\n"
                                 "   rand();\n"
                                 "   end */\n"
-                                "int x = 0;\n");
+                                "void f() {\n"
+                                "  int x = 0;\n"
+                                "  (void)x;\n"
+                                "}\n");
   EXPECT_TRUE(findings.empty());
 }
 
@@ -75,10 +92,13 @@ TEST(Determinism, FlagsAmbientRandomnessAndWallClock) {
 TEST(Determinism, DoesNotFlagLookalikeIdentifiers) {
   const auto findings = LintOne("src/noc/x.cc",
                                 "int hold_time(int x);\n"
-                                "int y = hold_time(3);\n"
                                 "int operand(int x);\n"
-                                "int z = rng.rand();\n"   // member access: not ::rand
-                                "int w = sim.time();\n");  // simulator time accessor
+                                "void f() {\n"
+                                "  int y = hold_time(3);\n"
+                                "  int z = rng.rand();\n"   // member access: not ::rand
+                                "  int w = sim.time();\n"   // simulator time accessor
+                                "  (void)y; (void)z; (void)w;\n"
+                                "}\n");
   EXPECT_TRUE(findings.empty());
 }
 
@@ -90,9 +110,11 @@ TEST(Determinism, FlagsHashContainersOnlyInSrc) {
 }
 
 TEST(Determinism, ExemptsStatsAndTheRngItself) {
-  EXPECT_TRUE(LintOne("src/stats/x.cc", "std::unordered_map<int, int> m;\n").empty());
-  EXPECT_TRUE(LintOne("src/sim/random.cc", "uint64_t seed = 1; // rand() replacement\n")
-                  .empty());
+  EXPECT_FALSE(HasCheck(LintOne("src/stats/x.cc", "std::unordered_map<int, int> m;\n"),
+                        "apiary-determinism"));
+  EXPECT_FALSE(HasCheck(
+      LintOne("src/sim/random.cc", "uint64_t seed = 1; // rand() replacement\n"),
+      "apiary-determinism"));
 }
 
 TEST(Determinism, NolintSuppressions) {
@@ -232,7 +254,7 @@ TEST(IncludeGuard, FlagsWrongAndMissingGuards) {
 }
 
 TEST(IncludeGuard, IgnoresNonHeaders) {
-  EXPECT_TRUE(LintOne("src/sim/x.cc", "int x;\n").empty());
+  EXPECT_FALSE(HasCheck(LintOne("src/sim/x.cc", "int x;\n"), "apiary-include-guard"));
 }
 
 // ---------------------------------------------------------------------------
@@ -347,18 +369,26 @@ TEST(HotPath, FlagsPacketAllocationAndPayloadVectors) {
 
 TEST(HotPath, DoesNotFlagPooledOrPayloadBufCode) {
   EXPECT_TRUE(LintOne("src/noc/x.cc",
-                      "PacketRef p = PacketPool::Default().Acquire();\n"
-                      "PayloadBuf staging;\n"
-                      "std::vector<uint8_t> unrelated;\n"
-                      "NocPacket& packet = *p;\n")
+                      "void f(NetworkInterface* ni) {\n"
+                      "  PacketRef p = ni->pool()->Acquire();\n"
+                      "  PayloadBuf staging;\n"
+                      "  std::vector<uint8_t> unrelated;\n"
+                      "  NocPacket& packet = *p;\n"
+                      "}\n")
                   .empty());
 }
 
 TEST(HotPath, ExemptsPoolAndSerializationLayer) {
-  EXPECT_TRUE(LintOne("src/noc/packet_pool.cc", "NocPacket* p = new NocPacket();\n")
+  EXPECT_TRUE(LintOne("src/noc/packet_pool.cc",
+                      "void f() {\n"
+                      "  NocPacket* p = new NocPacket();\n"
+                      "  (void)p;\n"
+                      "}\n")
                   .empty());
   EXPECT_TRUE(LintOne("src/core/message.cc",
-                      "std::vector<uint8_t> wire(msg.payload.size());\n")
+                      "void g(const Message& msg) {\n"
+                      "  std::vector<uint8_t> wire(msg.payload.size());\n"
+                      "}\n")
                   .empty());
 }
 
@@ -372,6 +402,254 @@ TEST(HotPath, NolintSuppresses) {
       LintOne("src/noc/x.cc",
               "NocPacket* p = new NocPacket();  // NOLINT(apiary-hot-path)\n"),
       "apiary-hot-path"));
+}
+
+// ---------------------------------------------------------------------------
+// apiary-global-state.
+// ---------------------------------------------------------------------------
+
+TEST(GlobalState, FlagsNamespaceScopeGlobals) {
+  const auto findings = LintOne("src/sim/x.cc",
+                                "namespace apiary {\n"
+                                "int g_counter = 0;\n"
+                                "}  // namespace apiary\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "apiary-global-state");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("g_counter"), std::string::npos);
+}
+
+TEST(GlobalState, FlagsFunctionLocalStaticsAndMeyersSingletons) {
+  const auto findings = LintOne("src/sim/x.cc",
+                                "Widget& W() {\n"
+                                "  static Widget w;\n"
+                                "  return w;\n"
+                                "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "apiary-global-state");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(GlobalState, AllowsConstConstexprAndLocals) {
+  EXPECT_TRUE(LintOne("src/sim/x.cc",
+                      "constexpr int kTableSize = 64;\n"
+                      "const char* const kName = \"apiary\";\n"
+                      "static const int kStaticConst = 3;\n"
+                      "void F() {\n"
+                      "  int local = kTableSize;\n"
+                      "  (void)local;\n"
+                      "}\n")
+                  .empty());
+}
+
+TEST(GlobalState, AllowsClassMembersAndFunctionDecls) {
+  EXPECT_TRUE(LintOne("src/sim/x.cc",
+                      "class Widget {\n"
+                      " public:\n"
+                      "  int Count() const;\n"
+                      " private:\n"
+                      "  int count_ = 0;\n"
+                      "};\n"
+                      "int Total(int base);\n")
+                  .empty());
+}
+
+TEST(GlobalState, FlagsClassLevelStatics) {
+  const auto findings = LintOne("src/sim/x.cc",
+                                "class Widget {\n"
+                                "  static int live_count_;\n"
+                                "};\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "apiary-global-state");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(GlobalState, EvaluatesStaticsBehindAccessLabels) {
+  // ` public: static ...` on one statement still evaluates (the label is
+  // stripped), anchored at the statement head.
+  EXPECT_TRUE(HasCheck(LintOne("src/sim/x.cc",
+                               "class Widget {\n"
+                               " public:\n"
+                               "  static int live_count_;\n"
+                               "};\n"),
+                       "apiary-global-state"));
+}
+
+TEST(GlobalState, ApiarySharedAnnotationBlesses) {
+  // Same line.
+  EXPECT_TRUE(LintOne("src/sim/x.cc",
+                      "int g_x = 0;  // APIARY-SHARED(process): legacy counter\n")
+                  .empty());
+  // Line directly above.
+  EXPECT_TRUE(LintOne("src/sim/x.cc",
+                      "// APIARY-SHARED(process): legacy counter\n"
+                      "int g_x = 0;\n")
+                  .empty());
+}
+
+TEST(GlobalState, MalformedAnnotationIsItsOwnFinding) {
+  const auto findings = LintOne("src/sim/x.cc",
+                                "// APIARY-SHARED(process)\n"
+                                "int g_x = 0;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "apiary-global-state");
+  EXPECT_NE(findings[0].message.find("malformed"), std::string::npos);
+}
+
+TEST(GlobalState, OnlyAppliesUnderSrc) {
+  EXPECT_TRUE(LintOne("tests/x.cc", "int g_counter = 0;\n").empty());
+  EXPECT_TRUE(LintOne("bench/x.cc", "static int g_runs = 0;\n").empty());
+}
+
+TEST(GlobalState, NolintSuppresses) {
+  EXPECT_FALSE(HasCheck(
+      LintOne("src/sim/x.cc",
+              "int g_x = 0;  // NOLINT(apiary-global-state): pending migration\n"),
+      "apiary-global-state"));
+}
+
+// ---------------------------------------------------------------------------
+// apiary-domain-confinement.
+// ---------------------------------------------------------------------------
+
+TEST(DomainConfinement, FlagsCrossLayerRawPointerMember) {
+  const auto findings = LintMany({
+      {"src/noc/router.cc", "class Router {\n};\n"},
+      {"src/core/monitor.cc", "class Monitor {\n  Router* router_ = nullptr;\n};\n"},
+  });
+  ASSERT_TRUE(HasCheck(findings, "apiary-domain-confinement"));
+  for (const auto& finding : findings) {
+    if (finding.check == "apiary-domain-confinement") {
+      EXPECT_EQ(finding.file, "src/core/monitor.cc");
+      EXPECT_EQ(finding.line, 2);
+      EXPECT_NE(finding.message.find("router_"), std::string::npos);
+    }
+  }
+}
+
+TEST(DomainConfinement, FlagsCrossLayerReferenceMember) {
+  EXPECT_TRUE(HasCheck(
+      LintMany({
+          {"src/sim/clock.cc", "class ClockTree {\n};\n"},
+          {"src/noc/mesh.cc", "class Mesh {\n  ClockTree& clock_;\n};\n"},
+      }),
+      "apiary-domain-confinement"));
+}
+
+TEST(DomainConfinement, AllowsSameLayerAndChannelTypes) {
+  EXPECT_FALSE(HasCheck(
+      LintMany({
+          {"src/noc/router.cc", "class Router {\n};\n"},
+          {"src/noc/mesh.cc", "class Mesh {\n  Router* router_ = nullptr;\n};\n"},
+          // PacketPool is a registered channel type: core may hold a handle.
+          {"src/core/monitor.cc",
+           "class Monitor {\n  PacketPool* pool_ = nullptr;\n};\n"},
+      }),
+      "apiary-domain-confinement"));
+}
+
+TEST(DomainConfinement, IgnoresValueMembersLocalsAndForwardDecls) {
+  EXPECT_FALSE(HasCheck(
+      LintMany({
+          {"src/noc/router.cc", "class Router {\n};\n"},
+          {"src/core/monitor.cc",
+           "class Router;\n"              // Forward decl is not a definition.
+           "class Monitor {\n"
+           "  Router by_value_;\n"        // Value member: no raw aliasing.
+           "};\n"
+           "void F(Router* scratch) {\n"  // Parameter, not a member.
+           "  (void)scratch;\n"
+           "}\n"},
+      }),
+      "apiary-domain-confinement"));
+}
+
+TEST(DomainConfinement, AmbiguousTypeNamesAreDropped) {
+  EXPECT_FALSE(HasCheck(
+      LintMany({
+          {"src/noc/stats.cc", "struct Ledger {\n};\n"},
+          {"src/sim/stats.cc", "struct Ledger {\n};\n"},
+          {"src/core/monitor.cc", "class Monitor {\n  Ledger* ledger_ = nullptr;\n};\n"},
+      }),
+      "apiary-domain-confinement"));
+}
+
+// ---------------------------------------------------------------------------
+// apiary-sync-discipline.
+// ---------------------------------------------------------------------------
+
+TEST(SyncDiscipline, FlagsAdHocPrimitivesUnderSrc) {
+  const auto findings = LintOne("src/core/x.cc",
+                                "class Q {\n"
+                                "  std::mutex mu_;\n"
+                                "  std::atomic<int> depth_{0};\n"
+                                "};\n"
+                                "void F() {\n"
+                                "  thread_local int depth = 0;\n"
+                                "  (void)depth;\n"
+                                "}\n");
+  int sync_findings = 0;
+  for (const auto& finding : findings) {
+    if (finding.check == "apiary-sync-discipline") {
+      ++sync_findings;
+    }
+  }
+  EXPECT_EQ(sync_findings, 3);
+}
+
+TEST(SyncDiscipline, AllowsTheParallelHome) {
+  EXPECT_FALSE(HasCheck(
+      LintOne("src/sim/parallel/work_queue.cc",
+              "class WorkQueue {\n  std::mutex mu_;\n};\n"),
+      "apiary-sync-discipline"));
+}
+
+TEST(SyncDiscipline, TestsAndBenchAreUnrestricted) {
+  EXPECT_TRUE(LintOne("tests/x.cc", "std::mutex m;\n").empty());
+  EXPECT_TRUE(LintOne("bench/x.cc", "std::atomic<int> a{0};\n").empty());
+}
+
+TEST(SyncDiscipline, DoesNotFlagLookalikes) {
+  EXPECT_FALSE(HasCheck(
+      LintOne("src/core/x.cc",
+              "int thread_local_count();\n"
+              "class Threads {\n};\n"),
+      "apiary-sync-discipline"));
+}
+
+// ---------------------------------------------------------------------------
+// apiary-nolint-reason.
+// ---------------------------------------------------------------------------
+
+TEST(NolintReason, FlagsReasonlessApiaryWaivers) {
+  EXPECT_TRUE(HasCheck(
+      LintOne("src/core/x.cc",
+              "std::unordered_map<int, int> m_;  // NOLINT(apiary-determinism)\n"),
+      "apiary-nolint-reason"));
+  EXPECT_TRUE(HasCheck(LintOne("src/core/x.cc",
+                               "// NOLINTNEXTLINE(apiary-determinism)\n"
+                               "std::unordered_map<int, int> m_;\n"),
+                       "apiary-nolint-reason"));
+}
+
+TEST(NolintReason, AcceptsReasonedWaivers) {
+  EXPECT_FALSE(HasCheck(
+      LintOne("src/core/x.cc",
+              "std::unordered_map<int, int> m_;  "
+              "// NOLINT(apiary-determinism): lookups only, never iterated\n"),
+      "apiary-nolint-reason"));
+}
+
+TEST(NolintReason, BareNolintAndOtherToolsAreExempt) {
+  // A bare NOLINT (no check list) is the escape hatch for other tools.
+  EXPECT_FALSE(HasCheck(LintOne("src/core/x.cc", "int x = 0;  // NOLINT\n"),
+                        "apiary-nolint-reason"));
+  // Non-apiary check lists (clang-tidy's) are none of our business.
+  EXPECT_FALSE(HasCheck(
+      LintOne("src/core/x.cc",
+              "int y = 0;  // NOLINT(readability-magic-numbers) "
+              "APIARY-SHARED(process): fixture\n"),
+      "apiary-nolint-reason"));
 }
 
 // ---------------------------------------------------------------------------
@@ -487,6 +765,16 @@ TEST(Fixtures, GoodTreesAreCleanBadTreesFail) {
       {"hotpath/good", {"src"}, 0, ""},
       {"hotpath/bad", {"src"}, 1, "apiary-hot-path"},
       {"hotpath/suppressed", {"src"}, 0, ""},
+      {"globalstate/good", {"src"}, 0, ""},
+      {"globalstate/bad", {"src"}, 1, "apiary-global-state"},
+      {"globalstate/suppressed", {"src"}, 0, ""},
+      {"confinement/good", {"src"}, 0, ""},
+      {"confinement/bad", {"src"}, 1, "apiary-domain-confinement"},
+      {"confinement/suppressed", {"src"}, 0, ""},
+      {"syncdiscipline/good", {"src"}, 0, ""},
+      {"syncdiscipline/bad", {"src"}, 1, "apiary-sync-discipline"},
+      {"syncdiscipline/suppressed", {"src"}, 0, ""},
+      {"nolintreason/bad", {"src"}, 1, "apiary-nolint-reason"},
   };
   for (const auto& c : cases) {
     std::string output;
@@ -512,6 +800,53 @@ TEST(Fixtures, OpcodeBadNamesBothGaps) {
 TEST(Fixtures, MissingPathIsAUsageError) {
   std::string output;
   EXPECT_EQ(RunLintBinary("determinism/good", {"no_such_dir"}, &output), 2) << output;
+}
+
+// Golden-file test: the CLI's stdout is byte-for-byte stable — findings
+// sorted by (file, line, check), fixed ToString format, trailing summary.
+// Regenerate by redirecting `apiary_lint --repo-root tools/apiary_lint/
+// testdata/cli src` into tools/apiary_lint/testdata/cli/expected_output.txt.
+TEST(Fixtures, CliOutputMatchesGoldenFile) {
+  std::string output;
+  const int exit_code = RunLintBinary("cli", {"src"}, &output);
+  EXPECT_EQ(exit_code, 1) << output;
+  std::ifstream golden(std::string(APIARY_LINT_TESTDATA) + "/cli/expected_output.txt",
+                       std::ios::binary);
+  ASSERT_TRUE(golden.good()) << "missing golden file";
+  std::ostringstream expected;
+  expected << golden.rdbuf();
+  EXPECT_EQ(output, expected.str());
+}
+
+TEST(Fixtures, JsonOutputListsFindings) {
+  const std::string json_path = "lint_test_cli_out.json";  // Test CWD (build dir).
+  std::string output;
+  const int exit_code = RunLintBinary("cli", {"--json=" + json_path, "src"}, &output);
+  EXPECT_EQ(exit_code, 1) << output;
+  std::ifstream in(json_path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream json;
+  json << in.rdbuf();
+  std::remove(json_path.c_str());
+  EXPECT_NE(json.str().find("\"files_scanned\": 2"), std::string::npos) << json.str();
+  EXPECT_NE(json.str().find("\"check\": \"apiary-global-state\""), std::string::npos)
+      << json.str();
+  EXPECT_NE(json.str().find("\"file\": \"src/noc/b.cc\""), std::string::npos)
+      << json.str();
+}
+
+TEST(Fixtures, CleanTreeWritesEmptyJsonAndExitsZero) {
+  const std::string json_path = "lint_test_clean_out.json";  // Test CWD (build dir).
+  std::string output;
+  const int exit_code =
+      RunLintBinary("determinism/good", {"--json=" + json_path, "src"}, &output);
+  EXPECT_EQ(exit_code, 0) << output;
+  std::ifstream in(json_path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream json;
+  json << in.rdbuf();
+  std::remove(json_path.c_str());
+  EXPECT_NE(json.str().find("\"findings\": []"), std::string::npos) << json.str();
 }
 
 }  // namespace

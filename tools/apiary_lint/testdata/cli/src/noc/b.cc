@@ -1,0 +1,10 @@
+// CLI golden fixture: two findings in this file, one in src/sim/a.cc.
+namespace apiary {
+
+int g_hits = 0;
+
+int Jitter() {
+  return rand();
+}
+
+}  // namespace apiary

@@ -1,0 +1,6 @@
+// CLI golden fixture: one finding, sorted after src/noc/b.cc.
+namespace apiary {
+
+int g_total = 0;
+
+}  // namespace apiary

@@ -1,0 +1,16 @@
+// Bad: a core-layer member holds a raw pointer into the noc domain.
+#ifndef SRC_CORE_MONITOR_H_
+#define SRC_CORE_MONITOR_H_
+
+namespace apiary {
+
+class Router;
+
+class Monitor {
+ private:
+  Router* router_ = nullptr;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_CORE_MONITOR_H_

@@ -1,0 +1,14 @@
+// A noc-owned type other layers may only reach through channels.
+#ifndef SRC_NOC_ROUTER_H_
+#define SRC_NOC_ROUTER_H_
+
+namespace apiary {
+
+class Router {
+ public:
+  int Route(int flit);
+};
+
+}  // namespace apiary
+
+#endif  // SRC_NOC_ROUTER_H_

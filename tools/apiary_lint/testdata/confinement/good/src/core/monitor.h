@@ -1,0 +1,23 @@
+// Good: cross-domain state rides registered channel types; raw pointers
+// stay inside the declaring layer.
+#ifndef SRC_CORE_MONITOR_H_
+#define SRC_CORE_MONITOR_H_
+
+namespace apiary {
+
+class NetworkInterface;
+
+class CapTable {
+ public:
+  int Lookup(int ref);
+};
+
+class Monitor {
+ private:
+  NetworkInterface* ni_ = nullptr;  // Registered channel type: allowed.
+  CapTable* caps_ = nullptr;        // Same-layer pointer: allowed.
+};
+
+}  // namespace apiary
+
+#endif  // SRC_CORE_MONITOR_H_

@@ -7,6 +7,6 @@ namespace apiary {
 uint64_t Jitter(Rng& rng) { return rng.NextBelow(16); }
 
 /* block comment with srand(42) and std::random_device inside */
-const char* kLabel = "time(nullptr) inside a string literal is fine";
+const char* const kLabel = "time(nullptr) inside a string literal is fine";
 
 }  // namespace apiary

@@ -1,0 +1,14 @@
+// Bad: process-global mutable state a sharded simulation would race on.
+namespace apiary {
+
+int g_counter = 0;
+
+int& Registry() {
+  static int registry = 0;
+  return registry;
+}
+
+// APIARY-SHARED(process)
+int g_malformed = 0;
+
+}  // namespace apiary

@@ -1,0 +1,15 @@
+// Good: constants, function locals, and one annotated deliberate global.
+namespace apiary {
+
+constexpr int kTableSize = 64;
+const char* const kName = "apiary";
+
+// APIARY-SHARED(process): fallback ledger for out-of-domain callers.
+int g_fallback_refs = 0;
+
+int Next() {
+  int local = kTableSize;
+  return local + g_fallback_refs;
+}
+
+}  // namespace apiary

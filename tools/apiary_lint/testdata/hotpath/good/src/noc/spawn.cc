@@ -1,10 +1,11 @@
-// Good: packets come from the pool; payloads stay in PayloadBuf.
+// Good: packets come from the tile's pool handle; payloads stay in PayloadBuf.
+#include "src/noc/network_interface.h"
 #include "src/noc/packet_pool.h"
 
 namespace apiary {
 
-void Spawn() {
-  PacketRef packet = PacketPool::Default().Acquire();
+void Spawn(NetworkInterface* ni) {
+  PacketRef packet = ni->pool()->Acquire();
   PayloadBuf staging;
   staging.append(packet->payload.data(), packet->payload.size());
 }

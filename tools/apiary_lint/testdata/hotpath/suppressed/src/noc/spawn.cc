@@ -9,8 +9,8 @@ struct NocPacket {
 };
 
 void Spawn() {
-  NocPacket* fallback = new NocPacket();  // NOLINT(apiary-hot-path)
-  // NOLINTNEXTLINE(apiary-hot-path)
+  NocPacket* fallback = new NocPacket();  // NOLINT(apiary-hot-path): exhaustion fallback, off the steady-state path
+  // NOLINTNEXTLINE(apiary-hot-path): one-time staging copy at tile bring-up
   std::vector<uint8_t> payload_copy(fallback->payload.begin(), fallback->payload.end());
   (void)payload_copy;
 }

@@ -1,0 +1,11 @@
+// Bad: an apiary-* waiver with no recorded reason.
+#include <unordered_map>
+
+namespace apiary {
+
+class Cache {
+ private:
+  std::unordered_map<int, int> map_;  // NOLINT(apiary-determinism)
+};
+
+}  // namespace apiary

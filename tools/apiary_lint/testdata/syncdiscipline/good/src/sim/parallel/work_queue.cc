@@ -1,0 +1,16 @@
+// Good: synchronization primitives live in the reviewed parallel home.
+#include <atomic>
+#include <mutex>
+
+namespace apiary {
+
+class WorkQueue {
+ public:
+  void Push(int v);
+
+ private:
+  std::mutex mu_;
+  std::atomic<int> depth_{0};
+};
+
+}  // namespace apiary
