@@ -24,6 +24,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "src/core/kernel.h"
 #include "src/core/message.h"
 #include "src/noc/packet_pool.h"
+#include "src/sim/parallel/parallel_simulator.h"
 #include "src/sim/payload_buf.h"
 #include "src/stats/table.h"
 
@@ -101,7 +103,8 @@ struct RunResult {
   double mcycles_per_sec = 0;
 };
 
-RunResult RunConfig(bool pooled, Cycle warmup_cycles, Cycle measure_cycles) {
+RunResult RunConfig(bool pooled, Cycle warmup_cycles, Cycle measure_cycles,
+                    uint32_t threads) {
   BenchBoard bb;
   // Pools and arenas are per-simulator domain state: toggle this board's
   // mesh pool and this sim's context arena, not process-wide globals.
@@ -124,12 +127,36 @@ RunResult RunConfig(bool pooled, Cycle warmup_cycles, Cycle measure_cycles) {
     (void)os.GrantSendToService(ct, echo_svc);
   }
 
+  // `--threads N` drives the run through the sharded engine. The partition
+  // gives every shard its own pool and arena; the pooled/legacy toggle must
+  // cover those domains too, or the ablation would compare mixed modes.
+  std::optional<ParallelSimulator> psim;
+  if (threads > 0) {
+    psim.emplace(&bb.sim, &bb.board.mesh(), ParallelConfig{/*shards=*/0, threads});
+    for (uint32_t sh = 0; sh < psim->shards(); ++sh) {
+      PacketPool::ForContext(*psim->shard_context(sh)).SetEnabled(pooled);
+      psim->shard_context(sh)->arena().SetEnabled(pooled);
+    }
+  }
+  auto run = [&](Cycle end) {
+    if (psim.has_value()) {
+      psim->Run(end);
+    } else {
+      bb.sim.Run(end);
+    }
+  };
+
   // Warm up: the pool grows to the traffic's high-water mark, the arena
   // freelists fill, queues reach steady occupancy. Everything after the
   // ledger reset is steady state.
-  bb.sim.Run(warmup_cycles);
-  bb.board.mesh().pool().ResetStats();
+  run(warmup_cycles);
+  bb.board.mesh().ResetPoolStats();
   bb.sim.context().arena().ResetStats();
+  if (psim.has_value()) {
+    for (uint32_t sh = 0; sh < psim->shards(); ++sh) {
+      psim->shard_context(sh)->arena().ResetStats();
+    }
+  }
   uint64_t sent0 = 0;
   uint64_t received0 = 0;
   for (const SaturatingClient* c : clients) {
@@ -141,7 +168,7 @@ RunResult RunConfig(bool pooled, Cycle warmup_cycles, Cycle measure_cycles) {
   // Host wall time is the measurand; it never feeds back into simulated
   // state, so determinism is unaffected.
   const auto t0 = std::chrono::steady_clock::now();  // NOLINT(apiary-determinism): host wall time is the measurand, never fed back into sim state
-  bb.sim.Run(measure_cycles);
+  run(measure_cycles);
   const auto t1 = std::chrono::steady_clock::now();  // NOLINT(apiary-determinism): host wall time is the measurand, never fed back into sim state
 
   RunResult r;
@@ -154,12 +181,16 @@ RunResult RunConfig(bool pooled, Cycle warmup_cycles, Cycle measure_cycles) {
   r.received -= received0;
   r.flits = bb.board.mesh().TotalFlitsRouted() - flits0;
 
-  const PacketPoolStats& pool = bb.board.mesh().pool().stats();
-  const PayloadArenaStats& arena = bb.sim.context().arena().stats();
+  const PacketPoolStats pool = bb.board.mesh().AggregatePoolStats();
   r.acquires = pool.acquires;
   r.pool_hits = pool.pool_hits;
   r.heap_allocs = pool.heap_allocs;
-  r.arena_allocs = arena.chunk_allocs;
+  r.arena_allocs = bb.sim.context().arena().stats().chunk_allocs;
+  if (psim.has_value()) {
+    for (uint32_t sh = 0; sh < psim->shards(); ++sh) {
+      r.arena_allocs += psim->shard_context(sh)->arena().stats().chunk_allocs;
+    }
+  }
   r.reuse_pct =
       r.acquires > 0 ? 100.0 * static_cast<double>(r.pool_hits) / static_cast<double>(r.acquires)
                      : 0;
@@ -198,6 +229,7 @@ void EmitRow(BenchJson& json, const char* config, const RunResult& r) {
 int main(int argc, char** argv) {
   const bool smoke = HasFlag(argc, argv, "--smoke");
   const bool no_pool_only = HasFlag(argc, argv, "--no-pool");
+  const uint32_t threads = static_cast<uint32_t>(IntArg(argc, argv, "--threads", 0));
   const Cycle warmup_cycles = smoke ? 200'000 : 1'000'000;
   const Cycle measure_cycles = smoke ? 800'000 : 8'000'000;
 
@@ -213,21 +245,27 @@ int main(int argc, char** argv) {
   json.Param("measure_cycles", static_cast<uint64_t>(measure_cycles));
   json.Param("pairs", static_cast<uint64_t>(kPairs));
   json.Param("window", static_cast<uint64_t>(kWindow));
+  json.Param("threads", static_cast<uint64_t>(threads));
   json.Param("smoke", smoke ? 1 : 0);
+  if (threads > 0) {
+    std::printf("engine: ParallelSimulator, %u worker thread(s)\n\n", threads);
+  }
 
   Table table("B2: steady-state hot path, pooled vs legacy alloc");
   table.SetHeader({"config", "Mcyc/s", "msgs", "msgs/wall-s", "reuse %",
                    "allocs/msg"});
 
   int rc = 0;
-  const RunResult legacy = RunConfig(/*pooled=*/false, warmup_cycles, measure_cycles);
+  const RunResult legacy =
+      RunConfig(/*pooled=*/false, warmup_cycles, measure_cycles, threads);
   table.AddRow({"no-pool", Table::Num(legacy.mcycles_per_sec, 1), Table::Int(legacy.received),
                 Table::Num(legacy.msgs_per_wall_sec, 0), "-",
                 Table::Num(legacy.allocs_per_msg, 2)});
   EmitRow(json, "no-pool", legacy);
 
   if (!no_pool_only) {
-    const RunResult pooled = RunConfig(/*pooled=*/true, warmup_cycles, measure_cycles);
+    const RunResult pooled =
+        RunConfig(/*pooled=*/true, warmup_cycles, measure_cycles, threads);
     table.AddRow({"pooled", Table::Num(pooled.mcycles_per_sec, 1), Table::Int(pooled.received),
                   Table::Num(pooled.msgs_per_wall_sec, 0), Table::Num(pooled.reuse_pct, 2),
                   Table::Num(pooled.allocs_per_msg, 4)});

@@ -3,6 +3,7 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -28,6 +29,9 @@ struct BenchBoardOptions {
   uint64_t dram_bytes = 256ull << 20;
   double clock_mhz = 250.0;
   Cycle fabric_latency_cycles = 25;  // ~100ns one-way datacenter hop.
+  // 0 keeps the BoardConfig default (100k cells). Large meshes (8x8 and up)
+  // must shrink the per-tile region to fit the part's logic-cell budget.
+  uint64_t tile_region_cells = 0;
 };
 
 // Simulator + external network + board + kernel, with the standard OS
@@ -60,6 +64,9 @@ struct BenchBoard {
     cfg.mesh = MeshConfig{options.width, options.height, 8, 512};
     cfg.dram.capacity_bytes = options.dram_bytes;
     cfg.mac_kind = options.mac;
+    if (options.tile_region_cells != 0) {
+      cfg.tile_region_cells = options.tile_region_cells;
+    }
     return cfg;
   }
 
@@ -180,6 +187,21 @@ inline bool HasFlag(int argc, char** argv, const std::string& flag) {
     }
   }
   return false;
+}
+
+// `--flag N` / `--flag=N` integer argument, or `def` when absent.
+inline uint64_t IntArg(int argc, char** argv, const std::string& flag, uint64_t def) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg == flag && i + 1 < argc) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::strtoull(arg.c_str() + prefix.size(), nullptr, 10);
+    }
+  }
+  return def;
 }
 
 }  // namespace apiary

@@ -40,6 +40,9 @@ class Tile : public Clocked {
   // accelerator is not ticked in a cycle-by-cycle run either.
   [[nodiscard]] Cycle NextActivity(Cycle now) const override;
   void OnFastForward(Cycle resume_cycle) override;
+  // A tile is anchored to its NoC endpoint: the sharded engine ticks it (and
+  // with it its monitor and accelerator) on the worker owning its shard.
+  [[nodiscard]] TileId PartitionHome() const override { return id_; }
   std::string DebugName() const override;
 
   Monitor& monitor() { return monitor_; }

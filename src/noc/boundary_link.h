@@ -1,0 +1,128 @@
+// BoundaryLink: one directed mesh link whose endpoints live in different
+// shards of the parallel engine (src/sim/parallel/parallel_simulator.h).
+//
+// A cut link replaces the direct neighbor->AcceptFlit call with a two-ring
+// handoff at the committed-time frontier:
+//   * Flit ring (sender -> receiver): the sending router's route phase
+//     pushes one POD record per crossing flit; the receiving shard's
+//     transfer phase drains them into the destination router's staged
+//     buffer the SAME cycle — so the flit becomes visible at T+1, exactly
+//     when a direct AcceptFlit at T would have made it visible.
+//   * Credit ring (receiver -> sender): start-of-cycle credit flow control.
+//     The sender holds `buffer_depth` credits per VC (the depth of the
+//     receiving input buffer) and spends one per flit; the receiver counts
+//     pops out of that buffer and flushes them back at the end of its route
+//     phase. Harvested credits become spendable the NEXT cycle, so the
+//     sender's view equals the receiver's end-of-previous-cycle occupancy —
+//     credits > 0 therefore guarantees AcceptFlit succeeds (asserted).
+//
+// Ownership never crosses the cut. PacketRef's refcount is non-atomic by
+// design (see packet.h), so two shards must never hold references to one
+// NocPacket. The records in the flit ring carry a raw pointer + flit index;
+// when the HEAD record arrives, the receiver CLONES the packet into its own
+// shard pool/arena and reassembles the remaining flits against the clone
+// (body records are never dereferenced). Wormhole switching admits at most
+// one partial packet per (link, VC), so one clone slot per VC suffices.
+// On the sender side, the packet is pinned by a 1-cycle anchor ref taken at
+// Send() of the head flit and dropped at the sender's NEXT commit phase —
+// by then the receiver has finished its clone reads for the cycle (the
+// engine's barrier orders them), so even a single-flit packet whose last
+// sender-side ref died at pop time cannot be scrubbed mid-read.
+//
+// Thread roles are fixed by the partition: exactly one sending shard and
+// one receiving shard per link, which is what lets the rings be SPSC (see
+// spsc_ring.h for why MPMC would cost contended RMWs for nothing).
+#ifndef SRC_NOC_BOUNDARY_LINK_H_
+#define SRC_NOC_BOUNDARY_LINK_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/noc/packet.h"
+#include "src/sim/parallel/spsc_ring.h"
+#include "src/sim/types.h"
+
+namespace apiary {
+
+class PacketPool;
+class Router;
+enum RouterPort : int;
+
+// One flit crossing the cut. `packet` is dereferenced only for head records
+// (index 0), during the receiver's clone; body/tail records are matched to
+// the in-progress clone by VC.
+struct BoundaryFlitRecord {
+  const NocPacket* packet = nullptr;
+  uint32_t index = 0;
+  uint8_t vc = 0;
+};
+
+// Credits returned by the receiver: `pops` flits left input buffer `vc`.
+struct BoundaryCreditRecord {
+  uint8_t vc = 0;
+  uint8_t pops = 0;
+};
+
+class BoundaryLink {
+ public:
+  explicit BoundaryLink(uint32_t buffer_depth);
+  BoundaryLink(const BoundaryLink&) = delete;
+  BoundaryLink& operator=(const BoundaryLink&) = delete;
+
+  // ------------------------------------------------------------------
+  // Sender side — called only from the source shard's thread.
+  // ------------------------------------------------------------------
+  bool HasCredit(Vc vc) const { return credits_[static_cast<int>(vc)] > 0; }
+  // Spends a credit and pushes the flit record. Head flits also take the
+  // 1-cycle anchor ref that keeps the packet alive through the receiver's
+  // clone window.
+  void Send(const Flit& flit, Cycle now);
+  // Sender commit phase: last cycle's anchors drop, this cycle's (taken by
+  // Send below) move into the 1-cycle holding slot.
+  void ReleaseAnchors();
+  // Sender transfer phase: drain returned credits (spendable next cycle).
+  void HarvestCredits();
+
+  // ------------------------------------------------------------------
+  // Receiver side — called only from the destination shard's thread.
+  // ------------------------------------------------------------------
+  // Router pop accounting (via Router::SetInputBoundary wiring).
+  void NotifyPop(Vc vc) { ++pending_pops_[static_cast<int>(vc)]; }
+  // Receiver route phase, after the routers ran: publish this cycle's pops.
+  // Must happen before the shard's route_done grant so the sender's harvest
+  // sees a complete cycle.
+  void FlushCredits();
+  // Receiver transfer phase: drain the flit ring into `router`'s input
+  // `in_port`, cloning head packets into `pool` (and the installed domain's
+  // payload arena).
+  void DeliverInto(Router& router, RouterPort in_port, Cycle now, PacketPool& pool);
+
+  // Teardown/stat readers (single-threaded: workers parked or joined).
+  uint64_t flits_handed_off() const { return flits_handed_off_; }
+  uint64_t packets_cloned() const { return packets_cloned_; }
+
+ private:
+  // Capacities: at most one flit crosses a directed link per cycle and both
+  // rings are fully drained every cycle, so these bounds are generous; Push
+  // failure is a protocol bug (asserted).
+  static constexpr uint32_t kFlitRingSlots = 8;
+  static constexpr uint32_t kCreditRingSlots = 8;
+
+  SpscRing<BoundaryFlitRecord, kFlitRingSlots> flits_;
+  SpscRing<BoundaryCreditRecord, kCreditRingSlots> credits_ring_;
+
+  // Sender-owned state.
+  std::array<uint32_t, kNumVcs> credits_;
+  std::array<PacketRef, kNumVcs> anchor_;       // Head crossed last cycle.
+  std::array<PacketRef, kNumVcs> anchor_next_;  // Head crossed this cycle.
+  uint64_t flits_handed_off_ = 0;
+
+  // Receiver-owned state.
+  std::array<PacketRef, kNumVcs> clone_;  // Partially reassembled clone.
+  std::array<uint32_t, kNumVcs> pending_pops_{};
+  uint64_t packets_cloned_ = 0;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_NOC_BOUNDARY_LINK_H_

@@ -1,8 +1,14 @@
 #include "src/noc/mesh.h"
 
+#include <cassert>
 #include <cstdlib>
 
 namespace apiary {
+
+namespace {
+// The port a flit leaving through `out` arrives on downstream.
+constexpr RouterPort kOppositePort[4] = {kPortSouth, kPortNorth, kPortWest, kPortEast};
+}  // namespace
 
 Mesh::Mesh(MeshConfig config, SimContext* context) : config_(config) {
   if (context != nullptr) {
@@ -47,6 +53,10 @@ Mesh::Mesh(MeshConfig config, SimContext* context) : config_(config) {
 }
 
 void Mesh::Tick(Cycle now) {
+  // A partitioned mesh is driven through the ShardCommit/Route/Transfer
+  // phases by the parallel engine; serial ticking would bypass the boundary
+  // shims and double-run the phases.
+  assert(!partitioned() && "partitioned mesh must be driven by ParallelSimulator");
   // Phase 1: flits staged last cycle become visible everywhere.
   for (auto& r : routers_) {
     r->CommitStaged();
@@ -129,6 +139,171 @@ uint64_t Mesh::LogicCellCost() const {
   return static_cast<uint64_t>(num_tiles()) *
          (Router::LogicCellCost(config_.router_buffer_depth) +
           NetworkInterface::LogicCellCost());
+}
+
+void Mesh::EnablePartition(const DomainPartition& partition,
+                           std::vector<std::unique_ptr<SimContext>> shard_contexts) {
+  assert(!partitioned());
+  assert(partition.width == config_.width && partition.height == config_.height);
+  assert(shard_contexts.size() == partition.num_shards);
+  // The fabric must be idle: a packet acquired before the split would be
+  // released into a shard pool it never came from.
+  for (const auto& r : routers_) {
+    assert(!r->HasBufferedFlits() && "EnablePartition on a non-idle mesh");
+    (void)r;
+  }
+  for (const auto& ni : nis_) {
+    assert(!ni->HasPendingInject() && "EnablePartition on a non-idle mesh");
+    (void)ni;
+  }
+
+  partition_ = partition;
+  shard_contexts_ = std::move(shard_contexts);
+  shard_pools_.clear();
+  shard_pools_.reserve(partition_.num_shards);
+  for (const auto& context : shard_contexts_) {
+    shard_pools_.push_back(&PacketPool::ForContext(*context));
+  }
+  // Each tile's senders draw from its shard's pool: packets are born,
+  // routed (except across cuts, where they are cloned), and released inside
+  // one domain — the confinement that lets PacketRef stay non-atomic.
+  for (uint32_t t = 0; t < num_tiles(); ++t) {
+    nis_[t]->SetPool(shard_pools_[partition_.shard_of_tile[t]]);
+  }
+
+  // Boundary shims on every directed cut link.
+  shard_out_edges_.assign(partition_.num_shards, {});
+  shard_in_edges_.assign(partition_.num_shards, {});
+  const RouterPort kDirs[4] = {kPortNorth, kPortSouth, kPortEast, kPortWest};
+  for (uint32_t y = 0; y < config_.height; ++y) {
+    for (uint32_t x = 0; x < config_.width; ++x) {
+      const uint32_t t = y * config_.width + x;
+      for (const RouterPort out : kDirs) {
+        const int nx = static_cast<int>(x) + (out == kPortEast ? 1 : out == kPortWest ? -1 : 0);
+        const int ny = static_cast<int>(y) + (out == kPortSouth ? 1 : out == kPortNorth ? -1 : 0);
+        if (nx < 0 || ny < 0 || nx >= static_cast<int>(config_.width) ||
+            ny >= static_cast<int>(config_.height)) {
+          continue;
+        }
+        const uint32_t n = static_cast<uint32_t>(ny) * config_.width + static_cast<uint32_t>(nx);
+        if (partition_.shard_of_tile[t] == partition_.shard_of_tile[n]) {
+          continue;
+        }
+        BoundaryEdge edge;
+        edge.link = std::make_unique<BoundaryLink>(config_.router_buffer_depth);
+        edge.src_router = routers_[t].get();
+        edge.dst_router = routers_[n].get();
+        edge.out_port = out;
+        edge.in_port = kOppositePort[out];
+        edge.src_shard = partition_.shard_of_tile[t];
+        edge.dst_shard = partition_.shard_of_tile[n];
+        edge.src_router->SetOutputBoundary(edge.out_port, edge.link.get());
+        edge.dst_router->SetInputBoundary(edge.in_port, edge.link.get());
+        const uint32_t index = static_cast<uint32_t>(edges_.size());
+        shard_out_edges_[edge.src_shard].push_back(index);
+        shard_in_edges_[edge.dst_shard].push_back(index);
+        edges_.push_back(std::move(edge));
+      }
+    }
+  }
+}
+
+void Mesh::DisablePartition() {
+  if (!partitioned()) {
+    return;
+  }
+  for (BoundaryEdge& edge : edges_) {
+    edge.src_router->SetOutputBoundary(edge.out_port, nullptr);
+    edge.dst_router->SetInputBoundary(edge.in_port, nullptr);
+  }
+  // Destroying the edges drops anchor/clone refs into the shard pools —
+  // single-threaded by contract (the engine's workers have joined).
+  edges_.clear();
+  shard_out_edges_.clear();
+  shard_in_edges_.clear();
+  for (auto& ni : nis_) {
+    ni->SetPool(pool_);
+  }
+  // Retire (don't destroy) the shard contexts: live packets in delivery
+  // queues still point at their pools. They die with the mesh.
+  for (auto& context : shard_contexts_) {
+    retired_contexts_.push_back(std::move(context));
+  }
+  shard_contexts_.clear();
+  shard_pools_.clear();
+  partition_ = DomainPartition{};
+}
+
+void Mesh::ShardCommit(uint32_t shard) {
+  for (const uint32_t t : partition_.shard_tiles[shard]) {
+    routers_[t]->CommitStaged();
+  }
+  for (const uint32_t e : shard_out_edges_[shard]) {
+    edges_[e].link->ReleaseAnchors();
+  }
+}
+
+void Mesh::ShardRoute(uint32_t shard, Cycle now) {
+  for (const uint32_t t : partition_.shard_tiles[shard]) {
+    routers_[t]->RouteCycle(now);
+  }
+  // Publish this cycle's consumed credits before the engine's route_done
+  // grant, so the upstream shard's harvest sees the complete cycle.
+  for (const uint32_t e : shard_in_edges_[shard]) {
+    edges_[e].link->FlushCredits();
+  }
+}
+
+void Mesh::ShardTransfer(uint32_t shard, Cycle now) {
+  for (const uint32_t e : shard_out_edges_[shard]) {
+    edges_[e].link->HarvestCredits();
+  }
+  for (const uint32_t e : shard_in_edges_[shard]) {
+    const BoundaryEdge& edge = edges_[e];
+    edge.link->DeliverInto(*edge.dst_router, edge.in_port, now, *shard_pools_[shard]);
+  }
+  for (const uint32_t t : partition_.shard_tiles[shard]) {
+    nis_[t]->InjectCycle(now);
+  }
+}
+
+uint64_t Mesh::BoundaryFlitsHandedOff() const {
+  uint64_t total = 0;
+  for (const BoundaryEdge& edge : edges_) {
+    total += edge.link->flits_handed_off();
+  }
+  return total;
+}
+
+uint64_t Mesh::BoundaryPacketsCloned() const {
+  uint64_t total = 0;
+  for (const BoundaryEdge& edge : edges_) {
+    total += edge.link->packets_cloned();
+  }
+  return total;
+}
+
+PacketPoolStats Mesh::AggregatePoolStats() const {
+  PacketPoolStats total = pool_->stats();
+  for (const PacketPool* pool : shard_pools_) {
+    const PacketPoolStats& s = pool->stats();
+    total.acquires += s.acquires;
+    total.pool_hits += s.pool_hits;
+    total.heap_allocs += s.heap_allocs;
+    total.releases += s.releases;
+    total.exhausted_fallbacks += s.exhausted_fallbacks;
+    total.live += s.live;
+    total.high_water += s.high_water;
+    total.free_size += s.free_size;
+  }
+  return total;
+}
+
+void Mesh::ResetPoolStats() {
+  pool_->ResetStats();
+  for (PacketPool* pool : shard_pools_) {
+    pool->ResetStats();
+  }
 }
 
 }  // namespace apiary

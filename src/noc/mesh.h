@@ -10,12 +10,15 @@
 #include <memory>
 #include <vector>
 
+#include "src/noc/boundary_link.h"
 #include "src/noc/fault_hooks.h"
 #include "src/noc/network_interface.h"
 #include "src/noc/packet.h"
 #include "src/noc/packet_pool.h"
 #include "src/noc/router.h"
 #include "src/sim/clocked.h"
+#include "src/sim/parallel/domain_partition.h"
+#include "src/sim/parallel/sharded_fabric.h"
 #include "src/sim/sim_context.h"
 
 namespace apiary {
@@ -31,7 +34,7 @@ struct MeshConfig {
   bool force_single_vc = false;
 };
 
-class Mesh : public Clocked {
+class Mesh : public Clocked, public ShardedFabric {
  public:
   // `context` selects the packet pool: the domain-local pool of the owning
   // simulator's SimContext when given (the Board constructor path), or a
@@ -79,13 +82,67 @@ class Mesh : public Clocked {
   // Total logic-cell cost of the NoC fabric (routers + NIs).
   uint64_t LogicCellCost() const;
 
+  // ------------------------------------------------------------------
+  // ShardedFabric (the parallel engine's view of the mesh; see
+  // src/sim/parallel/sharded_fabric.h for the phase/ordering contract).
+  // ------------------------------------------------------------------
+  uint32_t FabricWidth() const override { return config_.width; }
+  uint32_t FabricHeight() const override { return config_.height; }
+  void EnablePartition(const DomainPartition& partition,
+                       std::vector<std::unique_ptr<SimContext>> shard_contexts) override;
+  void DisablePartition() override;
+  SimContext* shard_context(uint32_t shard) override { return shard_contexts_[shard].get(); }
+  void ShardCommit(uint32_t shard) override;
+  void ShardRoute(uint32_t shard, Cycle now) override;
+  void ShardTransfer(uint32_t shard, Cycle now) override;
+  Clocked* AsClocked() override { return this; }
+
+  bool partitioned() const { return !shard_pools_.empty(); }
+  // Cross-shard handoff observability (read with workers parked).
+  uint64_t BoundaryFlitsHandedOff() const;
+  uint64_t BoundaryPacketsCloned() const;
+  // Pool stats summed over the serial pool and every shard pool — the
+  // partition-aware replacement for pool().stats() in benches.
+  PacketPoolStats AggregatePoolStats() const;
+  // Zeroes the ledgers of the serial pool and every shard pool (bench
+  // warmup boundary). Call with workers parked.
+  void ResetPoolStats();
+
  private:
+  // One directed cut link: flits leave `src` shard through src_router's
+  // `out_port` and arrive in `dst` shard on dst_router's `in_port`.
+  struct BoundaryEdge {
+    std::unique_ptr<BoundaryLink> link;
+    Router* src_router = nullptr;
+    Router* dst_router = nullptr;
+    RouterPort out_port = kPortNorth;
+    RouterPort in_port = kPortNorth;
+    uint32_t src_shard = 0;
+    uint32_t dst_shard = 0;
+  };
+
   MeshConfig config_;
+  // Shard contexts live until MESH destruction, not DisablePartition:
+  // packets cloned from shard pools can sit in NI delivery queues (and
+  // monitor inboxes, which die before the board's mesh) past the engine's
+  // teardown, and must still find their pool when released. Declared first
+  // so they are destroyed last, after every flit ref in routers_/nis_/edges_
+  // has dropped.
+  std::vector<std::unique_ptr<SimContext>> shard_contexts_;
+  std::vector<std::unique_ptr<SimContext>> retired_contexts_;
   std::unique_ptr<PacketPool> owned_pool_;  // Set only for standalone meshes.
   PacketPool* pool_;                        // Context slot pool or owned_pool_.
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   NocFaultModel* fault_model_ = nullptr;
+
+  // Partition state (empty while unpartitioned).
+  DomainPartition partition_;
+  std::vector<PacketPool*> shard_pools_;
+  std::vector<BoundaryEdge> edges_;
+  // Per shard: indices into edges_ it sends on / receives from.
+  std::vector<std::vector<uint32_t>> shard_out_edges_;
+  std::vector<std::vector<uint32_t>> shard_in_edges_;
 };
 
 }  // namespace apiary

@@ -71,6 +71,12 @@ class NetworkInterface {
   // the Board path (the mesh always wires one in).
   PacketPool* pool() const { return pool_; }
 
+  // Partition support (Mesh::EnablePartition): repoints this tile's senders
+  // at the owning shard's pool, so injected packets are born, routed, and
+  // released inside one domain. Monitors read pool() per send — nothing
+  // caches the old pointer.
+  void SetPool(PacketPool* pool) { pool_ = pool; }
+
   // Largest packet (in flits) that can ever be injected; senders must
   // segment above this.
   uint32_t max_packet_flits() const { return inject_queue_flits_; }

@@ -1,5 +1,6 @@
 #include "src/noc/router.h"
 
+#include "src/noc/boundary_link.h"
 #include "src/noc/network_interface.h"
 
 namespace apiary {
@@ -92,6 +93,12 @@ bool Router::DownstreamHasSpace(RouterPort out, Vc vc) const {
     // maximum packet and delivery queues are modeled at the monitor level.
     return true;
   }
+  if (out_boundary_[out] != nullptr) {
+    // Cut link: credit flow control stands in for the neighbor's FreeSlots —
+    // a credit is a guaranteed slot in the receiving input buffer, reflecting
+    // its end-of-previous-cycle occupancy (never reading the other shard).
+    return out_boundary_[out]->HasCredit(vc);
+  }
   Router* next = neighbors_[out];
   if (next == nullptr) {
     return false;
@@ -106,6 +113,10 @@ void Router::SendDownstream(RouterPort out, const Flit& flit, Cycle now) {
     if (ni_ != nullptr) {
       ni_->EjectFlit(flit, now);
     }
+    return;
+  }
+  if (out_boundary_[out] != nullptr) {
+    out_boundary_[out]->Send(flit, now);
     return;
   }
   static constexpr RouterPort kOpposite[4] = {kPortSouth, kPortNorth, kPortWest, kPortEast};
@@ -153,6 +164,11 @@ bool Router::TryForward(RouterPort out, int in, int vc, Cycle now) {
   buf.flits.pop_front();
   --occupancy_;
   ++flits_routed_;
+  // Boundary-fed input buffer: report the freed slot to the upstream shard
+  // (flushed as a credit at the end of this shard's route phase).
+  if (in != kPortLocal && in_boundary_[in] != nullptr) {
+    in_boundary_[in]->NotifyPop(static_cast<Vc>(vc));
+  }
   return true;
 }
 

@@ -42,6 +42,15 @@ class Clocked {
   // observer would hold) and delta-add per-cycle accumulators.
   virtual void OnFastForward(Cycle resume_cycle) { (void)resume_cycle; }
 
+  // Spatial-partition home for the sharded parallel engine
+  // (src/sim/parallel/parallel_simulator.h): the mesh tile whose shard must
+  // tick this block when the board is decomposed into domains. Blocks that
+  // are anchored to one tile (tiles themselves, and with them their monitor
+  // and accelerator) return that tile id; everything else keeps the default
+  // kInvalidTile and is ticked serially in the root phase of every executed
+  // cycle, before the shard phases run.
+  [[nodiscard]] virtual TileId PartitionHome() const { return kInvalidTile; }
+
   // Human-readable name for tracing and debug dumps.
   virtual std::string DebugName() const { return "clocked"; }
 };

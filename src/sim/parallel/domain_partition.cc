@@ -1,0 +1,69 @@
+#include "src/sim/parallel/domain_partition.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace apiary {
+
+DomainPartition DomainPartition::Build(uint32_t width, uint32_t height, uint32_t shards) {
+  assert(width > 0 && height > 0 && shards > 0);
+  DomainPartition p;
+  p.width = width;
+  p.height = height;
+  p.num_shards = shards;
+  p.split_columns = width >= height;
+
+  // Band bounds along the split axis: shard s owns [s*L/S, (s+1)*L/S).
+  // Integer division keeps bands within one slice of each other and makes
+  // shards beyond the axis length empty rather than an error.
+  const uint32_t axis = p.split_columns ? width : height;
+  std::vector<uint32_t> coord_shard(axis, 0);
+  for (uint32_t s = 0; s < shards; ++s) {
+    const uint32_t begin = static_cast<uint32_t>(uint64_t{s} * axis / shards);
+    const uint32_t end = static_cast<uint32_t>(uint64_t{s + 1} * axis / shards);
+    for (uint32_t c = begin; c < end; ++c) {
+      coord_shard[c] = s;
+    }
+  }
+
+  const uint32_t tiles = width * height;
+  p.shard_of_tile.resize(tiles);
+  p.shard_tiles.assign(shards, {});
+  for (uint32_t t = 0; t < tiles; ++t) {
+    const uint32_t x = t % width;
+    const uint32_t y = t / width;
+    const uint32_t s = coord_shard[p.split_columns ? x : y];
+    p.shard_of_tile[t] = s;
+    p.shard_tiles[s].push_back(t);
+  }
+
+  // Neighbor shards: walk every east/south mesh link once and record the
+  // pairs the cut separates.
+  p.neighbors.assign(shards, {});
+  auto link = [&p](uint32_t a, uint32_t b) {
+    const uint32_t sa = p.shard_of_tile[a];
+    const uint32_t sb = p.shard_of_tile[b];
+    if (sa != sb) {
+      p.neighbors[sa].push_back(sb);
+      p.neighbors[sb].push_back(sa);
+    }
+  };
+  for (uint32_t y = 0; y < height; ++y) {
+    for (uint32_t x = 0; x < width; ++x) {
+      const uint32_t t = y * width + x;
+      if (x + 1 < width) {
+        link(t, t + 1);
+      }
+      if (y + 1 < height) {
+        link(t, t + width);
+      }
+    }
+  }
+  for (std::vector<uint32_t>& n : p.neighbors) {
+    std::sort(n.begin(), n.end());
+    n.erase(std::unique(n.begin(), n.end()), n.end());
+  }
+  return p;
+}
+
+}  // namespace apiary

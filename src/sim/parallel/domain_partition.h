@@ -1,0 +1,58 @@
+// DomainPartition: spatial decomposition of a W x H mesh into shards.
+//
+// Partition rule (also documented in DESIGN.md "Parallel simulation
+// engine"): the mesh is sliced along its longer axis — columns when
+// width >= height, rows otherwise — into `num_shards` contiguous bands.
+// Shard s owns the slice coordinates [s*L/num_shards, (s+1)*L/num_shards)
+// of the split axis (L = axis length), so shards differ in size by at most
+// one slice and a shard count larger than the axis simply yields empty
+// shards (legal: they tick nothing and cut nothing). Each shard owns every
+// tile in its band — router, NI, and whatever blocks report that tile as
+// their PartitionHome (the tile itself, and through it monitor +
+// accelerator).
+//
+// Banded slicing (not checkerboard) is deliberate: every cut edge is a
+// straight mesh column/row, so each shard has at most two neighbors, the
+// number of BoundaryLink shims grows with the perimeter (min(W,H) per cut)
+// rather than the area, and each shard's conservative sync in
+// parallel_simulator.h waits on at most two route_done grants per cycle.
+//
+// The partition is pure index math: building one has no side effects on the
+// mesh. Determinism note: the sharded schedule is a function of the SHARD
+// COUNT, not the worker-thread count — runs that should be compared
+// byte-for-byte must use the same num_shards (ParallelSimulator pins the
+// shard count independently of threads for exactly this reason).
+#ifndef SRC_SIM_PARALLEL_DOMAIN_PARTITION_H_
+#define SRC_SIM_PARALLEL_DOMAIN_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace apiary {
+
+struct DomainPartition {
+  uint32_t width = 0;
+  uint32_t height = 0;
+  uint32_t num_shards = 0;
+  // True when the split axis is x (column bands); false for row bands.
+  bool split_columns = true;
+
+  // tile -> owning shard (size width*height).
+  std::vector<uint32_t> shard_of_tile;
+  // shard -> owned tiles, ascending tile id (empty for empty shards).
+  std::vector<std::vector<uint32_t>> shard_tiles;
+  // shard -> shards it shares at least one cut mesh link with (sorted,
+  // unique). Symmetric: b in neighbors[a] iff a in neighbors[b].
+  std::vector<std::vector<uint32_t>> neighbors;
+
+  static DomainPartition Build(uint32_t width, uint32_t height, uint32_t shards);
+
+  uint32_t ShardOfTile(TileId tile) const { return shard_of_tile[tile]; }
+  bool SameShard(TileId a, TileId b) const { return shard_of_tile[a] == shard_of_tile[b]; }
+};
+
+}  // namespace apiary
+
+#endif  // SRC_SIM_PARALLEL_DOMAIN_PARTITION_H_

@@ -1,0 +1,231 @@
+#include "src/sim/parallel/parallel_simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/sim/parallel/thread_domain.h"
+
+namespace apiary {
+
+namespace {
+
+// Bounded spin: on machines with fewer cores than threads (CI runners under
+// load, single-core containers) a raw spin would starve the very thread it
+// waits for, so yield to the scheduler every so often.
+class BoundedSpin {
+ public:
+  void Relax() {
+    if (++spins_ >= 128) {
+      spins_ = 0;
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  int spins_ = 0;
+};
+
+}  // namespace
+
+ParallelSimulator::ParallelSimulator(Simulator* sim, ShardedFabric* fabric, ParallelConfig config)
+    : sim_(sim), fabric_(fabric) {
+  const uint32_t width = fabric_->FabricWidth();
+  const uint32_t height = fabric_->FabricHeight();
+  uint32_t shards = config.shards;
+  if (shards == 0) {
+    shards = std::min<uint32_t>(4, std::max(width, height));
+  }
+  partition_ = DomainPartition::Build(width, height, shards);
+  num_shards_ = partition_.num_shards;
+  threads_ = std::max<uint32_t>(1, std::min(config.threads, num_shards_));
+
+  std::vector<std::unique_ptr<SimContext>> contexts;
+  contexts.reserve(num_shards_);
+  shard_contexts_.reserve(num_shards_);
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    contexts.push_back(std::make_unique<SimContext>());
+    shard_contexts_.push_back(contexts.back().get());
+  }
+  fabric_->EnablePartition(partition_, std::move(contexts));
+
+  route_done_ = std::make_unique<GrantSlot[]>(num_shards_);
+  shard_begin_.resize(threads_ + 1);
+  for (uint32_t w = 0; w <= threads_; ++w) {
+    shard_begin_[w] = static_cast<uint32_t>(static_cast<uint64_t>(w) * num_shards_ / threads_);
+  }
+  owner_of_shard_.resize(num_shards_);
+  for (uint32_t w = 0; w < threads_; ++w) {
+    for (uint32_t s = shard_begin_[w]; s < shard_begin_[w + 1]; ++s) {
+      owner_of_shard_[s] = w;
+    }
+  }
+
+  workers_.reserve(threads_ - 1);
+  for (uint32_t w = 1; w < threads_; ++w) {
+    workers_.emplace_back(&ParallelSimulator::WorkerMain, this, w);
+  }
+}
+
+ParallelSimulator::~ParallelSimulator() {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    shutdown_ = true;
+  }
+  run_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  fabric_->DisablePartition();
+}
+
+void ParallelSimulator::Reclassify() {
+  root_blocks_.clear();
+  shard_blocks_.assign(num_shards_, {});
+  Clocked* const fabric_block = fabric_->AsClocked();
+  for (Clocked* block : sim_->blocks_) {
+    if (block == fabric_block) {
+      continue;  // The fabric runs as the shard phases, not as a root tick.
+    }
+    const TileId home = block->PartitionHome();
+    if (home != kInvalidTile && home < partition_.shard_of_tile.size()) {
+      shard_blocks_[partition_.shard_of_tile[home]].push_back(block);
+    } else {
+      root_blocks_.push_back(block);
+    }
+  }
+  classified_count_ = sim_->blocks_.size();
+}
+
+void ParallelSimulator::WaitWorkersDone() {
+  BoundedSpin spin;
+  while (done_.load(std::memory_order_acquire) != threads_ - 1) {
+    spin.Relax();
+  }
+  done_.store(0, std::memory_order_relaxed);
+}
+
+void ParallelSimulator::WorkerCycle(uint32_t worker, Cycle now) {
+  const uint32_t begin = shard_begin_[worker];
+  const uint32_t end = shard_begin_[worker + 1];
+  const uint64_t seq = cycle_seq_;
+  // Phase 1 over ALL owned shards first: grants depend only on phase-1 work,
+  // so no wait below can cycle back to an unpublished grant (deadlock-free
+  // for any threads <= shards).
+  for (uint32_t s = begin; s < end; ++s) {
+    ThreadDomain::ScopedInstall install(shard_contexts_[s]);
+    fabric_->ShardCommit(s);
+    fabric_->ShardRoute(s, now);
+    route_done_[s].seq.store(seq, std::memory_order_release);
+  }
+  for (uint32_t s = begin; s < end; ++s) {
+    for (const uint32_t n : partition_.neighbors[s]) {
+      if (owner_of_shard_[n] == worker) {
+        continue;  // Granted by our own phase-1 loop above.
+      }
+      BoundedSpin spin;
+      while (route_done_[n].seq.load(std::memory_order_acquire) < seq) {
+        spin.Relax();
+      }
+    }
+    ThreadDomain::ScopedInstall install(shard_contexts_[s]);
+    fabric_->ShardTransfer(s, now);
+    for (Clocked* block : shard_blocks_[s]) {
+      block->Tick(now);
+    }
+  }
+}
+
+void ParallelSimulator::WorkerMain(uint32_t worker) {
+  uint64_t seen_run = 0;
+  uint64_t seen_go = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(run_mu_);
+      run_cv_.wait(lock, [&] { return shutdown_ || run_seq_ > seen_run; });
+      if (shutdown_) {
+        return;
+      }
+      seen_run = run_seq_;
+    }
+    for (;;) {
+      BoundedSpin spin;
+      uint64_t go;
+      while ((go = go_seq_.load(std::memory_order_acquire)) == seen_go) {
+        spin.Relax();
+      }
+      seen_go = go;
+      if (go_token_ == kTokenEndRun) {
+        done_.fetch_add(1, std::memory_order_release);
+        break;  // Repark until the next Run().
+      }
+      WorkerCycle(worker, go_cycle_);
+      done_.fetch_add(1, std::memory_order_release);
+    }
+  }
+}
+
+void ParallelSimulator::ExecuteCycle() {
+  if (sim_->blocks_.size() != classified_count_) {
+    Reclassify();
+  }
+  const Cycle now = sim_->now_;
+  sim_->events_.RunUntil(now);
+  // Root blocks may Register new blocks mid-tick; they join the list (and a
+  // shard, if homed) at the next cycle's Reclassify, exactly like the serial
+  // engine's next-cycle pickup.
+  const size_t root_count = root_blocks_.size();
+  for (size_t i = 0; i < root_count; ++i) {
+    root_blocks_[i]->Tick(now);
+  }
+  const size_t blocks_after_root = sim_->blocks_.size();
+
+  ++cycle_seq_;
+  if (threads_ > 1) {
+    go_cycle_ = now;
+    go_token_ = kTokenCycle;
+    go_seq_.fetch_add(1, std::memory_order_release);
+  }
+  WorkerCycle(0, now);
+  if (threads_ > 1) {
+    WaitWorkersDone();
+  }
+  // Shard-phase ticks must not mutate the block list (see the header
+  // contract) — it is shared, and worker phases run concurrently.
+  assert(sim_->blocks_.size() == blocks_after_root &&
+         "Register/Unregister called from a shard-phase Tick");
+  (void)blocks_after_root;
+
+  const bool removed = !sim_->pending_removals_.empty();
+  sim_->ApplyPendingRemovals();
+  if (removed) {
+    Reclassify();
+  }
+  ++sim_->now_;
+}
+
+void ParallelSimulator::Run(Cycle cycles) {
+  ThreadDomain::ScopedInstall install(&sim_->context_);
+  if (threads_ > 1) {
+    {
+      std::lock_guard<std::mutex> lock(run_mu_);
+      ++run_seq_;
+    }
+    run_cv_.notify_all();
+  }
+  const Cycle end = sim_->now_ + cycles;
+  while (sim_->now_ < end) {
+    ExecuteCycle();
+    // Workers spin idle across the jump; they touch no simulation state
+    // between cycles, so the coordinator can skip exactly like the serial
+    // engine (boundary rings are drained every executed cycle, so pending
+    // cross-shard traffic always pins NextActivity at `now`).
+    sim_->SkipAhead(end);
+  }
+  if (threads_ > 1) {
+    go_token_ = kTokenEndRun;
+    go_seq_.fetch_add(1, std::memory_order_release);
+    WaitWorkersDone();
+  }
+}
+
+}  // namespace apiary

@@ -1,0 +1,74 @@
+// ShardedFabric: what the parallel engine needs from a partitionable
+// interconnect, expressed at the sim layer.
+//
+// Layering: sim is the root of the dependency DAG, so ParallelSimulator
+// cannot name Mesh/Router/BoundaryLink (they live in src/noc, which depends
+// on sim). This interface inverts the dependency — the Mesh implements it,
+// and the engine drives the fabric through these hooks without knowing what
+// a flit is.
+//
+// Per-executed-cycle protocol, mirroring Mesh::Tick's three phases but
+// sliced by shard (see parallel_simulator.h for the sync that orders them):
+//   ShardCommit(s)    — flits staged last cycle become visible in shard s's
+//                       routers; boundary anchor refs from last cycle drop.
+//   ShardRoute(s)     — shard s's routers each forward up to one flit per
+//                       output port; cut-crossing flits go into SPSC rings;
+//                       consumed-credit records flush to the senders.
+//   ShardTransfer(s)  — shard s drains its incoming boundary rings (cloning
+//                       packets into its own pool/arena), harvests returned
+//                       credits for its outgoing cut links, and runs its
+//                       NIs' injection step.
+// ShardRoute of a shard must complete before ShardTransfer of any NEIGHBOR
+// shard runs for the same cycle; the engine enforces this with per-shard
+// route_done grants. Commit/Route of a shard never read another shard's
+// mutable state, so they need no cross-shard ordering at all.
+#ifndef SRC_SIM_PARALLEL_SHARDED_FABRIC_H_
+#define SRC_SIM_PARALLEL_SHARDED_FABRIC_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/parallel/domain_partition.h"
+#include "src/sim/sim_context.h"
+#include "src/sim/types.h"
+
+namespace apiary {
+
+class Clocked;
+
+class ShardedFabric {
+ public:
+  virtual ~ShardedFabric() = default;
+
+  virtual uint32_t FabricWidth() const = 0;
+  virtual uint32_t FabricHeight() const = 0;
+
+  // Installs the partition: wires boundary shims across every cut link and
+  // repoints each tile's allocation source at its shard's context. The
+  // fabric takes ownership of the shard contexts and keeps them alive until
+  // its own destruction (not just DisablePartition) — packets cloned from a
+  // shard pool may outlive the partition in delivery queues, and must still
+  // find their pool when the last reference drops. Requires an idle fabric:
+  // packets acquired before the split would otherwise be released across
+  // domains.
+  virtual void EnablePartition(const DomainPartition& partition,
+                               std::vector<std::unique_ptr<SimContext>> shard_contexts) = 0;
+  // Unwires the shims and restores serial ticking. Single-threaded callers
+  // only (the engine's destructor, after its workers joined).
+  virtual void DisablePartition() = 0;
+
+  virtual SimContext* shard_context(uint32_t shard) = 0;
+
+  // The three per-cycle phases for one shard (see the file comment).
+  virtual void ShardCommit(uint32_t shard) = 0;
+  virtual void ShardRoute(uint32_t shard, Cycle now) = 0;
+  virtual void ShardTransfer(uint32_t shard, Cycle now) = 0;
+
+  // The fabric's identity in the simulator's block list, so the engine can
+  // exclude it from per-block ticking (the phases above replace its Tick).
+  virtual Clocked* AsClocked() = 0;
+};
+
+}  // namespace apiary
+
+#endif  // SRC_SIM_PARALLEL_SHARDED_FABRIC_H_

@@ -1,0 +1,130 @@
+// Lock-free single-producer / single-consumer ring — the cross-domain
+// sibling of src/sim/ring_buffer.h.
+//
+// RingBuffer is the single-owner FIFO: one thread (one shard) pushes and
+// pops, no synchronization, no atomics. SpscRing is the one queue shape the
+// sharded engine (parallel_simulator.h) allows *between* domains: exactly
+// one producer thread and exactly one consumer thread, communicating through
+// two monotonically increasing indices.
+//
+// Memory-ordering contract (why this is enough — and why MPMC would not be):
+//   * Push() writes the slot, then publishes it with a release store of
+//     tail_. Pop() acquires tail_, so the consumer's read of the slot
+//     happens-after the producer's write — the only edge a SPSC queue needs.
+//   * Pop() releases head_ after reading the slot; Push() acquires head_
+//     before overwriting, so slot reuse happens-after consumption.
+//   * With a single producer and a single consumer each index has exactly
+//     one writer, so there are no CAS loops, no ABA window, and the ring is
+//     wait-free in both directions. Any MPMC generalization would reintroduce
+//     contended RMW traffic on the hot handoff path for no benefit: the mesh
+//     partition gives every directed cut link exactly one sending shard and
+//     one receiving shard by construction.
+//
+// Capacity is a compile-time power of two so the wrap is a mask, and slots
+// are plain assignable values (the boundary handoff moves POD records, not
+// owning handles — ownership crosses the cut via the clone protocol in
+// src/noc/boundary_link.h).
+#ifndef SRC_SIM_PARALLEL_SPSC_RING_H_
+#define SRC_SIM_PARALLEL_SPSC_RING_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#ifndef NDEBUG
+#include <thread>
+#endif
+
+namespace apiary {
+
+template <typename T, uint32_t kCapacity>
+class SpscRing {
+  static_assert(kCapacity >= 2 && (kCapacity & (kCapacity - 1)) == 0,
+                "SpscRing capacity must be a power of two");
+
+ public:
+  SpscRing() = default;
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. Returns false when the ring is full (the boundary
+  // protocol sizes rings so this cannot happen in steady state; callers
+  // assert success).
+  bool Push(const T& value) {
+    AssertProducer();
+    const uint32_t tail = tail_.load(std::memory_order_relaxed);
+    const uint32_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == kCapacity) {
+      return false;
+    }
+    slots_[tail & kMask] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool Pop(T* out) {
+    AssertConsumer();
+    const uint32_t head = head_.load(std::memory_order_relaxed);
+    const uint32_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) {
+      return false;
+    }
+    *out = slots_[head & kMask];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Racy size snapshot — exact only while both sides are quiescent (the
+  // barrier-separated phases of the parallel engine, or teardown).
+  uint32_t SizeApprox() const {
+    return tail_.load(std::memory_order_acquire) - head_.load(std::memory_order_acquire);
+  }
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+  static constexpr uint32_t capacity() { return kCapacity; }
+
+  // Debug-mode ownership reset: forget which threads were seen producing and
+  // consuming. Call only while both sides are quiescent (e.g. when a new set
+  // of worker threads takes over the partition).
+  void ResetOwners() {
+#ifndef NDEBUG
+    producer_ = std::thread::id{};
+    consumer_ = std::thread::id{};
+#endif
+  }
+
+ private:
+  static constexpr uint32_t kMask = kCapacity - 1;
+
+#ifndef NDEBUG
+  // Each role records the first thread that exercised it and asserts every
+  // later use comes from that same thread: a second producer (or consumer)
+  // is a partition bug, caught here instead of as a silent race. Each field
+  // is only ever written by its own role's thread, so the check itself adds
+  // no cross-thread traffic.
+  void AssertRole(std::thread::id* owner) {
+    const std::thread::id self = std::this_thread::get_id();
+    if (*owner == std::thread::id{}) {
+      *owner = self;
+    }
+    assert(*owner == self && "SpscRing role exercised from more than one thread");
+  }
+  void AssertProducer() { AssertRole(&producer_); }
+  void AssertConsumer() { AssertRole(&consumer_); }
+  std::thread::id producer_{};
+  std::thread::id consumer_{};
+#else
+  void AssertProducer() {}
+  void AssertConsumer() {}
+#endif
+
+  // Indices on separate cache lines so the producer's tail stores never
+  // false-share with the consumer's head stores.
+  alignas(64) std::atomic<uint32_t> head_{0};
+  alignas(64) std::atomic<uint32_t> tail_{0};
+  alignas(64) T slots_[kCapacity] = {};
+};
+
+}  // namespace apiary
+
+#endif  // SRC_SIM_PARALLEL_SPSC_RING_H_

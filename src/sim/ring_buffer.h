@@ -10,6 +10,17 @@
 // reference-holding elements (Flit's PacketRef) release their target the
 // moment they leave the queue, not when the slot is later overwritten —
 // the packet pool's acquire/release balance depends on this.
+//
+// Ownership contract: RingBuffer is a SINGLE-OWNER queue — producer and
+// consumer are the same simulation domain, so there is no synchronization
+// and no atomics (apiary-sync-discipline bans them at this layer). The
+// cross-domain variant — exactly one producer thread, exactly one consumer
+// thread, acquire/release index publication — is SpscRing in
+// src/sim/parallel/spsc_ring.h, which documents the full SPSC memory-order
+// argument; the sharded engine uses it for boundary flit handoff and this
+// class for everything intra-shard. Debug builds enforce the structural
+// half of the contract here: Init() exactly once, capacity never exceeded,
+// never pop from empty (the asserts below).
 #ifndef SRC_SIM_RING_BUFFER_H_
 #define SRC_SIM_RING_BUFFER_H_
 
@@ -29,7 +40,8 @@ class RingBuffer {
   // Sets the logical capacity and allocates slot storage (power-of-two
   // rounded so the index wrap is a mask). Called once at wiring time.
   void Init(uint32_t capacity) {
-    assert(size_ == 0);
+    assert(capacity > 0);
+    assert(slots_ == nullptr && size_ == 0 && "RingBuffer::Init must run exactly once");
     capacity_ = capacity;
     uint32_t slots = 1;
     while (slots < capacity) {

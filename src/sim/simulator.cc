@@ -19,12 +19,26 @@ void Simulator::ApplyPendingRemovals() {
   // makes double-unregister of the same block harmless (both entries match
   // the same element; remove_if visits each block once).
   std::sort(pending_removals_.begin(), pending_removals_.end());
+  Clocked* hot = hot_block_ < blocks_.size() ? blocks_[hot_block_] : nullptr;
   blocks_.erase(std::remove_if(blocks_.begin(), blocks_.end(),
                                [this](Clocked* b) {
                                  return std::binary_search(pending_removals_.begin(),
                                                            pending_removals_.end(), b);
                                }),
                 blocks_.end());
+  // The compaction shifts indices, so the hot-block cache must follow its
+  // block: removing the cached block itself invalidates the cache (index 0,
+  // never out of range), and removing an earlier block remaps it — otherwise
+  // the stale index silently aliases whatever slid into that slot and the
+  // fast-exit poll in SkipAhead() probes the wrong block.
+  if (hot != nullptr) {
+    if (std::binary_search(pending_removals_.begin(), pending_removals_.end(), hot)) {
+      hot_block_ = 0;
+    } else if (hot_block_ >= blocks_.size() || blocks_[hot_block_] != hot) {
+      hot_block_ = static_cast<size_t>(std::find(blocks_.begin(), blocks_.end(), hot) -
+                                       blocks_.begin());
+    }
+  }
   pending_removals_.clear();
 }
 

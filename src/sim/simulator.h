@@ -86,6 +86,12 @@ class Simulator {
   uint64_t skips() const { return skips_; }
 
  private:
+  // The sharded engine drives this simulator's clock, blocks, and event
+  // queue directly (root phase + per-shard phases instead of Step()); it
+  // reuses SkipAhead/ApplyPendingRemovals so skip and removal semantics stay
+  // byte-identical with the serial path.
+  friend class ParallelSimulator;
+
   void Step();
   // Fast-forwards now_ to the earliest cycle in (now_, limit] that any block
   // or event needs, when every block is quiescent. No-op when some block is

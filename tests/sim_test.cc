@@ -388,5 +388,84 @@ TEST(SimulatorTest, DoubleUnregisterIsHarmless) {
   EXPECT_EQ(b.ticks, 10);
 }
 
+// Records the order SkipAhead polls NextActivity, exposing the hot-block
+// fast-exit cache (src/sim/simulator.cc) to the tests below.
+class PollProbe : public Clocked {
+ public:
+  PollProbe(std::vector<const PollProbe*>* log, bool active) : log_(log), active_(active) {}
+
+  void Tick(Cycle now) override { (void)now; }
+  [[nodiscard]] Cycle NextActivity(Cycle now) const override {
+    log_->push_back(this);
+    return active_ ? now : kNoActivity;
+  }
+  std::string DebugName() const override { return "poll_probe"; }
+
+  void SetActive(bool active) { active_ = active; }
+
+ private:
+  std::vector<const PollProbe*>* log_;
+  bool active_;
+};
+
+TEST(SimulatorTest, RemovingABlockBeforeTheHotBlockRemapsTheCache) {
+  // Regression: ApplyPendingRemovals compacts blocks_, which shifts the
+  // index the hot-block cache stored. Removing a block *before* the hot one
+  // used to leave a stale index that aliased whatever slid into that slot;
+  // the cache must follow its block instead.
+  std::vector<const PollProbe*> log;
+  Simulator sim;
+  PollProbe a(&log, false);
+  PollProbe b(&log, false);
+  PollProbe c(&log, true);  // The busy block: becomes the hot cache entry.
+  PollProbe d(&log, false);
+  sim.Register(&a);
+  sim.Register(&b);
+  sim.Register(&c);
+  sim.Register(&d);
+
+  // Two-cycle runs throughout: SkipAhead only polls between cycles of a run
+  // (it early-outs once now reaches the run boundary).
+  sim.Run(2);  // SkipAhead scans a, b, then finds c active: hot = index 2.
+  log.clear();
+  sim.Run(2);
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.front(), &c);  // Fast exit polls the cached hot block first.
+
+  // The very next SkipAhead after the removal applies is the observable: a
+  // stale index (still 2) would poll d — the block that slid into c's old
+  // slot — before a scan self-heals the cache. The remapped cache polls c
+  // first, full stop.
+  sim.Unregister(&a);  // Compaction shifts c from index 2 to index 1.
+  log.clear();
+  sim.Run(2);  // Removal applies at the end of the first cycle's Step.
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.front(), &c);
+}
+
+TEST(SimulatorTest, RemovingTheHotBlockItselfResetsTheCache) {
+  std::vector<const PollProbe*> log;
+  Simulator sim;
+  PollProbe a(&log, false);
+  PollProbe b(&log, false);
+  PollProbe c(&log, true);
+  sim.Register(&a);
+  sim.Register(&b);
+  sim.Register(&c);
+
+  sim.Run(2);  // hot = index 2 (c).
+  c.SetActive(false);
+  b.SetActive(true);
+  sim.Unregister(&c);
+  log.clear();
+  sim.Run(2);  // Removal applies; the cache must reset to index 0.
+  // The reset cache's fast-exit poll probes index 0 (a), then the scan
+  // restarts from a: [a, a, b]. A stale out-of-range index would skip the
+  // fast-exit poll and go straight to the scan: [a, b].
+  ASSERT_GE(log.size(), 2u);
+  EXPECT_EQ(log[0], &a);
+  EXPECT_EQ(log[1], &a);
+}
+
 }  // namespace
 }  // namespace apiary

@@ -21,6 +21,9 @@ struct TestBoardOptions {
   // 0 keeps the BoardConfig default; orchestration tests shorten it so
   // reconfiguration-heavy scenarios fit test budgets.
   Cycle reconfig_cycles = 0;
+  // 0 keeps the BoardConfig default (100k cells). Large meshes (8x8 and up)
+  // must shrink the per-tile region to fit the part's logic-cell budget.
+  uint64_t tile_region_cells = 0;
 };
 
 // Simulator + external network + board + kernel, wired in the right order.
@@ -39,6 +42,9 @@ struct TestBoard {
     cfg.with_pcie = options.with_pcie;
     if (options.reconfig_cycles != 0) {
       cfg.partial_reconfig_cycles = options.reconfig_cycles;
+    }
+    if (options.tile_region_cells != 0) {
+      cfg.tile_region_cells = options.tile_region_cells;
     }
     return cfg;
   }

@@ -604,6 +604,21 @@ TEST(SyncDiscipline, AllowsTheParallelHome) {
       "apiary-sync-discipline"));
 }
 
+TEST(SyncDiscipline, AllowsTheSpscRingIdiomInTheParallelHome) {
+  // The shipping boundary-handoff ring: atomic indices published with
+  // acquire/release plus a thread-id ownership assert. All of it is the
+  // reviewed-parallel-home's business, none of it may leak elsewhere.
+  const std::string ring =
+      "class SpscRing {\n"
+      "  std::atomic<uint32_t> head_{0};\n"
+      "  std::atomic<uint32_t> tail_{0};\n"
+      "  std::thread::id producer_{};\n"
+      "};\n";
+  EXPECT_FALSE(
+      HasCheck(LintOne("src/sim/parallel/spsc_ring.h", ring), "apiary-sync-discipline"));
+  EXPECT_TRUE(HasCheck(LintOne("src/noc/spsc_ring.h", ring), "apiary-sync-discipline"));
+}
+
 TEST(SyncDiscipline, TestsAndBenchAreUnrestricted) {
   EXPECT_TRUE(LintOne("tests/x.cc", "std::mutex m;\n").empty());
   EXPECT_TRUE(LintOne("bench/x.cc", "std::atomic<int> a{0};\n").empty());

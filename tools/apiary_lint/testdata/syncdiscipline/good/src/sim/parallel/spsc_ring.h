@@ -1,0 +1,33 @@
+// Good: the real engine's SPSC idiom — acquire/release atomics, cache-line
+// alignment, thread-id ownership asserts — is legal in the parallel home.
+#ifndef SRC_SIM_PARALLEL_SPSC_RING_H_
+#define SRC_SIM_PARALLEL_SPSC_RING_H_
+
+#include <atomic>
+#include <thread>
+
+namespace apiary {
+
+template <typename T, unsigned kCapacity>
+class SpscRing {
+ public:
+  bool Push(const T& value) {
+    const unsigned tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == kCapacity) {
+      return false;
+    }
+    slots_[tail % kCapacity] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  alignas(64) std::atomic<unsigned> head_{0};
+  alignas(64) std::atomic<unsigned> tail_{0};
+  std::thread::id producer_{};
+  T slots_[kCapacity] = {};
+};
+
+}  // namespace apiary
+
+#endif  // SRC_SIM_PARALLEL_SPSC_RING_H_
