@@ -50,12 +50,16 @@ double RunLocal() {
 double RunRemote() {
   Simulator sim(250.0);
   ExternalNetwork net(50);  // ~200ns switch hop each way.
-  sim.Register(&net);
   BoardConfig cfg = BenchBoard::MakeConfig(BenchBoardOptions{});
   Board board_a(cfg, sim, &net);
   Board board_b(cfg, sim, &net);
   ApiaryOs os_a(board_a);
   ApiaryOs os_b(board_b);
+  // Registered after the boards (tiles first, fabric last) so frame arrival
+  // is visible to service tiles on the next cycle — the same order TestBoard
+  // and BenchBoard use, which the network service's boundary-poll scheduling
+  // reproduces exactly.
+  sim.Register(&net);
   for (ApiaryOs* os : {&os_a, &os_b}) {
     Board& b = os == &os_a ? board_a : board_b;
     os->DeployService(kNetworkService,

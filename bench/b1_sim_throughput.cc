@@ -138,9 +138,23 @@ struct RunResult {
   Cycle end_cycle = 0;
   uint64_t skipped_cycles = 0;
   uint64_t skips = 0;
+  uint64_t ticked_blocks = 0;
+  uint64_t executed_cycles = 0;
+  uint64_t wheel_wakes = 0;
+  uint64_t wake_calls = 0;
+  uint64_t block_count = 0;
   uint64_t sent = 0;
   uint64_t received = 0;
   double mcycles_per_sec = 0;
+
+  // Fraction of block-ticks the active-set scheduler actually issued out of
+  // the block-ticks a tick-everything loop would have issued over the same
+  // executed cycles.
+  double ActiveFraction() const {
+    const double denom =
+        static_cast<double>(executed_cycles) * static_cast<double>(block_count);
+    return denom > 0 ? static_cast<double>(ticked_blocks) / denom : 0;
+  }
 };
 
 RunResult RunOne(Scenario scenario, bool skip_enabled, Cycle run_cycles,
@@ -191,6 +205,11 @@ RunResult RunOne(Scenario scenario, bool skip_enabled, Cycle run_cycles,
   r.end_cycle = bb.sim.now();
   r.skipped_cycles = bb.sim.skipped_cycles();
   r.skips = bb.sim.skips();
+  r.ticked_blocks = bb.sim.ticked_blocks();
+  r.executed_cycles = bb.sim.executed_cycles();
+  r.wheel_wakes = bb.sim.wheel_wakes();
+  r.wake_calls = bb.sim.wake_calls();
+  r.block_count = bb.sim.block_count();
   if (pulse != nullptr) {
     r.sent = pulse->sent();
     r.received = pulse->received();
@@ -280,6 +299,11 @@ int main(int argc, char** argv) {
     json.Metric("speedup", speedup);
     json.Metric("skipped_cycles", on.skipped_cycles);
     json.Metric("skips", on.skips);
+    json.Metric("ticked_blocks", on.ticked_blocks);
+    json.Metric("executed_cycles", on.executed_cycles);
+    json.Metric("active_fraction", on.ActiveFraction());
+    json.Metric("wheel_wakes", on.wheel_wakes);
+    json.Metric("wake_calls", on.wake_calls);
     json.Metric("requests", on.sent);
     json.Metric("responses", on.received);
   }

@@ -101,6 +101,20 @@ struct RunResult {
   double allocs_per_msg = 0;     // (heap_allocs + arena_allocs) / received.
   double msgs_per_wall_sec = 0;
   double mcycles_per_sec = 0;
+  uint64_t ticked_blocks = 0;    // Block-ticks issued inside the measured window.
+  uint64_t executed_cycles = 0;  // Cycles actually executed inside the window.
+  uint64_t wheel_wakes = 0;
+  uint64_t wake_calls = 0;
+  uint64_t block_count = 0;
+  // Block-ticks issued as a fraction of what a tick-everything loop would
+  // have issued over the same executed cycles. Saturated traffic should sit
+  // near 1.0 — the active set buys nothing here, which is exactly what B2's
+  // overhead guardrail wants to measure.
+  double ActiveFraction() const {
+    const double denom =
+        static_cast<double>(executed_cycles) * static_cast<double>(block_count);
+    return denom > 0 ? static_cast<double>(ticked_blocks) / denom : 0;
+  }
 };
 
 RunResult RunConfig(bool pooled, Cycle warmup_cycles, Cycle measure_cycles,
@@ -164,6 +178,10 @@ RunResult RunConfig(bool pooled, Cycle warmup_cycles, Cycle measure_cycles,
     received0 += c->received();
   }
   const uint64_t flits0 = bb.board.mesh().TotalFlitsRouted();
+  const uint64_t ticked0 = bb.sim.ticked_blocks();
+  const uint64_t executed0 = bb.sim.executed_cycles();
+  const uint64_t wheel0 = bb.sim.wheel_wakes();
+  const uint64_t wake0 = bb.sim.wake_calls();
 
   // Host wall time is the measurand; it never feeds back into simulated
   // state, so determinism is unaffected.
@@ -180,6 +198,11 @@ RunResult RunConfig(bool pooled, Cycle warmup_cycles, Cycle measure_cycles,
   r.sent -= sent0;
   r.received -= received0;
   r.flits = bb.board.mesh().TotalFlitsRouted() - flits0;
+  r.ticked_blocks = bb.sim.ticked_blocks() - ticked0;
+  r.executed_cycles = bb.sim.executed_cycles() - executed0;
+  r.wheel_wakes = bb.sim.wheel_wakes() - wheel0;
+  r.wake_calls = bb.sim.wake_calls() - wake0;
+  r.block_count = bb.sim.block_count();
 
   const PacketPoolStats pool = bb.board.mesh().AggregatePoolStats();
   r.acquires = pool.acquires;
@@ -222,6 +245,11 @@ void EmitRow(BenchJson& json, const char* config, const RunResult& r) {
   json.Metric("heap_allocs", r.heap_allocs);
   json.Metric("arena_chunk_allocs", r.arena_allocs);
   json.Metric("allocs_per_msg", r.allocs_per_msg);
+  json.Metric("ticked_blocks", r.ticked_blocks);
+  json.Metric("executed_cycles", r.executed_cycles);
+  json.Metric("active_fraction", r.ActiveFraction());
+  json.Metric("wheel_wakes", r.wheel_wakes);
+  json.Metric("wake_calls", r.wake_calls);
 }
 
 }  // namespace

@@ -98,6 +98,17 @@ struct RunResult {
   uint64_t cloned = 0;      // Cut-crossing head flits cloned (whole run).
   uint64_t heap_allocs = 0;   // Pool misses inside the measured window.
   uint64_t arena_allocs = 0;  // Arena chunk news inside the measured window.
+  uint64_t ticked_blocks = 0;    // Block-ticks issued inside the measured window.
+  uint64_t executed_cycles = 0;  // Cycles executed inside the measured window.
+  uint64_t wheel_wakes = 0;
+  uint64_t wake_calls = 0;
+  uint64_t block_count = 0;
+
+  double ActiveFraction() const {
+    const double denom =
+        static_cast<double>(executed_cycles) * static_cast<double>(block_count);
+    return denom > 0 ? static_cast<double>(ticked_blocks) / denom : 0;
+  }
 };
 
 // Saturated 8x8 board: eight client/service pairs whose requests and
@@ -150,6 +161,10 @@ RunResult RunOne(uint32_t threads, Cycle warmup_cycles, Cycle measure_cycles) {
     received0 += c->received();
   }
   const uint64_t flits0 = bb.board.mesh().TotalFlitsRouted();
+  const uint64_t ticked0 = bb.sim.ticked_blocks();
+  const uint64_t executed0 = bb.sim.executed_cycles();
+  const uint64_t wheel0 = bb.sim.wheel_wakes();
+  const uint64_t wake0 = bb.sim.wake_calls();
 
   // Host wall time is the measurand; it never feeds back into simulated
   // state, so determinism is unaffected.
@@ -176,6 +191,11 @@ RunResult RunOne(uint32_t threads, Cycle warmup_cycles, Cycle measure_cycles) {
   for (uint32_t s = 0; s < psim.shards(); ++s) {
     r.arena_allocs += psim.shard_context(s)->arena().stats().chunk_allocs;
   }
+  r.ticked_blocks = bb.sim.ticked_blocks() - ticked0;
+  r.executed_cycles = bb.sim.executed_cycles() - executed0;
+  r.wheel_wakes = bb.sim.wheel_wakes() - wheel0;
+  r.wake_calls = bb.sim.wake_calls() - wake0;
+  r.block_count = bb.sim.block_count();
   return r;
 }
 
@@ -262,6 +282,11 @@ int main(int argc, char** argv) {
     json.Metric("boundary_clones", r.cloned);
     json.Metric("heap_allocs", r.heap_allocs);
     json.Metric("arena_chunk_allocs", r.arena_allocs);
+    json.Metric("ticked_blocks", r.ticked_blocks);
+    json.Metric("executed_cycles", r.executed_cycles);
+    json.Metric("active_fraction", r.ActiveFraction());
+    json.Metric("wheel_wakes", r.wheel_wakes);
+    json.Metric("wake_calls", r.wake_calls);
   }
   table.Print();
 

@@ -40,6 +40,8 @@ class EchoAccelerator : public Accelerator {
 
   // Idle until the head-of-line request finishes service; a failed Reply
   // keeps ready_at in the past, which keeps the block active for the retry.
+  // APIARY-WAKE(tile): hosted accelerator — requests arrive through the
+  // owning Tile, whose NI sink wake ends the park on message delivery.
   [[nodiscard]] Cycle NextActivity(Cycle now) const override {
     if (pending_.empty()) {
       return kNoActivity;

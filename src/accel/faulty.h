@@ -31,6 +31,8 @@ class WedgeAccelerator : public Accelerator {
   // Sleeps between heartbeats; wedged (or unwatched) accelerators do nothing
   // in Tick and never wake on their own. A failed heartbeat send leaves
   // last_heartbeat_ in the past, which keeps the block active for the retry.
+  // APIARY-WAKE(tile): hosted accelerator — the owning Tile's NI sink wake
+  // ends the park on message delivery (wedged blocks stay idle by design).
   [[nodiscard]] Cycle NextActivity(Cycle now) const override {
     if (wedged() || mgmt_cap_ == kInvalidCapRef) {
       return kNoActivity;
@@ -60,6 +62,8 @@ class CrashAccelerator : public Accelerator {
 
   void OnMessage(const Message& msg, TileApi& api) override;
   // Purely message-driven: no tick work at all.
+  // APIARY-WAKE(tile): hosted accelerator — the owning Tile's NI sink wake
+  // ends the park on message delivery.
   [[nodiscard]] Cycle NextActivity(Cycle now) const override {
     (void)now;
     return kNoActivity;

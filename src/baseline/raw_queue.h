@@ -43,6 +43,11 @@ class RawQueue : public Clocked {
     return at > now ? at : now;
   }
   std::string DebugName() const override { return "raw_queue"; }
+  // Pushes come straight from harness/baseline code with no wake path;
+  // boundary-polled so a new front entry is seen at the next boundary.
+  [[nodiscard]] SchedPolicy SchedulingPolicy() const override {
+    return SchedPolicy::kBoundaryPoll;
+  }
 
   uint64_t pushed() const { return pushed_; }
   uint64_t popped() const { return popped_; }

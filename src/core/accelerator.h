@@ -21,6 +21,7 @@
 
 #include "src/core/capability.h"
 #include "src/core/message.h"
+#include "src/sim/clocked.h"
 #include "src/sim/types.h"
 
 namespace apiary {
@@ -102,6 +103,15 @@ class Accelerator {
   // bring any cached clocks / per-cycle accumulators to the state a
   // cycle-by-cycle run would have produced.
   virtual void OnFastForward(Cycle resume_cycle) { (void)resume_cycle; }
+
+  // Mirrors Clocked::SchedulingPolicy, forwarded by the owning tile: an
+  // accelerator whose NextActivity reads state mutated outside any
+  // schedule-visible wake path (e.g. a campaign flag flipped by a separate
+  // driver block) returns kBoundaryPoll so its tile is re-polled at every
+  // executed-cycle boundary instead of parked.
+  [[nodiscard]] virtual Clocked::SchedPolicy SchedulingPolicy() const {
+    return Clocked::SchedPolicy::kActiveSet;
+  }
 
   virtual std::string name() const = 0;
 

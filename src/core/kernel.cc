@@ -74,7 +74,7 @@ TileId ApiaryOs::DeployInternal(AppId app, ServiceId service,
   }
   tiles_[t]->set_fault_policy(options.fault_policy);
   tiles_[t]->monitor().SetIdentity(app, service);
-  tiles_[t]->Configure(std::move(accel), options.immediate);
+  tiles_[t]->Configure(std::move(accel), options.immediate, sim().now());
   service_registry_[service] = t;
   if (app != kInvalidApp) {
     apps_[app].tiles.push_back(t);
@@ -119,7 +119,7 @@ bool ApiaryOs::Reconfigure(TileId tile, std::unique_ptr<Accelerator> accel, bool
   // revoke every capability and free the tile's kernel-owned segments. The
   // kernel (or Supervisor) re-grants from the grant log after boot.
   ReleaseTileGrants(tile);
-  tiles_[tile]->Configure(std::move(accel), immediate);
+  tiles_[tile]->Configure(std::move(accel), immediate, sim().now());
   return true;
 }
 
@@ -173,7 +173,7 @@ bool ApiaryOs::Undeploy(TileId tile, bool immediate) {
   // occupant cannot draw against (or bill to) the old tenant.
   tiles_[tile]->monitor().SetSharedLimiter(nullptr);
   tiles_[tile]->monitor().SetArbClass(0);
-  tiles_[tile]->Configure(nullptr, immediate);
+  tiles_[tile]->Configure(nullptr, immediate, sim().now());
   return true;
 }
 

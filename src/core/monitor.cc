@@ -49,6 +49,10 @@ void Monitor::FailStop(const std::string& reason) {
   inbox_.clear();
   Trace(TraceEvent::kFault, kInvalidTile, service_, 0, MsgStatus::kDestFailed);
   counters_.Add("monitor.fail_stops");
+  // The drain may have queued bounces that only the tile's tick can flush
+  // onto the NoC — and external callers (kernel, watchdog) reach a parked
+  // tile with no wake of their own.
+  owner_wake_.Wake();
 }
 
 void Monitor::Restart() {
@@ -68,6 +72,9 @@ void Monitor::RaiseFault(const std::string& reason) {
   // The owning Tile decides between fail-stop and preemption based on the
   // accelerator's capabilities; record the reason for it.
   fault_reason_ = reason;
+  // Fault injectors raise this on parked tiles; the fail-stop decision runs
+  // at the tile's next tick.
+  owner_wake_.Wake();
 }
 
 void Monitor::Trace(TraceEvent event, TileId peer, ServiceId service, uint16_t opcode,

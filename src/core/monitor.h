@@ -70,6 +70,12 @@ class Monitor : public TileApi {
   uint8_t arb_class() const { return arb_class_; }
   void SetIdentity(AppId app, ServiceId service);
 
+  // Wake channel to the owning Tile. Fault-plane entry points (RaiseFault,
+  // FailStop) may be driven externally — injectors, the kernel, watchdogs —
+  // while the tile sits parked; the state they flip is only acted on at the
+  // tile's next tick, so they announce themselves through this hint.
+  void SetOwnerWake(WakeHint hint) { owner_wake_ = hint; }
+
   // Fail-stop: sink the inbox/outbox and bounce future traffic (4.4).
   void FailStop(const std::string& reason);
   // Clears the fault state after the tile is reconfigured with fresh logic.
@@ -167,6 +173,7 @@ class Monitor : public TileApi {
   TileFaultState fault_state_ = TileFaultState::kHealthy;
   std::string fault_reason_;
   bool accelerator_faulted_ = false;
+  WakeHint owner_wake_;
 
   std::deque<Message> inbox_;
   struct Outbound {

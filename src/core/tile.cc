@@ -5,21 +5,34 @@
 namespace apiary {
 
 Tile::Tile(TileId id, NetworkInterface* ni, MonitorConfig config, Cycle reconfig_cycles)
-    : id_(id), monitor_(id, ni, config), reconfig_cycles_(reconfig_cycles) {}
+    : id_(id), monitor_(id, ni, config), reconfig_cycles_(reconfig_cycles) {
+  // Packets landing in the NI's delivery queue are this tile's input: route
+  // the NI's delivery-side wake here so a parked tile resumes the cycle the
+  // legacy every-block loop would have drained the packet.
+  if (ni != nullptr) {
+    ni->SetSinkWake(WakeHint(this));
+  }
+  // Fault-plane calls (RaiseFault, FailStop) can arrive from outside the
+  // tile while it is parked; they wake it the same way delivered packets do.
+  monitor_.SetOwnerWake(WakeHint(this));
+}
 
 std::string Tile::DebugName() const {
   return "tile" + std::to_string(id_) + (accel_ ? ":" + accel_->name() : ":empty");
 }
 
-void Tile::Configure(std::unique_ptr<Accelerator> accel, bool immediate) {
+void Tile::Configure(std::unique_ptr<Accelerator> accel, bool immediate, Cycle now) {
   pending_accel_ = std::move(accel);
   reconfiguring_ = true;
   booted_ = false;
   if (immediate) {
     reconfig_done_at_ = 0;  // Completes on the next tick.
   } else {
-    reconfig_done_at_ = monitor_.now() + reconfig_cycles_;
+    reconfig_done_at_ = now + reconfig_cycles_;
   }
+  // External input (the kernel's reconfiguration plane): a vacant tile may
+  // be parked idle, and a busy one may be parked past the new done-at.
+  RequestWake();
 }
 
 bool Tile::PreemptSwap(std::unique_ptr<Accelerator> replacement) {
@@ -35,6 +48,11 @@ bool Tile::PreemptSwap(std::unique_ptr<Accelerator> replacement) {
     accel_->OnBoot(monitor_);
   }
   monitor_.Restart();
+  // The replacement boots with fresh state and may need to run immediately
+  // even if the preempted context had declared a long quiet stretch; its
+  // policy may differ from the preempted context's too.
+  RequestPolicyRefresh();
+  RequestWake();
   return true;
 }
 
@@ -58,7 +76,10 @@ Cycle Tile::NextActivity(Cycle now) const {
   const bool accel_runs = accel_ != nullptr && !reconfiguring_ && !seu_wedged_ &&
                           monitor_.fault_state() == TileFaultState::kHealthy;
   if (accel_runs) {
-    if (!booted_ || monitor_.HasPendingInbox()) {
+    // A raised-but-unhandled fault is pending Tick work: the fail-stop (or
+    // preempt) in HandleAcceleratorFault only happens on the next tick, so
+    // the declaration must keep the tile active until it runs.
+    if (!booted_ || monitor_.HasPendingInbox() || monitor_.accelerator_faulted()) {
       return now;
     }
     const Cycle accel_next = accel_->NextActivity(now);
@@ -87,6 +108,8 @@ void Tile::Tick(Cycle now) {
     monitor_.Restart();
     booted_ = false;
     seu_wedged_ = false;  // Reconfiguration rewrites the upset logic.
+    // The slot's contents changed; the scheduling policy follows them.
+    RequestPolicyRefresh();
   }
 
   if (accel_ != nullptr && !reconfiguring_ && !seu_wedged_ &&

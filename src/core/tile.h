@@ -24,9 +24,10 @@ class Tile : public Clocked {
   Tile(TileId id, NetworkInterface* ni, MonitorConfig config, Cycle reconfig_cycles);
 
   // Loads `accel` into the slot. Takes `reconfig_cycles` of partial
-  // reconfiguration before the accelerator boots; pass `immediate` for
-  // time-zero board bring-up.
-  void Configure(std::unique_ptr<Accelerator> accel, bool immediate = false);
+  // reconfiguration — counted from `now`, the caller's current cycle (a
+  // parked tile's own cached clock can be arbitrarily stale) — before the
+  // accelerator boots; pass `immediate` for time-zero board bring-up.
+  void Configure(std::unique_ptr<Accelerator> accel, bool immediate, Cycle now);
 
   // Swaps the current (preemptible) accelerator's context out and loads a
   // replacement, transferring saved state if the replacement wants it.
@@ -43,6 +44,12 @@ class Tile : public Clocked {
   // A tile is anchored to its NoC endpoint: the sharded engine ticks it (and
   // with it its monitor and accelerator) on the worker owning its shard.
   [[nodiscard]] TileId PartitionHome() const override { return id_; }
+  // The tile's policy follows the loaded accelerator (a campaign-flag
+  // attacker needs boundary polling; most logic honors the full wake
+  // contract). Swap points call RequestPolicyRefresh().
+  [[nodiscard]] SchedPolicy SchedulingPolicy() const override {
+    return accel_ != nullptr ? accel_->SchedulingPolicy() : SchedPolicy::kActiveSet;
+  }
   std::string DebugName() const override;
 
   Monitor& monitor() { return monitor_; }
@@ -60,7 +67,12 @@ class Tile : public Clocked {
   // faulted — exactly like real radiation-induced upsets, the only external
   // symptom is silence (missed heartbeats, unanswered requests). Cleared by
   // partial reconfiguration.
-  void InjectSeuWedge() { seu_wedged_ = true; }
+  void InjectSeuWedge() {
+    seu_wedged_ = true;
+    // Wedging only gates work (never advances it), but the wake is free and
+    // keeps the declaration change visible at the next boundary.
+    RequestWake();
+  }
   bool seu_wedged() const { return seu_wedged_; }
 
  private:

@@ -104,7 +104,8 @@ void FaultInjector::Fire(const FaultEvent& event, Cycle now) {
         break;
       }
       // The upset flips control logic into an illegal state the accelerator
-      // itself detects: it raises a fault and the tile fail-stops.
+      // itself detects: it raises a fault (waking the tile if parked) and
+      // the tile fail-stops.
       hooks_.os->monitor(event.tile).RaiseFault("injected SEU crash");
       Record(event, now, "");
       break;
@@ -160,6 +161,9 @@ void FaultInjector::Tick(Cycle now) {
   }
 }
 
+// APIARY-WAKE(self): the declaration itself covers every input — plan
+// events by time, and traversal tallies only accrue inside open windows,
+// whose close-cycle clamp below keeps the injector awake for the fold.
 Cycle FaultInjector::NextActivity(Cycle now) const {
   Cycle next = kNoActivity;
   if (next_event_ < plan_.events.size()) {
@@ -168,10 +172,16 @@ Cycle FaultInjector::NextActivity(Cycle now) const {
   }
   // Window expiry itself is unobservable (every consumer re-checks
   // `now < until`), but the closing cycle is where window-gated state flips;
-  // bounding the jump there keeps RunUntil predicates cycle-exact.
+  // bounding the jump there keeps RunUntil predicates cycle-exact. A window
+  // whose close cycle has arrived but that Tick has not yet erased still
+  // declares work due NOW: the expire+fold tick is pending, and under active
+  // sets a parked injector would otherwise have its window-close wake
+  // swallowed by the boundary re-poll, losing the final tally fold.
   auto clamp_windows = [&next, now](const std::vector<Window>& windows) {
     for (const Window& w : windows) {
-      if (w.until > now && w.until < next) {
+      if (w.until <= now) {
+        next = now;
+      } else if (w.until < next) {
         next = w.until;
       }
     }

@@ -40,6 +40,9 @@ void ExternalNetwork::Send(EthFrame frame, Cycle now) {
   counters_.Add("extnet.frames");
   counters_.Add("extnet.bytes", frame.payload.size());
   in_flight_.push_back(InFlight{now + latency_cycles_, std::move(frame)});
+  // An idle fabric may be parked past this frame's delivery cycle; the
+  // sender (MAC, client, hosted baseline — all root-phase) re-arms it.
+  RequestWake();
 }
 
 void ExternalNetwork::Tick(Cycle now) {

@@ -121,6 +121,12 @@ class EthernetMacBase : public Clocked, public ExternalEndpoint {
     return kNoActivity;
   }
   std::string DebugName() const override { return "eth_mac"; }
+  // TX enqueues come from service ticks and link state flips inside const
+  // bring-up polls (mutable locked_/aligned_) — neither is a schedule-visible
+  // wake path, so the MAC is re-polled at every executed-cycle boundary.
+  [[nodiscard]] SchedPolicy SchedulingPolicy() const override {
+    return SchedPolicy::kBoundaryPoll;
+  }
 
   uint32_t address() const { return address_; }
   double link_gbps() const { return link_gbps_; }

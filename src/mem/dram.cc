@@ -47,6 +47,9 @@ Cycle DramChannel::ServiceLatency(Bank& bank, const Request& req) {
   return latency;
 }
 
+// APIARY-WAKE(owner): subobject of MemoryController (kBoundaryPoll),
+// whose boundary re-poll folds this declaration in; enqueues only happen
+// during the owner's own Tick.
 Cycle DramChannel::NextActivity(Cycle now) const {
   Cycle next = kNoActivity;
   for (const Bank& bank : banks_) {

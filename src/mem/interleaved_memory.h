@@ -51,6 +51,11 @@ class InterleavedMemory : public Clocked, public MemoryBackend {
     return next;
   }
   std::string DebugName() const override { return "hbm"; }
+  // Same as MemoryController: fed by service/accelerator ticks with no
+  // schedule-visible wake path — boundary-polled, never parked.
+  [[nodiscard]] SchedPolicy SchedulingPolicy() const override {
+    return SchedPolicy::kBoundaryPoll;
+  }
 
   uint32_t num_channels() const { return static_cast<uint32_t>(channels_.size()); }
   const CounterSet& counters() const { return counters_; }

@@ -1,5 +1,6 @@
 #include "src/noc/mesh.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 
@@ -50,6 +51,50 @@ Mesh::Mesh(MeshConfig config, SimContext* context) : config_(config) {
       }
     }
   }
+  BindLiveLists();
+}
+
+void Mesh::BindLiveLists() {
+  for (uint32_t t = 0; t < num_tiles(); ++t) {
+    routers_[t]->SetLiveList(&live_.fresh_routers);
+    nis_[t]->SetLiveList(&live_.fresh_nis);
+  }
+}
+
+void Mesh::MergeFresh(LiveSet& set) {
+  // Entries are unique (the mark gates publication), so append + sort keeps
+  // the list sorted ascending — the sweep order of the full loop.
+  if (!set.fresh_routers.empty()) {
+    set.routers.insert(set.routers.end(), set.fresh_routers.begin(), set.fresh_routers.end());
+    std::sort(set.routers.begin(), set.routers.end());
+    set.fresh_routers.clear();
+  }
+  if (!set.fresh_nis.empty()) {
+    set.nis.insert(set.nis.end(), set.fresh_nis.begin(), set.fresh_nis.end());
+    std::sort(set.nis.begin(), set.nis.end());
+    set.fresh_nis.clear();
+  }
+}
+
+void Mesh::CompactDead(LiveSet& set) {
+  size_t kept = 0;
+  for (const uint32_t t : set.routers) {
+    if (routers_[t]->HasBufferedFlits()) {
+      set.routers[kept++] = t;
+    } else {
+      routers_[t]->ClearLiveMark();
+    }
+  }
+  set.routers.resize(kept);
+  kept = 0;
+  for (const uint32_t t : set.nis) {
+    if (nis_[t]->HasPendingInject()) {
+      set.nis[kept++] = t;
+    } else {
+      nis_[t]->ClearLiveMark();
+    }
+  }
+  set.nis.resize(kept);
 }
 
 void Mesh::Tick(Cycle now) {
@@ -57,29 +102,70 @@ void Mesh::Tick(Cycle now) {
   // phases by the parallel engine; serial ticking would bypass the boundary
   // shims and double-run the phases.
   assert(!partitioned() && "partitioned mesh must be driven by ParallelSimulator");
-  // Phase 1: flits staged last cycle become visible everywhere.
-  for (auto& r : routers_) {
-    r->CommitStaged();
+  MergeFresh(live_);
+  if (!sweep_enabled_) {
+    // Phase 1: flits staged last cycle become visible everywhere.
+    for (auto& r : routers_) {
+      r->CommitStaged();
+    }
+    // Phase 2: route one flit per output port per router.
+    for (auto& r : routers_) {
+      r->RouteCycle(now);
+    }
+    // Phase 3: NIs feed the local input ports (visible next cycle).
+    for (auto& ni : nis_) {
+      ni->InjectCycle(now);
+    }
+  } else {
+    // Active sweep: same three phases over the busy subset only. Staged
+    // flits imply occupancy and occupancy implies list membership, so
+    // committing live routers commits every staged flit; RouteCycle and
+    // InjectCycle are no-ops on empty members, so skipping them is exact.
+    for (const uint32_t t : live_.routers) {
+      routers_[t]->CommitStaged();
+    }
+    if (fault_model_ != nullptr && fault_model_->NextMeshActivity(now) <= now) {
+      // An open stall window charges router.fault_stalled_cycles on every
+      // wedged router, busy or not — only the full sweep reproduces that.
+      for (auto& r : routers_) {
+        r->RouteCycle(now);
+      }
+    } else {
+      for (const uint32_t t : live_.routers) {
+        routers_[t]->RouteCycle(now);
+      }
+    }
+    for (const uint32_t t : live_.nis) {
+      nis_[t]->InjectCycle(now);
+    }
   }
-  // Phase 2: route one flit per output port per router.
-  for (auto& r : routers_) {
-    r->RouteCycle(now);
-  }
-  // Phase 3: NIs feed the local input ports (visible next cycle).
-  for (auto& ni : nis_) {
-    ni->InjectCycle(now);
-  }
+  CompactDead(live_);
 }
 
 Cycle Mesh::NextActivity(Cycle now) const {
-  for (const auto& r : routers_) {
-    if (r->HasBufferedFlits()) {
+  if (sweep_enabled_) {
+    // The live sets are exact between ticks (marks are published on every
+    // idle-to-busy transition, compaction prunes on the drain side), so the
+    // busy check is a handful of emptiness tests instead of an O(tiles)
+    // scan — and agrees with that scan bit for bit.
+    if (LiveBusy(live_)) {
       return now;
     }
-  }
-  for (const auto& ni : nis_) {
-    if (ni->HasPendingInject()) {
-      return now;
+    for (const LiveSet& set : shard_live_) {
+      if (LiveBusy(set)) {
+        return now;
+      }
+    }
+  } else {
+    for (const auto& r : routers_) {
+      if (r->HasBufferedFlits()) {
+        return now;
+      }
+    }
+    for (const auto& ni : nis_) {
+      if (ni->HasPendingInject()) {
+        return now;
+      }
     }
   }
   // Empty fabric: only the fault model (stall windows charge a counter every
@@ -171,6 +257,16 @@ void Mesh::EnablePartition(const DomainPartition& partition,
     nis_[t]->SetPool(shard_pools_[partition_.shard_of_tile[t]]);
   }
 
+  // Per-shard live sets: the idle precondition above guarantees every mark
+  // is clear and the serial lists are empty, so repointing is all it takes.
+  // Sized once here — element addresses stay stable while partitioned.
+  shard_live_.assign(partition_.num_shards, LiveSet{});
+  for (uint32_t t = 0; t < num_tiles(); ++t) {
+    LiveSet& set = shard_live_[partition_.shard_of_tile[t]];
+    routers_[t]->SetLiveList(&set.fresh_routers);
+    nis_[t]->SetLiveList(&set.fresh_nis);
+  }
+
   // Boundary shims on every directed cut link.
   shard_out_edges_.assign(partition_.num_shards, {});
   shard_in_edges_.assign(partition_.num_shards, {});
@@ -224,6 +320,19 @@ void Mesh::DisablePartition() {
   for (auto& ni : nis_) {
     ni->SetPool(pool_);
   }
+  // Fold the shard busy sets back into the serial one (a disabled partition
+  // may still hold in-flight flits; their routers keep their marks) and
+  // repoint the publication targets. Members are disjoint across shards, so
+  // staging everything as fresh and letting the next tick merge is exact.
+  for (LiveSet& set : shard_live_) {
+    live_.fresh_routers.insert(live_.fresh_routers.end(), set.routers.begin(), set.routers.end());
+    live_.fresh_routers.insert(live_.fresh_routers.end(), set.fresh_routers.begin(),
+                               set.fresh_routers.end());
+    live_.fresh_nis.insert(live_.fresh_nis.end(), set.nis.begin(), set.nis.end());
+    live_.fresh_nis.insert(live_.fresh_nis.end(), set.fresh_nis.begin(), set.fresh_nis.end());
+  }
+  shard_live_.clear();
+  BindLiveLists();
   // Retire (don't destroy) the shard contexts: live packets in delivery
   // queues still point at their pools. They die with the mesh.
   for (auto& context : shard_contexts_) {
@@ -235,8 +344,16 @@ void Mesh::DisablePartition() {
 }
 
 void Mesh::ShardCommit(uint32_t shard) {
-  for (const uint32_t t : partition_.shard_tiles[shard]) {
-    routers_[t]->CommitStaged();
+  LiveSet& set = shard_live_[shard];
+  MergeFresh(set);
+  if (sweep_enabled_) {
+    for (const uint32_t t : set.routers) {
+      routers_[t]->CommitStaged();
+    }
+  } else {
+    for (const uint32_t t : partition_.shard_tiles[shard]) {
+      routers_[t]->CommitStaged();
+    }
   }
   for (const uint32_t e : shard_out_edges_[shard]) {
     edges_[e].link->ReleaseAnchors();
@@ -244,8 +361,19 @@ void Mesh::ShardCommit(uint32_t shard) {
 }
 
 void Mesh::ShardRoute(uint32_t shard, Cycle now) {
-  for (const uint32_t t : partition_.shard_tiles[shard]) {
-    routers_[t]->RouteCycle(now);
+  // Same fallback as the serial tick: an open stall window must charge its
+  // counter on every wedged router of this shard, busy or not. The fault
+  // model is read-only during shard phases (the injector ticks in the root
+  // phase), so concurrent polls from workers are safe.
+  if (sweep_enabled_ &&
+      !(fault_model_ != nullptr && fault_model_->NextMeshActivity(now) <= now)) {
+    for (const uint32_t t : shard_live_[shard].routers) {
+      routers_[t]->RouteCycle(now);
+    }
+  } else {
+    for (const uint32_t t : partition_.shard_tiles[shard]) {
+      routers_[t]->RouteCycle(now);
+    }
   }
   // Publish this cycle's consumed credits before the engine's route_done
   // grant, so the upstream shard's harvest sees the complete cycle.
@@ -262,9 +390,17 @@ void Mesh::ShardTransfer(uint32_t shard, Cycle now) {
     const BoundaryEdge& edge = edges_[e];
     edge.link->DeliverInto(*edge.dst_router, edge.in_port, now, *shard_pools_[shard]);
   }
-  for (const uint32_t t : partition_.shard_tiles[shard]) {
-    nis_[t]->InjectCycle(now);
+  LiveSet& set = shard_live_[shard];
+  if (sweep_enabled_) {
+    for (const uint32_t t : set.nis) {
+      nis_[t]->InjectCycle(now);
+    }
+  } else {
+    for (const uint32_t t : partition_.shard_tiles[shard]) {
+      nis_[t]->InjectCycle(now);
+    }
   }
+  CompactDead(set);
 }
 
 uint64_t Mesh::BoundaryFlitsHandedOff() const {

@@ -46,9 +46,26 @@ class Mesh : public Clocked, public ShardedFabric {
   // Quiescent when no router buffers a flit, no NI has flits queued for
   // injection, and the installed fault model (if any) has no per-cycle mesh
   // work (open stall windows). Monitors re-arm the mesh by enqueuing into an
-  // NI during an executed cycle; the next boundary poll sees the flits.
+  // NI during an executed cycle; the next boundary poll sees the flits. With
+  // the active sweep enabled (the default) the busy check is O(1) — the live
+  // lists are exact after every tick — instead of an O(tiles) scan.
   [[nodiscard]] Cycle NextActivity(Cycle now) const override;
+  // The busy sets are mutated by shard-phase worker code (AcceptFlit during
+  // routing/boundary delivery, Inject from monitor ticks), which no
+  // cross-thread wake may observe — the mesh is re-polled fresh at every
+  // executed-cycle boundary instead.
+  [[nodiscard]] SchedPolicy SchedulingPolicy() const override {
+    return SchedPolicy::kBoundaryPoll;
+  }
   std::string DebugName() const override { return "mesh"; }
+
+  // Ablation hatch (`--no-active-sweep`): when disabled, Tick sweeps every
+  // router and NI exactly as before live lists existed, and NextActivity
+  // falls back to the O(tiles) scan. The lists stay maintained either way
+  // (marks and compaction run in both paths), so re-enabling mid-run is
+  // exact. Toggle only with the parallel engine's workers parked.
+  void SetActiveSweepEnabled(bool enabled) { sweep_enabled_ = enabled; }
+  bool active_sweep_enabled() const { return sweep_enabled_; }
 
   uint32_t width() const { return config_.width; }
   uint32_t height() const { return config_.height; }
@@ -109,6 +126,32 @@ class Mesh : public Clocked, public ShardedFabric {
   void ResetPoolStats();
 
  private:
+  // The busy subset of one sweep domain (the whole mesh when serial, one
+  // shard when partitioned). `routers`/`nis` are sorted ascending and exact
+  // after compaction: tile t is listed iff its router buffers a flit / its
+  // NI has flits queued. `fresh_*` stage idle-to-busy transitions published
+  // by AcceptFlit/Inject since the last merge; merging (append + sort) at
+  // the top of the next sweep keeps the tick order identical to the full
+  // ascending sweep. Newly staged flits are commit-invisible until that
+  // sweep anyway, so deferring a fresh router one merge is byte-exact.
+  struct LiveSet {
+    std::vector<uint32_t> routers;
+    std::vector<uint32_t> fresh_routers;
+    std::vector<uint32_t> nis;
+    std::vector<uint32_t> fresh_nis;
+  };
+
+  static bool LiveBusy(const LiveSet& set) {
+    return !set.routers.empty() || !set.fresh_routers.empty() || !set.nis.empty() ||
+           !set.fresh_nis.empty();
+  }
+  void MergeFresh(LiveSet& set);
+  // Drops drained members and clears their marks, restoring the "listed iff
+  // busy" invariant the O(1) NextActivity check relies on.
+  void CompactDead(LiveSet& set);
+  // Points every router/NI at the serial live set.
+  void BindLiveLists();
+
   // One directed cut link: flits leave `src` shard through src_router's
   // `out_port` and arrive in `dst` shard on dst_router's `in_port`.
   struct BoundaryEdge {
@@ -135,6 +178,12 @@ class Mesh : public Clocked, public ShardedFabric {
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   NocFaultModel* fault_model_ = nullptr;
+  bool sweep_enabled_ = true;
+  LiveSet live_;  // Serial sweep domain (unused while partitioned).
+  // Per-shard sweep domains, worker-confined during shard phases (every
+  // mark source — routing, boundary delivery, monitor injection — stays
+  // inside the owning shard). Empty while unpartitioned.
+  std::vector<LiveSet> shard_live_;
 
   // Partition state (empty while unpartitioned).
   DomainPartition partition_;

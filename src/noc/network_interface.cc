@@ -47,6 +47,11 @@ bool NetworkInterface::Inject(PacketRef packet, Cycle now) {
   queue.push_back(Flit{std::move(packet), flits - 1});
   counters_.Add("ni.packets_injected");
   counters_.Add("ni.flits_injected", flits);
+  // Idle-to-busy transition: publish this NI into the mesh's live set.
+  if (!live_marked_ && live_out_ != nullptr) {
+    live_out_->push_back(tile_);
+    live_marked_ = true;
+  }
   return true;
 }
 
@@ -90,6 +95,8 @@ void NetworkInterface::EjectFlit(const Flit& flit, Cycle now) {
   latency_.Record(now - flit.packet->inject_cycle);
   counters_.Add("ni.packets_delivered");
   delivered_.push_back(flit.packet);
+  // New deliverable input for the tile above: end its parked quiescence.
+  sink_wake_.Wake();
 }
 
 PacketRef NetworkInterface::Retrieve() {

@@ -11,9 +11,11 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "src/noc/packet.h"
 #include "src/noc/router.h"
+#include "src/sim/clocked.h"
 #include "src/sim/ring_buffer.h"
 #include "src/stats/histogram.h"
 #include "src/stats/summary.h"
@@ -77,6 +79,17 @@ class NetworkInterface {
   // caches the old pointer.
   void SetPool(PacketPool* pool) { pool_ = pool; }
 
+  // Live-list publication (Mesh active sweep): the first packet queued while
+  // unmarked appends this tile id to `list`, so the mesh sweeps only NIs
+  // with pending injections. The mesh clears the mark on compaction.
+  void SetLiveList(std::vector<uint32_t>* list) { live_out_ = list; }
+  void ClearLiveMark() { live_marked_ = false; }
+
+  // Wake channel for the consumer of delivered packets (the tile above this
+  // NI): fired whenever a packet lands in the delivery queue, ending the
+  // tile's parked quiescence the cycle legacy tick order dictates.
+  void SetSinkWake(WakeHint hint) { sink_wake_ = hint; }
+
   // Largest packet (in flits) that can ever be injected; senders must
   // segment above this.
   uint32_t max_packet_flits() const { return inject_queue_flits_; }
@@ -98,6 +111,11 @@ class NetworkInterface {
   // never touches the heap after wiring.
   std::array<RingBuffer<Flit>, kNumVcs> inject_queues_;
   int inject_rr_ = 0;
+  // Busy-transition publication target (the owning mesh's fresh-live list)
+  // plus the once-per-transition mark, and the delivery-side wake handle.
+  std::vector<uint32_t>* live_out_ = nullptr;
+  bool live_marked_ = false;
+  WakeHint sink_wake_;
   std::deque<PacketRef> delivered_;
   CounterSet counters_;
   Histogram latency_;  // Injection-to-tail-ejection latency, in cycles.

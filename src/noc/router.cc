@@ -74,6 +74,11 @@ bool Router::AcceptFlit(RouterPort in_port, const Flit& flit) {
   }
   inputs_[in_port][static_cast<int>(flit.vc())].staged.push_back(flit);
   ++occupancy_;
+  // Idle-to-busy transition: publish this router into the mesh's live set.
+  if (!live_marked_ && live_out_ != nullptr) {
+    live_out_->push_back(tile());
+    live_marked_ = true;
+  }
   return true;
 }
 

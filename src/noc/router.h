@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "src/noc/fault_hooks.h"
 #include "src/noc/packet.h"
@@ -86,6 +87,13 @@ class Router {
   // mesh's quiescence check. O(1): tracked as a running occupancy count.
   bool HasBufferedFlits() const { return occupancy_ != 0; }
 
+  // Live-list publication (Mesh active sweep): on the first flit accepted
+  // while unmarked, the router appends its tile id to `list` — the mesh's
+  // per-cycle busy set. The mesh clears the mark when it compacts the
+  // router out of the list (occupancy back to zero).
+  void SetLiveList(std::vector<uint32_t>* list) { live_out_ = list; }
+  void ClearLiveMark() { live_marked_ = false; }
+
   // Estimated logic-cell cost of this router instance (for the FPGA resource
   // model; see src/fpga/resource_model.h for calibration notes).
   static uint32_t LogicCellCost(uint32_t buffer_depth);
@@ -154,6 +162,10 @@ class Router {
   uint64_t flits_routed_ = 0;
   // Total flits resident across all input buffers (staged + committed).
   uint64_t occupancy_ = 0;
+  // Busy-transition publication target (the owning mesh's fresh-live list)
+  // and the membership mark that keeps each transition published once.
+  std::vector<uint32_t>* live_out_ = nullptr;
+  bool live_marked_ = false;
   CounterSet counters_;
 };
 

@@ -72,7 +72,7 @@ void Autoscaler::Tick(Cycle now) {
 void Autoscaler::Poll() {
   // Always consume the window so each poll sees only its own interval.
   const Histogram window = lb_->TakeWindowLatency();
-  const uint64_t queue_sum = lb_->outstanding_cycle_sum();
+  const uint64_t queue_sum = lb_->outstanding_cycle_sum(now_);
   const uint64_t queue_delta = queue_sum - last_queue_sum_;
   last_queue_sum_ = queue_sum;
 

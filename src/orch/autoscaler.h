@@ -106,6 +106,12 @@ class Autoscaler : public Clocked {
     now_ = resume_cycle - 1;
   }
   std::string DebugName() const override { return "autoscaler"; }
+  // The region-cycle integral accrues on every executed cycle (OnFastForward
+  // compensates only skipped windows), so the block is pinned: parking it
+  // between poll multiples would silently stop the meter.
+  [[nodiscard]] SchedPolicy SchedulingPolicy() const override {
+    return SchedPolicy::kEveryCycle;
+  }
 
   uint32_t live_replicas() const;
   uint32_t target_replicas() const { return target_; }

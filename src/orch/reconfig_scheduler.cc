@@ -22,6 +22,8 @@ void ReconfigScheduler::ScheduleLoad(TileId tile, AccelFactory factory,
   job.queued_at = now_;
   jobs_.push_back(std::move(job));
   counters_.Add("orch.loads_queued");
+  // New work for an idle (parked) scheduler; callers are root-phase blocks.
+  RequestWake();
 }
 
 void ReconfigScheduler::ScheduleTeardown(TileId tile, std::function<bool()> drained,
@@ -34,6 +36,7 @@ void ReconfigScheduler::ScheduleTeardown(TileId tile, std::function<bool()> drai
   job.queued_at = now_;
   jobs_.push_back(std::move(job));
   counters_.Add("orch.teardowns_queued");
+  RequestWake();
 }
 
 void ReconfigScheduler::SetRateQuota(uint32_t loads_per_window, Cycle window_cycles) {

@@ -56,12 +56,10 @@ Histogram LoadBalancer::TakeWindowLatency() {
   return out;
 }
 
-void LoadBalancer::Tick(TileApi& api) {
-  outstanding_cycle_sum_ += in_flight_.size();
-  last_tick_ = api.now();
-}
-
 void LoadBalancer::OnMessage(const Message& msg, TileApi& api) {
+  // Credit the integral through this cycle at the pre-message in-flight
+  // count before any branch below changes membership.
+  AccrueIntegral(api.now());
   if (msg.kind == MsgKind::kResponse) {
     auto it = in_flight_.find(msg.request_id);
     if (it == in_flight_.end()) {

@@ -35,22 +35,16 @@ class LoadBalancer : public Accelerator {
   // backend.
   void OnMessage(const Message& msg, TileApi& api) override;
 
-  // Accumulates the queue-depth integral (sum over cycles of in-flight
-  // count); the autoscaler differentiates it to get average queue depth.
-  void Tick(TileApi& api) override;
-  // The integral is the only tick work, and it is reconstructed exactly on
-  // fast-forward (in-flight membership can only change via messages, which
-  // arrive on executed cycles), so the balancer never pins the clock.
+  // Purely reactive: the queue-depth integral is accrued lazily on in-flight
+  // membership changes (see AccrueIntegral), never per tick, so the tile can
+  // park — through executed cycles and fast-forward windows alike — without
+  // losing a single queue-cycle. Equal to a per-tick accumulation at every
+  // read point because the in-flight count is constant between messages.
+  // APIARY-WAKE(tile): purely reactive service — the owning Tile's NI sink
+  // wake ends the park on message delivery.
   [[nodiscard]] Cycle NextActivity(Cycle now) const override {
     (void)now;
     return kNoActivity;
-  }
-  void OnFastForward(Cycle resume_cycle) override {
-    // Delta-add the integral for the skipped idle cycles
-    // [last_tick_ + 1, resume_cycle - 1]; the per-cycle count is constant
-    // across the window.
-    outstanding_cycle_sum_ += (resume_cycle - 1 - last_tick_) * in_flight_.size();
-    last_tick_ = resume_cycle - 1;
   }
 
   std::string name() const override { return "load_balancer"; }
@@ -62,7 +56,15 @@ class LoadBalancer : public Accelerator {
   // Requests currently outstanding on one specific backend endpoint; zero
   // means the backend is drained and safe to tear down.
   uint64_t InFlightOn(CapRef endpoint) const;
-  uint64_t outstanding_cycle_sum() const { return outstanding_cycle_sum_; }
+  // Queue-depth integral through cycle `now` inclusive: sum over cycles
+  // t <= now of the in-flight count at the start of cycle t.
+  uint64_t outstanding_cycle_sum(Cycle now) const {
+    uint64_t sum = outstanding_cycle_sum_;
+    if (now + 1 > integral_upto_) {
+      sum += (now + 1 - integral_upto_) * in_flight_.size();
+    }
+    return sum;
+  }
   // Request->response latency over the whole run.
   const Histogram& latency() const { return latency_; }
   // Latency since the previous call; the autoscaler's per-poll window.
@@ -80,13 +82,24 @@ class LoadBalancer : public Accelerator {
   };
 
   size_t PickBackend();
+  // Folds the integral through cycle `now` inclusive at the *current*
+  // in-flight count. Called before every in-flight membership change: the
+  // departing/arriving request's cycle is credited at the pre-change count
+  // (matching a per-tick accumulation, where Tick runs before message
+  // delivery), and the new count applies from now + 1.
+  void AccrueIntegral(Cycle now) {
+    if (now + 1 > integral_upto_) {
+      outstanding_cycle_sum_ += (now + 1 - integral_upto_) * in_flight_.size();
+      integral_upto_ = now + 1;
+    }
+  }
 
   std::vector<Backend> backends_;
   size_t rr_next_ = 0;
   uint64_t next_forward_id_ = 1;
   std::map<uint64_t, InFlight> in_flight_;  // Keyed by forwarded request id.
   uint64_t outstanding_cycle_sum_ = 0;
-  Cycle last_tick_ = 0;  // Last cycle folded into the integral.
+  Cycle integral_upto_ = 0;  // First cycle NOT yet folded into the integral.
   Histogram latency_;
   Histogram window_latency_;
   CounterSet counters_;

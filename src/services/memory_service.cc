@@ -179,6 +179,8 @@ uint64_t MemoryService::AppOps(AppId app) const {
   return it == app_ops_.end() ? 0 : it->second;
 }
 
+// APIARY-WAKE(tile): requests arrive through the owning Tile (NI sink
+// wake); deferred replays are timer-bounded by NextWindowStart below.
 Cycle MemoryService::NextActivity(Cycle now) const {
   if (!pending_.empty()) {
     return now;

@@ -37,6 +37,8 @@ class MgmtService : public Accelerator {
   // last_heartbeat + deadline; the earliest such trip cycle bounds the
   // sleep. Heartbeats arrive as messages (executed cycles), pushing the
   // trip cycle out before it can be skipped past.
+  // APIARY-WAKE(tile): heartbeats arrive through the owning Tile's NI sink
+  // wake; between messages the trip deadline above bounds the park.
   [[nodiscard]] Cycle NextActivity(Cycle now) const override {
     Cycle next = kNoActivity;
     for (const auto& [tile, entry] : watched_) {

@@ -109,6 +109,14 @@ class NetworkService : public Accelerator {
     }
     return kNoActivity;
   }
+  // HasRx() flips when the external fabric delivers into the MAC's RX FIFO —
+  // a mutation outside this tile with no wake path into it. Boundary polling
+  // re-reads the declaration at every executed-cycle boundary, so a frame
+  // delivered at cycle T is served at T+1: exactly when a tick-everything
+  // run serves it, since the fabric is registered after the board's tiles.
+  [[nodiscard]] Clocked::SchedPolicy SchedulingPolicy() const override {
+    return Clocked::SchedPolicy::kBoundaryPoll;
+  }
 
   std::string name() const override { return "network_service"; }
   uint32_t LogicCellCost() const override { return 18000; }

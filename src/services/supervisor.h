@@ -87,6 +87,13 @@ class Supervisor : public Clocked {
   // (MgmtService watchdog -> OnTileFault) stamp identical detection times.
   void OnFastForward(Cycle resume_cycle) override { now_ = resume_cycle - 1; }
   std::string DebugName() const override { return "supervisor"; }
+  // Tick caches the clock that externally driven fault reports (OnTileFault
+  // from watchdog ticks) stamp into detection times, and the quoted
+  // same-cycle observation of reconfig completions depends on executing
+  // every cycle — pinned, never parked. NextActivity still bounds skips.
+  [[nodiscard]] SchedPolicy SchedulingPolicy() const override {
+    return SchedPolicy::kEveryCycle;
+  }
 
   const CounterSet& counters() const { return counters_; }
   // Fault-detection to back-in-service time, per recovered fault.

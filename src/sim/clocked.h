@@ -2,11 +2,23 @@
 #ifndef SRC_SIM_CLOCKED_H_
 #define SRC_SIM_CLOCKED_H_
 
+#include <cstdint>
 #include <string>
 
 #include "src/sim/types.h"
 
 namespace apiary {
+
+// Destination of a wake request: the schedule a block is currently bound to.
+// Implemented by ActiveSchedule; blocks never see the concrete type.
+class WakeSink {
+ public:
+  virtual ~WakeSink() = default;
+  virtual void Wake(uint32_t slot) = 0;
+  // The block's SchedulingPolicy() answer changed (e.g. reconfiguration
+  // loaded a per-cycle service onto a tile); re-read it.
+  virtual void RefreshPolicy(uint32_t slot) { (void)slot; }
+};
 
 // A Clocked object models a synchronous hardware block: it is ticked once per
 // simulated clock cycle. The simulator ticks all registered objects in
@@ -15,6 +27,26 @@ namespace apiary {
 class Clocked {
  public:
   virtual ~Clocked() = default;
+
+  // How the active-set scheduler may treat this block (see DESIGN.md
+  // §"Simulation substrate"):
+  //   kActiveSet    — honors the full quiescence contract: Tick() of a
+  //                   quiescent block is a no-op, and every early end of
+  //                   quiescence is announced through RequestWake()/WakeHint.
+  //                   The scheduler parks the block and wakes it from the
+  //                   timer wheel or a wake call.
+  //   kEveryCycle   — Tick() does per-executed-cycle work by design (cached
+  //                   clocks used by external callers, per-cycle integrals
+  //                   compensated only across *skipped* windows). Ticked on
+  //                   every executed cycle exactly as before active sets;
+  //                   NextActivity still bounds skips.
+  //   kBoundaryPoll — quiescent ticks are no-ops, but NextActivity depends on
+  //                   state mutated outside any schedule-visible wake path
+  //                   (e.g. enqueues from shard-phase service ticks, where a
+  //                   cross-thread wake would race). Re-polled at every
+  //                   executed-cycle boundary instead of parked on the wheel.
+  enum class SchedPolicy : uint8_t { kActiveSet = 0, kEveryCycle = 1, kBoundaryPoll = 2 };
+  [[nodiscard]] virtual SchedPolicy SchedulingPolicy() const { return SchedPolicy::kActiveSet; }
 
   // Advance one cycle. `now` is the cycle being executed.
   virtual void Tick(Cycle now) = 0;
@@ -25,11 +57,13 @@ class Clocked {
   //   - a future cycle T  : quiescent until T; Tick() through T-1 would be a
   //                         no-op given no external input,
   //   - kNoActivity       : idle until external input arrives.
-  // The simulator re-polls at every *executed* cycle boundary, so a block
-  // that receives a message/flit/request during an executed cycle simply
-  // reports `now` on the next poll — that is the entire wake protocol.
-  // Declaring a cycle too late breaks simulations (missed work); when in
-  // doubt, return `now`. The default keeps unported blocks cycle-accurate.
+  // The declaration must be *pure*: absent this block's own Tick() and
+  // external input, repeated polls return the same answer. The active-set
+  // scheduler parks on it; a block whose quiescence ends early (input
+  // arrives) must be woken via RequestWake()/WakeHint by whoever delivered
+  // the input. Declaring a cycle too late breaks simulations (missed work);
+  // when in doubt, return `now`. The default keeps unported blocks
+  // cycle-accurate.
   [[nodiscard]] virtual Cycle NextActivity(Cycle now) const {
     return now;  // Active every cycle unless the block declares otherwise.
   }
@@ -53,6 +87,65 @@ class Clocked {
 
   // Human-readable name for tracing and debug dumps.
   virtual std::string DebugName() const { return "clocked"; }
+
+  // --- Wake protocol (active-set scheduling). ---
+  //
+  // Ends this block's parked quiescence: the schedule re-activates it for
+  // the cycle dictated by legacy tick order (a wake from a block earlier in
+  // registration order takes effect this cycle; from a later block, next
+  // cycle — exactly when a tick-everything loop would have seen the input).
+  // Callable from const methods (a const query that flips cached state, e.g.
+  // a link-lock poll, still ends quiescence). Always safe to call: waking an
+  // already-active or genuinely idle block is a no-op tick at worst, never a
+  // behavior change. Must only be called from the thread that owns this
+  // block's schedule (same shard, or the coordinator while workers are
+  // parked) — see DESIGN.md for the full contract.
+  void RequestWake() const {
+    if (wake_sink_ != nullptr) {
+      wake_sink_->Wake(wake_slot_);
+    }
+  }
+
+  // Tells the schedule this block's SchedulingPolicy() answer changed (a
+  // tile's policy follows the accelerator loaded onto it). Call after any
+  // mutation that can change the answer; same threading rules as
+  // RequestWake(). Conservatively re-activates the block.
+  void RequestPolicyRefresh() const {
+    if (wake_sink_ != nullptr) {
+      wake_sink_->RefreshPolicy(wake_slot_);
+    }
+  }
+
+  // Schedule binding; called by ActiveSchedule on add/remove. Not for blocks.
+  void BindWakeSink(WakeSink* sink, uint32_t slot) const {
+    wake_sink_ = sink;
+    wake_slot_ = slot;
+  }
+
+ private:
+  // Mutable: RequestWake must be callable from const observers; the binding
+  // itself is scheduler bookkeeping, not block state.
+  mutable WakeSink* wake_sink_ = nullptr;
+  mutable uint32_t wake_slot_ = 0;
+};
+
+// Copyable wake handle for non-Clocked subobjects (a MAC's RX queue, an NI's
+// delivery side, a DRAM completion lambda): lets them wake the Clocked block
+// that consumes their output without knowing the schedule.
+class WakeHint {
+ public:
+  WakeHint() = default;
+  explicit WakeHint(const Clocked* target) : target_(target) {}
+
+  void Wake() const {
+    if (target_ != nullptr) {
+      target_->RequestWake();
+    }
+  }
+  bool bound() const { return target_ != nullptr; }
+
+ private:
+  const Clocked* target_ = nullptr;
 };
 
 }  // namespace apiary

@@ -8,13 +8,16 @@ void EventQueue::ScheduleAt(Cycle when, Callback cb) {
   heap_.push(Event{when, next_seq_++, std::move(cb)});
 }
 
-void EventQueue::RunUntil(Cycle now) {
+size_t EventQueue::RunUntil(Cycle now) {
+  size_t ran = 0;
   while (!heap_.empty() && heap_.top().when <= now) {
     // Copy out before pop so the callback may schedule new events.
     Event ev = heap_.top();
     heap_.pop();
     ev.cb(ev.when);
+    ++ran;
   }
+  return ran;
 }
 
 }  // namespace apiary

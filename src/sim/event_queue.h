@@ -20,8 +20,12 @@ class EventQueue {
   // cycle run in scheduling order (stable via a sequence number).
   void ScheduleAt(Cycle when, Callback cb);
 
-  // Runs every event due at or before `now`, in time order.
-  void RunUntil(Cycle now);
+  // Runs every event due at or before `now`, in time order. Returns the
+  // number of events run: callbacks are opaque to the active-set scheduler,
+  // so a nonzero return makes the simulator conservatively re-activate all
+  // blocks (a spurious tick of a quiescent block is a no-op; a missed one
+  // is not).
+  size_t RunUntil(Cycle now);
 
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }

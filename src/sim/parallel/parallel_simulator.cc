@@ -60,6 +60,18 @@ ParallelSimulator::ParallelSimulator(Simulator* sim, ShardedFabric* fabric, Para
     }
   }
 
+  shard_scheds_.reserve(num_shards_);
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    shard_scheds_.push_back(std::make_unique<ActiveSchedule>());
+  }
+  folded_ticked_.assign(num_shards_, 0);
+  folded_wheel_.assign(num_shards_, 0);
+  folded_wake_.assign(num_shards_, 0);
+  // The engine classifies new blocks at the top of the next cycle, so even
+  // event-registered blocks start ticking one cycle later than under the
+  // serial Step() — make the schedule defer them the same way.
+  sim_->defer_new_blocks_ = true;
+
   workers_.reserve(threads_ - 1);
   for (uint32_t w = 1; w < threads_; ++w) {
     workers_.emplace_back(&ParallelSimulator::WorkerMain, this, w);
@@ -75,6 +87,24 @@ ParallelSimulator::~ParallelSimulator() {
   for (std::thread& worker : workers_) {
     worker.join();
   }
+  FoldShardCounters();
+  // Return every block to the simulator's root schedule (re-adding in
+  // blocks_ order preserves the registration-order tick sequence) and
+  // conservatively re-activate everything for serial ticking.
+  for (size_t i = 0; i < sim_->blocks_.size(); ++i) {
+    Simulator::SlotRef& ref = sim_->slot_refs_[i];
+    if (ref.sched == &sim_->sched_) {
+      continue;
+    }
+    if (ref.sched != nullptr) {
+      ref.sched->Remove(ref.slot);
+    }
+    ref.sched = &sim_->sched_;
+    ref.slot = sim_->sched_.Add(sim_->blocks_[i], sim_->now_);
+  }
+  sim_->sched_.RebuildAllActive();
+  sim_->ResetHotCache();
+  sim_->defer_new_blocks_ = false;
   fabric_->DisablePartition();
 }
 
@@ -82,18 +112,49 @@ void ParallelSimulator::Reclassify() {
   root_blocks_.clear();
   shard_blocks_.assign(num_shards_, {});
   Clocked* const fabric_block = fabric_->AsClocked();
-  for (Clocked* block : sim_->blocks_) {
-    if (block == fabric_block) {
-      continue;  // The fabric runs as the shard phases, not as a root tick.
+  for (size_t i = 0; i < sim_->blocks_.size(); ++i) {
+    Clocked* block = sim_->blocks_[i];
+    // Pick the schedule that matches the block's phase: the root schedule
+    // for root-phase blocks, shard s's schedule for shard-homed blocks, and
+    // none for the fabric (the shard phases schedule routing themselves;
+    // ParallelSkipAhead polls the fabric's declaration directly).
+    ActiveSchedule* want = nullptr;
+    if (block != fabric_block) {
+      const TileId home = block->PartitionHome();
+      if (home != kInvalidTile && home < partition_.shard_of_tile.size()) {
+        const uint32_t shard = partition_.shard_of_tile[home];
+        shard_blocks_[shard].push_back(block);
+        want = shard_scheds_[shard].get();
+      } else {
+        root_blocks_.push_back(block);
+        want = &sim_->sched_;
+      }
     }
-    const TileId home = block->PartitionHome();
-    if (home != kInvalidTile && home < partition_.shard_of_tile.size()) {
-      shard_blocks_[partition_.shard_of_tile[home]].push_back(block);
-    } else {
-      root_blocks_.push_back(block);
+    Simulator::SlotRef& ref = sim_->slot_refs_[i];
+    if (ref.sched != want) {
+      if (ref.sched != nullptr) {
+        ref.sched->Remove(ref.slot);
+      }
+      ref.sched = want;
+      // Migration happens at the top of a cycle, pre-tick: the block is
+      // conservatively active and may tick this cycle, like the legacy
+      // lists it just joined.
+      ref.slot = want != nullptr ? want->Add(block, sim_->now_) : 0;
     }
   }
   classified_count_ = sim_->blocks_.size();
+}
+
+void ParallelSimulator::FoldShardCounters() {
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    const ActiveSchedule& sched = *shard_scheds_[s];
+    sim_->extra_ticked_blocks_ += sched.ticked_blocks() - folded_ticked_[s];
+    sim_->extra_wheel_wakes_ += sched.wheel_wakes() - folded_wheel_[s];
+    sim_->extra_wake_calls_ += sched.wake_calls() - folded_wake_[s];
+    folded_ticked_[s] = sched.ticked_blocks();
+    folded_wheel_[s] = sched.wheel_wakes();
+    folded_wake_[s] = sched.wake_calls();
+  }
 }
 
 void ParallelSimulator::WaitWorkersDone() {
@@ -129,8 +190,16 @@ void ParallelSimulator::WorkerCycle(uint32_t worker, Cycle now) {
     }
     ThreadDomain::ScopedInstall install(shard_contexts_[s]);
     fabric_->ShardTransfer(s, now);
-    for (Clocked* block : shard_blocks_[s]) {
-      block->Tick(now);
+    if (sim_->ActiveSetLive()) {
+      shard_scheds_[s]->ExecuteTicks(now);
+      // Establish next cycle's active set while the schedule is still
+      // worker-confined: the NextActivity polls here read only shard state
+      // (and root state frozen since the root phase).
+      shard_scheds_[s]->AdvanceBoundary(now + 1);
+    } else {
+      for (Clocked* block : shard_blocks_[s]) {
+        block->Tick(now);
+      }
     }
   }
 }
@@ -169,13 +238,27 @@ void ParallelSimulator::ExecuteCycle() {
     Reclassify();
   }
   const Cycle now = sim_->now_;
-  sim_->events_.RunUntil(now);
+  const bool active_sets = sim_->ActiveSetLive();
+  const size_t events_run = sim_->events_.RunUntil(now);
+  if (active_sets && events_run > 0) {
+    // Event callbacks are opaque; conservatively re-activate every schedule
+    // (see Simulator::Step). Workers are parked, so this is coordinator-safe.
+    sim_->sched_.RebuildAllActive();
+    for (auto& sched : shard_scheds_) {
+      sched->RebuildAllActive();
+    }
+  }
   // Root blocks may Register new blocks mid-tick; they join the list (and a
   // shard, if homed) at the next cycle's Reclassify, exactly like the serial
   // engine's next-cycle pickup.
-  const size_t root_count = root_blocks_.size();
-  for (size_t i = 0; i < root_count; ++i) {
-    root_blocks_[i]->Tick(now);
+  if (active_sets) {
+    sim_->sched_.ExecuteTicks(now);
+  } else {
+    const size_t root_count = root_blocks_.size();
+    for (size_t i = 0; i < root_count; ++i) {
+      root_blocks_[i]->Tick(now);
+    }
+    sim_->legacy_ticked_blocks_ += root_count;
   }
   const size_t blocks_after_root = sim_->blocks_.size();
 
@@ -195,12 +278,66 @@ void ParallelSimulator::ExecuteCycle() {
          "Register/Unregister called from a shard-phase Tick");
   (void)blocks_after_root;
 
+  if (!active_sets) {
+    // Shard ticks ran through the legacy lists; count them deterministically
+    // on the coordinator (every shard block ticks every cycle in this mode).
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      sim_->legacy_ticked_blocks_ += shard_blocks_[s].size();
+    }
+  }
   const bool removed = !sim_->pending_removals_.empty();
   sim_->ApplyPendingRemovals();
   if (removed) {
     Reclassify();
   }
   ++sim_->now_;
+  ++sim_->executed_cycles_;
+  if (active_sets) {
+    // Root-schedule boundary after the workers are done, so boundary-poll
+    // blocks (DRAM, MACs, PCIe) observe shard-phase enqueues from this cycle.
+    sim_->sched_.AdvanceBoundary(sim_->now_);
+  }
+}
+
+void ParallelSimulator::ParallelSkipAhead(Cycle limit) {
+  if (!sim_->skip_enabled_ || sim_->now_ >= limit) {
+    return;
+  }
+  if (!sim_->ActiveSetLive()) {
+    sim_->SkipAhead(limit);  // Tick-everything mode: the O(N) sweep is correct as is.
+    return;
+  }
+  const Cycle now = sim_->now_;
+  Cycle target = sim_->sched_.EarliestWork(now);
+  if (target <= now) {
+    return;
+  }
+  for (auto& sched : shard_scheds_) {
+    target = std::min(target, sched->EarliestWork(now));
+    if (target <= now) {
+      return;
+    }
+  }
+  const Cycle fabric_next = fabric_->AsClocked()->NextActivity(now);
+  if (fabric_next <= now) {
+    return;
+  }
+  target = std::min(target, fabric_next);
+  if (!sim_->events_.empty()) {
+    const Cycle due = sim_->events_.NextEventCycle();
+    if (due <= now) {
+      return;
+    }
+    target = std::min(target, due);
+  }
+  target = std::min(target, limit);
+  if (target <= now) {
+    return;
+  }
+  sim_->JumpTo(target);
+  for (auto& sched : shard_scheds_) {
+    sched->AdvanceBoundary(sim_->now_);
+  }
 }
 
 void ParallelSimulator::Run(Cycle cycles) {
@@ -219,13 +356,14 @@ void ParallelSimulator::Run(Cycle cycles) {
     // between cycles, so the coordinator can skip exactly like the serial
     // engine (boundary rings are drained every executed cycle, so pending
     // cross-shard traffic always pins NextActivity at `now`).
-    sim_->SkipAhead(end);
+    ParallelSkipAhead(end);
   }
   if (threads_ > 1) {
     go_token_ = kTokenEndRun;
     go_seq_.fetch_add(1, std::memory_order_release);
     WaitWorkersDone();
   }
+  FoldShardCounters();
 }
 
 }  // namespace apiary

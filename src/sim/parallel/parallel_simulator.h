@@ -105,9 +105,19 @@ class ParallelSimulator {
   void WorkerCycle(uint32_t worker, Cycle now);
   void WorkerMain(uint32_t worker);
   void WaitWorkersDone();
-  // Rebuilds root_blocks_/shard_blocks_ from the simulator's block list
+  // Rebuilds root_blocks_/shard_blocks_ from the simulator's block list and
+  // migrates blocks between the root schedule and the per-shard schedules
   // (called when the list changes; coordinator only, workers at rest).
   void Reclassify();
+  // Active-set replacement for Simulator::SkipAhead: the jump target is the
+  // minimum over the root schedule, every shard schedule, the fabric's own
+  // declaration, and the event queue — the same minimum the tick-everything
+  // sweep computes, so skip counts stay byte-identical. Delegates to the
+  // serial sweep when active sets are disabled.
+  void ParallelSkipAhead(Cycle limit);
+  // Folds the shard schedules' tick/wake counters into the simulator's
+  // (delta-based, so repeated Run() calls never double-count).
+  void FoldShardCounters();
 
   static constexpr uint64_t kTokenCycle = 0;
   static constexpr uint64_t kTokenEndRun = 1;
@@ -124,6 +134,16 @@ class ParallelSimulator {
   std::vector<Clocked*> root_blocks_;
   std::vector<std::vector<Clocked*>> shard_blocks_;
   size_t classified_count_ = 0;
+
+  // Per-shard active schedules: shard s's blocks live in shard_scheds_[s]
+  // while the partition is enabled (the root schedule keeps everything
+  // else; the fabric block is scheduled by the shard phases themselves).
+  // Worker-confined during shard phases; coordinator-only otherwise.
+  std::vector<std::unique_ptr<ActiveSchedule>> shard_scheds_;
+  // Last-folded counter snapshots (see FoldShardCounters).
+  std::vector<uint64_t> folded_ticked_;
+  std::vector<uint64_t> folded_wheel_;
+  std::vector<uint64_t> folded_wake_;
 
   // Worker w owns shards [shard_begin_[w], shard_begin_[w + 1]).
   std::vector<uint32_t> shard_begin_;

@@ -6,7 +6,14 @@
 
 namespace apiary {
 
-void Simulator::Register(Clocked* block) { blocks_.push_back(block); }
+void Simulator::Register(Clocked* block) {
+  blocks_.push_back(block);
+  // The schedule is kept bound even in tick-everything mode: slot ids give
+  // the hot-block cache a stable identity, wake calls stay counted, and
+  // re-enabling active sets mid-run only needs a conservative rebuild.
+  const uint32_t slot = sched_.Add(block, now_, defer_new_blocks_);
+  slot_refs_.push_back(SlotRef{&sched_, slot});
+}
 
 void Simulator::Unregister(Clocked* block) { pending_removals_.push_back(block); }
 
@@ -14,55 +21,109 @@ void Simulator::ApplyPendingRemovals() {
   if (pending_removals_.empty()) {
     return;
   }
-  // Single-pass compaction: sort the removal set once and binary-search it
-  // per block, instead of one O(blocks) erase per removal. Sorting also
-  // makes double-unregister of the same block harmless (both entries match
-  // the same element; remove_if visits each block once).
+  // Single-pass lockstep compaction of blocks_ and slot_refs_: sort the
+  // removal set once and binary-search it per block. Sorting also makes
+  // double-unregister of the same block harmless (each surviving element is
+  // visited once). The hot-block cache needs no remapping — it holds a
+  // (schedule, slot, generation) identity, and removal bumps the slot's
+  // generation, so a stale cache simply fails its lookup and the skip poll
+  // falls through to the full sweep.
   std::sort(pending_removals_.begin(), pending_removals_.end());
-  Clocked* hot = hot_block_ < blocks_.size() ? blocks_[hot_block_] : nullptr;
-  blocks_.erase(std::remove_if(blocks_.begin(), blocks_.end(),
-                               [this](Clocked* b) {
-                                 return std::binary_search(pending_removals_.begin(),
-                                                           pending_removals_.end(), b);
-                               }),
-                blocks_.end());
-  // The compaction shifts indices, so the hot-block cache must follow its
-  // block: removing the cached block itself invalidates the cache (index 0,
-  // never out of range), and removing an earlier block remaps it — otherwise
-  // the stale index silently aliases whatever slid into that slot and the
-  // fast-exit poll in SkipAhead() probes the wrong block.
-  if (hot != nullptr) {
-    if (std::binary_search(pending_removals_.begin(), pending_removals_.end(), hot)) {
-      hot_block_ = 0;
-    } else if (hot_block_ >= blocks_.size() || blocks_[hot_block_] != hot) {
-      hot_block_ = static_cast<size_t>(std::find(blocks_.begin(), blocks_.end(), hot) -
-                                       blocks_.begin());
+  size_t kept = 0;
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (std::binary_search(pending_removals_.begin(), pending_removals_.end(), blocks_[i])) {
+      slot_refs_[i].sched->Remove(slot_refs_[i].slot);
+    } else {
+      blocks_[kept] = blocks_[i];
+      slot_refs_[kept] = slot_refs_[i];
+      ++kept;
     }
   }
+  blocks_.resize(kept);
+  slot_refs_.resize(kept);
   pending_removals_.clear();
 }
 
+void Simulator::SetActiveSetEnabled(bool enabled) {
+  if (enabled && !active_set_enabled_) {
+    // Wheel and parked state went stale while the tick-everything path ran;
+    // conservatively re-activate everything (spurious ticks are no-ops) and
+    // let the next boundary re-park the quiescent.
+    sched_.RebuildAllActive();
+  }
+  active_set_enabled_ = enabled;
+}
+
+void Simulator::SetSkipEnabled(bool enabled) {
+  if (enabled && !skip_enabled_ && active_set_enabled_) {
+    // Active-set state sat idle while the no-skip legacy loop ran; same
+    // conservative re-activation as re-enabling active sets.
+    sched_.RebuildAllActive();
+  }
+  skip_enabled_ = enabled;
+}
+
 void Simulator::Step() {
-  events_.RunUntil(now_);
-  // Index-based loop: callbacks and ticks may register new blocks, which then
-  // start ticking on the next cycle.
-  const size_t count = blocks_.size();
-  for (size_t i = 0; i < count; ++i) {
-    blocks_[i]->Tick(now_);
+  const size_t events_run = events_.RunUntil(now_);
+  if (ActiveSetLive()) {
+    if (events_run > 0) {
+      // Event callbacks are opaque: they may have delivered input to any
+      // parked block. Re-activating everything is byte-safe; events are rare
+      // (setup, arrivals, reconfiguration completions).
+      sched_.RebuildAllActive();
+    }
+    sched_.ExecuteTicks(now_);
+  } else {
+    // Index-based loop with a count snapshot: callbacks and ticks may
+    // register new blocks, which then start ticking on the next cycle.
+    const size_t count = blocks_.size();
+    for (size_t i = 0; i < count; ++i) {
+      blocks_[i]->Tick(now_);
+    }
+    legacy_ticked_blocks_ += count;
   }
   ApplyPendingRemovals();
   ++now_;
+  ++executed_cycles_;
+  if (ActiveSetLive()) {
+    sched_.AdvanceBoundary(now_);
+  }
 }
 
 void Simulator::SkipAhead(Cycle limit) {
   if (!skip_enabled_ || now_ >= limit) {
     return;
   }
+  if (ActiveSetLive()) {
+    // O(1) when any kActiveSet block is busy; otherwise the earliest pinned /
+    // boundary-poll declaration or live wheel deadline. This is exactly the
+    // minimum the tick-everything sweep below would compute (declarations are
+    // pure), so skip counts and targets are byte-identical across modes.
+    Cycle target = sched_.EarliestWork(now_);
+    if (target <= now_) {
+      return;
+    }
+    if (!events_.empty()) {
+      const Cycle due = events_.NextEventCycle();
+      if (due <= now_) {
+        return;  // An event is due immediately: nothing to skip.
+      }
+      target = std::min(target, due);
+    }
+    target = std::min(target, limit);
+    if (target <= now_) {
+      return;
+    }
+    JumpTo(target);
+    return;
+  }
   // Saturated-path fast exit: the block that most recently proved activity is
   // overwhelmingly likely to still be active, so poll it before scanning. A
   // failed skip attempt then costs one virtual call instead of O(blocks).
   // NextActivity is a pure query, so the extra poll has no observable effect.
-  if (hot_block_ < blocks_.size() && blocks_[hot_block_]->NextActivity(now_) <= now_) {
+  Clocked* hot =
+      hot_ref_.sched != nullptr ? hot_ref_.sched->BlockAt(hot_ref_.slot, hot_gen_) : nullptr;
+  if (hot != nullptr && hot->NextActivity(now_) <= now_) {
     return;
   }
   // The jump target is the earliest cycle anyone needs: the next pending
@@ -79,14 +140,22 @@ void Simulator::SkipAhead(Cycle limit) {
   for (size_t i = 0; i < blocks_.size(); ++i) {
     const Cycle next = blocks_[i]->NextActivity(now_);
     if (next <= now_) {
-      hot_block_ = i;  // Remember the busy block for the fast exit above.
-      return;          // Someone is active next cycle: bail before polling the rest.
+      // Remember the busy block for the fast exit above, by stable identity.
+      // Under the parallel engine the fabric block has no schedule (its ref
+      // is null): it stays out of the cache rather than crashing GenOf.
+      hot_ref_ = slot_refs_[i];
+      hot_gen_ = hot_ref_.sched != nullptr ? hot_ref_.sched->GenOf(hot_ref_.slot) : 0;
+      return;  // Someone is active next cycle: bail before polling the rest.
     }
     target = std::min(target, next);
   }
   if (target <= now_) {
     return;
   }
+  JumpTo(target);
+}
+
+void Simulator::JumpTo(Cycle target) {
   skipped_cycles_ += target - now_;
   ++skips_;
   // Every block observes the jump, so cached clocks and per-cycle
@@ -95,6 +164,10 @@ void Simulator::SkipAhead(Cycle limit) {
     block->OnFastForward(target);
   }
   now_ = target;
+  if (ActiveSetLive()) {
+    // Deadlines landing exactly on the jump target are due now.
+    sched_.AdvanceBoundary(now_);
+  }
 }
 
 void Simulator::Run(Cycle cycles) {

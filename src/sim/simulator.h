@@ -6,6 +6,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/sim/active_schedule.h"
 #include "src/sim/clocked.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/sim_context.h"
@@ -22,8 +23,12 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  // Registers a block to be ticked every cycle. The simulator does not own
-  // the block; callers keep it alive for the duration of the run.
+  // Registers a block. The simulator does not own the block; callers keep it
+  // alive for the duration of the run. Under active-set scheduling (the
+  // default) only blocks that are active — by declaration, timer-wheel
+  // deadline, or wake — are ticked on an executed cycle; with
+  // SetActiveSetEnabled(false) every block is ticked every executed cycle.
+  // Seeded runs are byte-identical either way.
   void Register(Clocked* block);
 
   // Removes a previously registered block (e.g. a reconfigured-away
@@ -41,8 +46,8 @@ class Simulator {
 
   // Runs `cycles` additional cycles. When skipping is enabled (the default),
   // stretches where every block is quiescent (see Clocked::NextActivity) and
-  // no event is due are fast-forwarded in O(blocks) instead of being ticked
-  // cycle by cycle; executed cycles behave exactly as before.
+  // no event is due are fast-forwarded instead of being ticked cycle by
+  // cycle; executed cycles behave exactly as before.
   void Run(Cycle cycles);
 
   // Runs until `pred` returns true or `max_cycles` additional cycles have
@@ -75,41 +80,102 @@ class Simulator {
     return static_cast<double>(cycles) * 1000.0 / frequency_mhz_;
   }
 
-  // Escape hatch (`--no-skip`): when disabled, every cycle is ticked exactly
-  // as before quiescence awareness existed. Seeded runs must be
-  // byte-identical either way; the differential test enforces it.
-  void SetSkipEnabled(bool enabled) { skip_enabled_ = enabled; }
+  // Escape hatch (`--no-skip`): when disabled, every cycle is executed and
+  // every block is ticked, exactly as before quiescence awareness existed —
+  // active-set scheduling is bypassed too, so this is the pure legacy
+  // baseline. Seeded runs must be byte-identical either way; the
+  // differential tests enforce it.
+  void SetSkipEnabled(bool enabled);
   bool skip_enabled() const { return skip_enabled_; }
+
+  // Ablation hatch (`--no-active-set`): when disabled, executed cycles tick
+  // every registered block in registration order, exactly as before active
+  // sets existed. Seeded runs must be byte-identical either way; the
+  // active-set differential test enforces it. Re-enabling mid-run
+  // conservatively re-activates every block (byte-safe: spurious ticks of
+  // quiescent blocks are no-ops).
+  void SetActiveSetEnabled(bool enabled);
+  bool active_set_enabled() const { return active_set_enabled_; }
 
   // Fast-forward observability (for benchmarks and tests).
   uint64_t skipped_cycles() const { return skipped_cycles_; }
   uint64_t skips() const { return skips_; }
 
+  // Executed-cycle breakdown (for benchmarks): how much tick work the
+  // scheduler actually did. `ticked_blocks / (executed_cycles * block_count)`
+  // is the observed active fraction.
+  uint64_t executed_cycles() const { return executed_cycles_; }
+  uint64_t ticked_blocks() const {
+    return legacy_ticked_blocks_ + extra_ticked_blocks_ + sched_.ticked_blocks();
+  }
+  uint64_t wheel_wakes() const { return extra_wheel_wakes_ + sched_.wheel_wakes(); }
+  uint64_t wake_calls() const { return extra_wake_calls_ + sched_.wake_calls(); }
+  size_t block_count() const { return blocks_.size(); }
+
  private:
   // The sharded engine drives this simulator's clock, blocks, and event
   // queue directly (root phase + per-shard phases instead of Step()); it
-  // reuses SkipAhead/ApplyPendingRemovals so skip and removal semantics stay
-  // byte-identical with the serial path.
+  // moves shard-homed blocks between this simulator's root schedule and its
+  // per-shard schedules, and reuses JumpTo/ApplyPendingRemovals so skip and
+  // removal semantics stay byte-identical with the serial path.
   friend class ParallelSimulator;
+
+  // Where a registered block currently lives: its schedule (the root
+  // schedule, or a shard schedule under the parallel engine) and its stable
+  // slot id there. Indexed in lockstep with blocks_.
+  struct SlotRef {
+    ActiveSchedule* sched = nullptr;
+    uint32_t slot = 0;
+  };
+
+  // Active-set scheduling is live only when skipping is too: `--no-skip`
+  // promises the complete legacy execution (every block, every cycle).
+  bool ActiveSetLive() const { return active_set_enabled_ && skip_enabled_; }
 
   void Step();
   // Fast-forwards now_ to the earliest cycle in (now_, limit] that any block
   // or event needs, when every block is quiescent. No-op when some block is
   // active or skipping is disabled.
   void SkipAhead(Cycle limit);
+  // Executes the fast-forward to `target`: counters, the OnFastForward
+  // broadcast over every block in registration order, the clock, and the
+  // post-jump boundary re-establishment.
+  void JumpTo(Cycle target);
   void ApplyPendingRemovals();
+  void ResetHotCache() {
+    hot_ref_ = SlotRef{};
+    hot_gen_ = 0;
+  }
 
   SimContext context_;
   double frequency_mhz_;
   Cycle now_ = 0;
   bool skip_enabled_ = true;
+  bool active_set_enabled_ = true;
+  // Set while a parallel engine drives this simulator: new registrations
+  // start ticking next cycle even when made from an event callback (the
+  // engine classifies them at the top of the next cycle, unlike Step()'s
+  // same-cycle pickup).
+  bool defer_new_blocks_ = false;
   uint64_t skipped_cycles_ = 0;
   uint64_t skips_ = 0;
-  // Index of the block that most recently kept a skip from happening; polled
-  // first so a saturated board pays ~one virtual call per failed attempt.
-  size_t hot_block_ = 0;
+  uint64_t executed_cycles_ = 0;
+  uint64_t legacy_ticked_blocks_ = 0;  // Ticks issued by the tick-everything path.
+  // Contributions from schedules this simulator does not own (the parallel
+  // engine folds its shard schedules in at the end of each run).
+  uint64_t extra_ticked_blocks_ = 0;
+  uint64_t extra_wheel_wakes_ = 0;
+  uint64_t extra_wake_calls_ = 0;
+  // The block that most recently kept a skip from happening, identified by
+  // stable (schedule, slot, generation) — never remapped on removal; a stale
+  // generation simply falls through to the full poll. Only the
+  // tick-everything path uses it (the active-set path's busy check is O(1)).
+  SlotRef hot_ref_;
+  uint32_t hot_gen_ = 0;
   std::vector<Clocked*> blocks_;
+  std::vector<SlotRef> slot_refs_;  // Lockstep with blocks_.
   std::vector<Clocked*> pending_removals_;
+  ActiveSchedule sched_;
   EventQueue events_;
 };
 

@@ -135,6 +135,12 @@ class FloodAttacker : public Accelerator {
     return (active_ != nullptr && *active_ && victim_ != kInvalidCapRef) ? now
                                                                          : kNoActivity;
   }
+  // The campaign flag is flipped by the driver block with no wake path into
+  // this tile — boundary-poll so the flip is seen the same cycle the legacy
+  // every-block loop would have seen it.
+  [[nodiscard]] Clocked::SchedPolicy SchedulingPolicy() const override {
+    return Clocked::SchedPolicy::kBoundaryPoll;
+  }
 
   std::string name() const override { return "flood_attacker"; }
   uint32_t LogicCellCost() const override { return 9000; }
@@ -168,6 +174,10 @@ class ProbeAttacker : public Accelerator {
       return kNoActivity;
     }
     return next_probe_ > now ? next_probe_ : now;
+  }
+  // Same as FloodAttacker: re-armed by a flag flip no wake path announces.
+  [[nodiscard]] Clocked::SchedPolicy SchedulingPolicy() const override {
+    return Clocked::SchedPolicy::kBoundaryPoll;
   }
 
   std::string name() const override { return "probe_attacker"; }

@@ -35,6 +35,9 @@ TenantId TenantManager::CreateTenant(const std::string& name, const TenantQuota&
     t.noc_budget = TokenBucket(quota.noc_flits_per_1k, quota.noc_burst_flits);
   }
   tenants_[id] = std::move(t);
+  // First tenant flips NextActivity from "idle forever" to the metering
+  // boundary; the manager may be parked on that stale declaration.
+  RequestWake();
   if (quota.arb_class != 0 && quota.arb_weight != 0) {
     os_->SetNocClassWeight(quota.arb_class, quota.arb_weight);
   }

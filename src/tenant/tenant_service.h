@@ -22,9 +22,11 @@ class TenantStatsService : public Accelerator {
 
   void OnMessage(const Message& msg, TileApi& api) override;
   void Tick(TileApi& api) override { (void)api; }
+  // APIARY-WAKE(tile): purely reactive service — the owning Tile's NI sink
+  // wake ends the park on message delivery.
   [[nodiscard]] Cycle NextActivity(Cycle now) const override {
     (void)now;
-    return kNoActivity;  // Purely reactive.
+    return kNoActivity;
   }
 
   std::string name() const override { return "tenant_stats_service"; }

@@ -45,6 +45,9 @@ void ClientHost::SendOne(Cycle now) {
 }
 
 void ClientHost::OnFrame(EthFrame frame, Cycle now) {
+  // A response ends quiescence early: it can open the closed-loop window or
+  // retire a retry timer the parked declaration was sleeping toward.
+  RequestWake();
   if (config_.reliable && ReliableTransport::IsTransportFrame(frame.payload)) {
     for (const auto& payload : transport_.OnFrame(frame.src_endpoint, frame.payload, now)) {
       HandleResponsePayload(payload, now);

@@ -9,6 +9,7 @@
 #include "src/noc/packet.h"
 #include "src/noc/packet_pool.h"
 #include "src/noc/rate_limiter.h"
+#include "src/sim/payload_arena.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 
@@ -19,6 +20,9 @@ namespace {
 // helpers below hand out (packets may be parked in mesh buffers until a
 // test-scope Mesh drains or destructs).
 PacketPool& TestPool() {
+  // Pooled packets retain payload capacity, so the fallback arena backing
+  // those chunks must be constructed first (→ destroyed last at exit).
+  FallbackPayloadArena();
   static PacketPool pool;
   return pool;
 }

@@ -102,7 +102,12 @@ class PacketSource : public Clocked {
 // Drains its tile's delivery queue and fingerprints what arrived.
 class PacketSink : public Clocked {
  public:
-  PacketSink(Mesh* mesh, TileId tile) : mesh_(mesh), tile_(tile) {}
+  PacketSink(Mesh* mesh, TileId tile) : mesh_(mesh), tile_(tile) {
+    // This sink is the consumer above the NI (the role a Tile normally
+    // plays), so it claims the NI's delivery-side wake channel; without it a
+    // parked sink would never see deliveries.
+    mesh_->ni(tile_).SetSinkWake(WakeHint(this));
+  }
 
   void Tick(Cycle now) override {
     (void)now;

@@ -415,6 +415,9 @@ TEST(SimulatorTest, RemovingABlockBeforeTheHotBlockRemapsTheCache) {
   // the cache must follow its block instead.
   std::vector<const PollProbe*> log;
   Simulator sim;
+  // The hot-block cache serves the tick-everything skip path; the active-set
+  // path's busy check is O(1) and never scans.
+  sim.SetActiveSetEnabled(false);
   PollProbe a(&log, false);
   PollProbe b(&log, false);
   PollProbe c(&log, true);  // The busy block: becomes the hot cache entry.
@@ -446,6 +449,7 @@ TEST(SimulatorTest, RemovingABlockBeforeTheHotBlockRemapsTheCache) {
 TEST(SimulatorTest, RemovingTheHotBlockItselfResetsTheCache) {
   std::vector<const PollProbe*> log;
   Simulator sim;
+  sim.SetActiveSetEnabled(false);  // The cache only serves the legacy scan.
   PollProbe a(&log, false);
   PollProbe b(&log, false);
   PollProbe c(&log, true);
@@ -458,13 +462,125 @@ TEST(SimulatorTest, RemovingTheHotBlockItselfResetsTheCache) {
   b.SetActive(true);
   sim.Unregister(&c);
   log.clear();
-  sim.Run(2);  // Removal applies; the cache must reset to index 0.
-  // The reset cache's fast-exit poll probes index 0 (a), then the scan
-  // restarts from a: [a, a, b]. A stale out-of-range index would skip the
-  // fast-exit poll and go straight to the scan: [a, b].
+  sim.Run(2);  // Removal applies at the end of the first cycle's Step.
+  // Removing the hot block bumps its slot's generation, which invalidates
+  // the cache: no fast-exit poll happens and the scan starts from a, finding
+  // b active. The failure mode guarded here is aliasing — a stale cache must
+  // never poll whatever block slid into c's old slot.
   ASSERT_GE(log.size(), 2u);
   EXPECT_EQ(log[0], &a);
-  EXPECT_EQ(log[1], &a);
+  EXPECT_EQ(log[1], &b);
+}
+
+// Register/unregister churn regression: slot identities must stay stable
+// while other blocks come and go (the old engine re-resolved a raw index on
+// every removal, which aliased the hot-block cache), recycled slots must
+// never alias their previous tenant, and both engine modes must agree on
+// every block's tick count.
+TEST(SimulatorTest, RegisterUnregisterChurnTicksExactlyTheRightBlocks) {
+  auto run = [](bool active_set) {
+    Simulator sim;
+    sim.SetActiveSetEnabled(active_set);
+    CountingBlock anchor;  // Always busy: pins the clock, no fast-forwards.
+    sim.Register(&anchor);
+
+    std::vector<std::unique_ptr<CountingBlock>> churn;
+    std::vector<int> final_ticks;
+    // 40 rounds: add two busy blocks, run, remove the older one (plus a
+    // harmless double-unregister), run again. Slot ids get freed and
+    // recycled continuously while the anchor keeps every cycle executing.
+    for (int round = 0; round < 40; ++round) {
+      churn.push_back(std::make_unique<CountingBlock>());
+      sim.Register(churn.back().get());
+      churn.push_back(std::make_unique<CountingBlock>());
+      sim.Register(churn.back().get());
+      sim.Run(3);
+      CountingBlock* oldest = churn.front().get();
+      sim.Unregister(oldest);
+      sim.Unregister(oldest);  // Double-unregister must be harmless.
+      sim.Run(3);
+      final_ticks.push_back(oldest->ticks);
+      churn.erase(churn.begin());
+    }
+    for (const auto& block : churn) {
+      final_ticks.push_back(block->ticks);
+    }
+    final_ticks.push_back(anchor.ticks);
+    return final_ticks;
+  };
+
+  const std::vector<int> with_sets = run(true);
+  const std::vector<int> legacy = run(false);
+  EXPECT_EQ(with_sets, legacy);
+  // The anchor saw every cycle: 40 rounds of 6 cycles each.
+  EXPECT_EQ(with_sets.back(), 240);
+}
+
+// A parked block's slot is removed and immediately recycled by a new
+// registration; a stale wake aimed at the old registration must not
+// activate (or tick) the slot's new tenant.
+TEST(SimulatorTest, RecycledSlotDoesNotAliasStaleWakes) {
+  Simulator sim;
+  CountingBlock anchor;
+  sim.Register(&anchor);
+  SleepyBlock old_tenant;
+  sim.Register(&old_tenant);
+  sim.Run(2);  // old_tenant parks after its first boundary.
+  sim.Unregister(&old_tenant);
+  sim.Run(1);  // Removal applies; the slot returns to the free list.
+
+  SleepyBlock new_tenant;
+  sim.Register(&new_tenant);  // Recycles the freed slot (LIFO free list).
+  sim.Run(2);
+  const size_t ticks_before = new_tenant.ticked_at.size();
+  // The old registration's wake channel was unbound at removal: this is a
+  // no-op, not a wake of whoever now owns the slot.
+  old_tenant.RequestWake();
+  sim.Run(3);
+  EXPECT_EQ(new_tenant.ticked_at.size(), ticks_before);
+
+  // The new tenant's own wake still lands.
+  new_tenant.pending = true;
+  new_tenant.RequestWake();
+  sim.Run(3);
+  ASSERT_EQ(new_tenant.processed_at.size(), 1u);
+}
+
+// A block whose SchedulingPolicy changes mid-run (a tile's policy follows
+// the accelerator loaded onto it) announces it via RequestPolicyRefresh.
+class PolicySwitchBlock : public Clocked {
+ public:
+  void Tick(Cycle now) override { ticked_at.push_back(now); }
+  [[nodiscard]] Cycle NextActivity(Cycle) const override { return kNoActivity; }
+  [[nodiscard]] SchedPolicy SchedulingPolicy() const override { return policy; }
+  std::string DebugName() const override { return "policy_switch"; }
+
+  SchedPolicy policy = SchedPolicy::kActiveSet;
+  std::vector<Cycle> ticked_at;
+};
+
+TEST(SimulatorTest, PolicyRefreshMidRunIsFollowed) {
+  Simulator sim;
+  CountingBlock anchor;
+  sim.Register(&anchor);
+  PolicySwitchBlock block;
+  sim.Register(&block);
+  sim.Run(5);
+  // kActiveSet + kNoActivity: parked after the first boundary.
+  const size_t parked_ticks = block.ticked_at.size();
+  EXPECT_LE(parked_ticks, 1u);
+
+  block.policy = Clocked::SchedPolicy::kEveryCycle;
+  block.RequestPolicyRefresh();
+  sim.Run(5);
+  // Pinned now: every executed cycle ticks it despite the idle declaration.
+  EXPECT_EQ(block.ticked_at.size(), parked_ticks + 5);
+
+  block.policy = Clocked::SchedPolicy::kActiveSet;
+  block.RequestPolicyRefresh();
+  sim.Run(5);
+  // Back to parkable: at most the conservative re-activation tick.
+  EXPECT_LE(block.ticked_at.size(), parked_ticks + 5 + 1);
 }
 
 }  // namespace

@@ -136,11 +136,10 @@ std::vector<std::string> ParseNolintList(const std::string& line, size_t after) 
   return checks;
 }
 
-// Parses one "APIARY-SHARED(<domain>): <reason>" marker starting at the
-// marker text itself. Well-formed means: non-empty parenthesized domain,
-// a ':' after the close paren, and a non-empty reason after the colon.
-SharedAnnotation ParseSharedAnnotation(const std::string& raw, size_t marker_pos) {
-  size_t pos = marker_pos + 13;  // strlen("APIARY-SHARED")
+// Parses the shared "(<tag>): <reason>" annotation grammar starting at
+// `pos` (just past the marker). Well-formed means: non-empty parenthesized
+// tag, a ':' after the close paren, and a non-empty reason after the colon.
+SharedAnnotation ParseAnnotationGrammar(const std::string& raw, size_t pos) {
   if (pos >= raw.size() || raw[pos] != '(') {
     return SharedAnnotation::kMalformed;
   }
@@ -159,6 +158,16 @@ SharedAnnotation ParseSharedAnnotation(const std::string& raw, size_t marker_pos
     return SharedAnnotation::kMalformed;
   }
   return SharedAnnotation::kOk;
+}
+
+SharedAnnotation ParseSharedAnnotation(const std::string& raw, size_t marker_pos) {
+  return ParseAnnotationGrammar(raw, marker_pos + 13);  // strlen("APIARY-SHARED")
+}
+
+// "APIARY-WAKE(<source>): <reason>" shares the grammar; only the marker
+// (and what the tag names — a waker, not a sharing domain) differs.
+SharedAnnotation ParseWakeAnnotation(const std::string& raw, size_t marker_pos) {
+  return ParseAnnotationGrammar(raw, marker_pos + 11);  // strlen("APIARY-WAKE")
 }
 
 std::string ExpectedGuard(const std::string& path) {
@@ -462,6 +471,13 @@ LintConfig DefaultConfig() {
       "std::call_once", "std::once_flag", "std::counting_semaphore",
       "std::binary_semaphore", "std::latch", "std::barrier", "thread_local"};
   config.sync_allowed_prefixes = {"src/sim/parallel/"};
+
+  // Wake path: what counts as a visible wake integration. Firing or handing
+  // out a wake handle proves input delivery ends quiescence; overriding
+  // SchedulingPolicy proves the block opted out of parking entirely
+  // (kEveryCycle / kBoundaryPoll are re-polled, never parked).
+  config.wake_evidence = {"RequestWake(", "RequestPolicyRefresh(", "WakeHint", ".Wake(",
+                          "SchedulingPolicy("};
   return config;
 }
 
@@ -1257,6 +1273,165 @@ void CheckOpcodeCoverage(const std::vector<SourceFile>& files, const LintConfig&
   }
 }
 
+void CheckWakePath(const std::vector<SourceFile>& files, const LintConfig& config,
+                   std::vector<Finding>* findings) {
+  // A wake often fires in the implementation file while the declaration
+  // lives in the header (or vice versa), so evidence anywhere in the
+  // .h/.cc pair clears both: map path-minus-extension -> evidence seen.
+  std::map<std::string, bool> stem_evidence;
+  auto stem_of = [](const std::string& path) {
+    const size_t dot = path.rfind('.');
+    return dot == std::string::npos ? path : path.substr(0, dot);
+  };
+  for (const auto& file : files) {
+    if (!StartsWith(file.path, "src/")) {
+      continue;
+    }
+    bool& evidence = stem_evidence[stem_of(file.path)];
+    for (const auto& line : file.code_lines) {
+      if (evidence) {
+        break;
+      }
+      for (const auto& pattern : config.wake_evidence) {
+        if (line.find(pattern) != std::string::npos) {
+          evidence = true;
+          break;
+        }
+      }
+    }
+  }
+
+  for (const auto& file : files) {
+    if (!StartsWith(file.path, "src/")) {
+      continue;
+    }
+    std::string text;
+    std::vector<size_t> line_start;
+    for (const auto& line : file.code_lines) {
+      line_start.push_back(text.size());
+      text += line;
+      text.push_back('\n');
+    }
+    auto line_of = [&](size_t offset) {
+      size_t lo = 0;
+      size_t hi = line_start.size();
+      while (lo + 1 < hi) {
+        const size_t mid = (lo + hi) / 2;
+        if (line_start[mid] <= offset) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      return static_cast<int>(lo) + 1;
+    };
+
+    size_t pos = 0;
+    while ((pos = text.find("NextActivity", pos)) != std::string::npos) {
+      const size_t token = pos;
+      pos += 12;  // strlen("NextActivity")
+      // Identifier boundary before ('::' qualification is a definition head,
+      // '->'/'.' is a call) and an open paren after.
+      if (token > 0 && IsIdentChar(text[token - 1])) {
+        continue;
+      }
+      size_t p = pos;
+      while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) {
+        ++p;
+      }
+      if (p >= text.size() || text[p] != '(') {
+        continue;
+      }
+      // Skip the parameter list, then require a definition: only identifier
+      // characters and whitespace ("const override" etc.) may sit between
+      // the close paren and the '{'. Anything else — an operator, a second
+      // ')' — is a call site in an expression, and a ';' is a declaration.
+      int parens = 0;
+      while (p < text.size()) {
+        if (text[p] == '(') {
+          ++parens;
+        } else if (text[p] == ')') {
+          if (--parens == 0) {
+            ++p;
+            break;
+          }
+        }
+        ++p;
+      }
+      bool is_definition = false;
+      while (p < text.size()) {
+        const char c = text[p];
+        if (c == '{') {
+          is_definition = true;
+          break;
+        }
+        if (!IsIdentChar(c) && c != ' ' && c != '\t' && c != '\n' && c != '[' && c != ']') {
+          break;  // ';' (declaration) or an expression operator.
+        }
+        ++p;
+      }
+      if (!is_definition) {
+        continue;
+      }
+      const size_t body_open = p;
+      int depth = 0;
+      size_t body_end = body_open;
+      for (size_t i = body_open; i < text.size(); ++i) {
+        if (text[i] == '{') {
+          ++depth;
+        } else if (text[i] == '}') {
+          if (--depth == 0) {
+            body_end = i;
+            break;
+          }
+        }
+      }
+      if (FindIdentifier(text.substr(body_open, body_end - body_open), "kNoActivity")
+              .empty()) {
+        continue;  // The declaration never goes fully idle; parking is bounded.
+      }
+
+      // Blessing: an APIARY-WAKE annotation on the definition line or in the
+      // contiguous // comment block directly above it.
+      const int def_line = line_of(token);
+      bool blessed = false;
+      bool malformed = false;
+      for (int candidate = def_line; candidate >= 1; --candidate) {
+        const std::string& raw = file.raw_lines[static_cast<size_t>(candidate) - 1];
+        if (candidate != def_line && !StartsWith(Trimmed(raw), "//")) {
+          break;
+        }
+        const size_t marker = raw.find("APIARY-WAKE");
+        if (marker == std::string::npos) {
+          continue;
+        }
+        if (ParseWakeAnnotation(raw, marker) == SharedAnnotation::kOk) {
+          blessed = true;
+        } else {
+          malformed = true;
+        }
+        break;
+      }
+      if (malformed) {
+        findings->push_back({file.path, def_line, "apiary-wake-path",
+                             "malformed APIARY-WAKE annotation; the grammar is "
+                             "// APIARY-WAKE(<source>): <reason>"});
+        continue;
+      }
+      if (blessed || stem_evidence[stem_of(file.path)]) {
+        continue;
+      }
+      findings->push_back(
+          {file.path, def_line, "apiary-wake-path",
+           "NextActivity can return kNoActivity (idle until external input) but no "
+           "wake path is visible in this file pair — whoever delivers input to a "
+           "parked block must fire RequestWake()/WakeHint (or the block opts out "
+           "via SchedulingPolicy()); if the waker lives elsewhere, annotate the "
+           "definition with // APIARY-WAKE(<source>): <reason>"});
+    }
+  }
+}
+
 std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files,
                                   const LintConfig& config) {
   std::vector<Finding> raw;
@@ -1273,6 +1448,7 @@ std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files,
   }
   CheckOpcodeCoverage(files, config, &raw);
   CheckDomainConfinement(files, config, &raw);
+  CheckWakePath(files, config, &raw);
 
   std::map<std::string, const SourceFile*> by_path;
   for (const auto& file : files) {

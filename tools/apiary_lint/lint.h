@@ -22,6 +22,9 @@
 //                          registered channel types
 //   apiary-sync-discipline ad-hoc std::mutex/std::atomic/thread_local are
 //                          banned under src/ outside src/sim/parallel/
+//   apiary-wake-path       a NextActivity() that can declare kNoActivity
+//                          ("idle until external input") must show its wake
+//                          path or name its waker with APIARY-WAKE
 //   apiary-nolint-reason   every NOLINT(apiary-*) carries a ": <reason>"
 //
 // Any finding is suppressible in-line with clang-tidy style markers:
@@ -30,6 +33,15 @@
 // A bare NOLINT (no parenthesized list) suppresses every apiary check on
 // the line. Suppressions naming an apiary check must carry a ": <reason>"
 // suffix (enforced by apiary-nolint-reason).
+//
+// A block that declares kNoActivity parks until someone wakes it; state
+// mutated behind a parked block's back is exactly the bug class the
+// active-set scheduler turns from "perf loss" into "missed work". When the
+// wake path is not visible in the block's own .h/.cc pair, the waker is
+// named on or directly above the NextActivity definition:
+//   // APIARY-WAKE(<source>): <reason>
+// where <source> names who ends the quiescence (e.g. "tile", "owner",
+// "self") and <reason> says how the input reaches a Tick.
 //
 // Global mutable state that is *deliberately* shared (a process-wide
 // observability sink, an ablation toggle) is kept alive with the sanctioned
@@ -159,6 +171,12 @@ struct LintConfig {
   std::vector<std::string> banned_sync_identifiers;
   // The one reviewed home where synchronization may live.
   std::vector<std::string> sync_allowed_prefixes;
+
+  // --- apiary-wake-path ---
+  // Substrings that count as a visible wake integration in a block's
+  // .h/.cc pair: firing or handing out a wake, or opting out of parking
+  // via a SchedulingPolicy override.
+  std::vector<std::string> wake_evidence;
 };
 
 // The Apiary repo policy (see tools/apiary_lint/README.md for rationale).
@@ -206,6 +224,18 @@ void CheckNolintReason(const SourceFile& file, const LintConfig& config,
 // (so `apiary_lint src` alone stays meaningful).
 void CheckOpcodeCoverage(const std::vector<SourceFile>& files, const LintConfig& config,
                          std::vector<Finding>* findings);
+
+// Corpus-wide (the declaration and its wake often live in different files
+// of a .h/.cc pair): under src/, a NextActivity() definition whose body can
+// return kNoActivity declares "idle until external input" — the active-set
+// scheduler will park the block on it. The pair must then show a wake
+// integration (RequestWake/RequestPolicyRefresh/WakeHint, or a
+// SchedulingPolicy opt-out), or the definition must carry an
+// // APIARY-WAKE(<source>): <reason> annotation naming who wakes it. A
+// parked block whose input arrives with no wake is missed work, not a
+// perf loss (DESIGN.md §"Simulation substrate").
+void CheckWakePath(const std::vector<SourceFile>& files, const LintConfig& config,
+                   std::vector<Finding>* findings);
 
 // Corpus-wide, symbol-table-aware: builds a class/struct -> src layer table
 // from definitions, then flags raw pointer/reference *members* whose pointee

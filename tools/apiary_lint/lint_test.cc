@@ -633,6 +633,115 @@ TEST(SyncDiscipline, DoesNotFlagLookalikes) {
 }
 
 // ---------------------------------------------------------------------------
+// apiary-wake-path.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// A Clocked subclass whose NextActivity can go fully idle, with no wake
+// call anywhere in the file.
+const char kParkedQueue[] =
+    "class RxQueue : public Clocked {\n"
+    " public:\n"
+    "  void Deliver(int item) { pending_.push_back(item); }\n"
+    "  void Tick(Cycle now) override { Drain(now); }\n"
+    "  Cycle NextActivity(Cycle now) const override {\n"
+    "    return pending_.empty() ? kNoActivity : now;\n"
+    "  }\n"
+    "  std::string DebugName() const override { return \"rx\"; }\n"
+    " private:\n"
+    "  void Drain(Cycle now);\n"
+    "  std::vector<int> pending_;\n"
+    "};\n";
+
+}  // namespace
+
+TEST(WakePath, FlagsNoActivityWithoutVisibleWake) {
+  EXPECT_TRUE(HasCheck(LintOne("src/noc/rx.h", kParkedQueue), "apiary-wake-path"));
+}
+
+TEST(WakePath, WakeCallInFileClears) {
+  std::string src = kParkedQueue;
+  src.insert(src.find("void Tick"), "void Poke() { RequestWake(); }\n  ");
+  EXPECT_FALSE(HasCheck(LintOne("src/noc/rx.h", src), "apiary-wake-path"));
+}
+
+TEST(WakePath, EvidenceAnywhereInThePairClears) {
+  // Declaration parks in the header; the wake fires in the .cc.
+  EXPECT_FALSE(HasCheck(
+      LintMany({{"src/noc/rx.h", kParkedQueue},
+                {"src/noc/rx.cc", "void RxQueue::Drain(Cycle now) {\n"
+                                  "  (void)now;\n"
+                                  "  hint_.Wake();\n"
+                                  "}\n"}}),
+      "apiary-wake-path"));
+}
+
+TEST(WakePath, SchedulingPolicyOptOutClears) {
+  std::string src = kParkedQueue;
+  src.insert(src.find("void Tick"),
+             "SchedPolicy SchedulingPolicy() const override {\n"
+             "    return SchedPolicy::kBoundaryPoll;\n"
+             "  }\n  ");
+  EXPECT_FALSE(HasCheck(LintOne("src/noc/rx.h", src), "apiary-wake-path"));
+}
+
+TEST(WakePath, AnnotationNamingTheWakerBlesses) {
+  std::string src = kParkedQueue;
+  src.insert(src.find("  Cycle NextActivity"),
+             "  // APIARY-WAKE(tile): the owning Tile wakes on NI delivery.\n");
+  EXPECT_FALSE(HasCheck(LintOne("src/noc/rx.h", src), "apiary-wake-path"));
+}
+
+TEST(WakePath, MalformedAnnotationFires) {
+  std::string src = kParkedQueue;
+  src.insert(src.find("  Cycle NextActivity"), "  // APIARY-WAKE: missing source\n");
+  const auto findings = LintOne("src/noc/rx.h", src);
+  EXPECT_TRUE(HasCheck(findings, "apiary-wake-path"));
+  bool saw_grammar = false;
+  for (const auto& finding : findings) {
+    if (finding.message.find("malformed APIARY-WAKE") != std::string::npos) {
+      saw_grammar = true;
+    }
+  }
+  EXPECT_TRUE(saw_grammar);
+}
+
+TEST(WakePath, BoundedDeclarationsAndCallSitesAreIgnored) {
+  // Never returns kNoActivity: parking is always deadline-bounded.
+  EXPECT_FALSE(HasCheck(
+      LintOne("src/noc/timer.h",
+              "class Timer : public Clocked {\n"
+              " public:\n"
+              "  void Tick(Cycle now) override { last_ = now; }\n"
+              "  Cycle NextActivity(Cycle now) const override {\n"
+              "    const Cycle at = last_ + 4;\n"
+              "    return at > now ? at : now;\n"
+              "  }\n"
+              "  std::string DebugName() const override { return \"t\"; }\n"
+              " private:\n"
+              "  Cycle last_ = 0;\n"
+              "};\n"),
+      "apiary-wake-path"));
+  // A *call* in an expression (even one mentioning kNoActivity nearby) is
+  // not a definition.
+  EXPECT_FALSE(HasCheck(
+      LintOne("src/noc/sweep.cc",
+              "Cycle Earliest(Clocked* b, Cycle now) {\n"
+              "  if (b->NextActivity(now) <= now) {\n"
+              "    return now;\n"
+              "  }\n"
+              "  return kNoActivity;\n"
+              "}\n"),
+      "apiary-wake-path"));
+}
+
+TEST(WakePath, TestsAndBenchAreUnrestricted) {
+  EXPECT_FALSE(HasCheck(LintOne("tests/x.cc", kParkedQueue), "apiary-wake-path"));
+  EXPECT_FALSE(HasCheck(LintOne("bench/x.cc", kParkedQueue), "apiary-wake-path"));
+}
+
+// ---------------------------------------------------------------------------
 // apiary-nolint-reason.
 // ---------------------------------------------------------------------------
 
@@ -789,6 +898,9 @@ TEST(Fixtures, GoodTreesAreCleanBadTreesFail) {
       {"syncdiscipline/good", {"src"}, 0, ""},
       {"syncdiscipline/bad", {"src"}, 1, "apiary-sync-discipline"},
       {"syncdiscipline/suppressed", {"src"}, 0, ""},
+      {"wakepath/good", {"src"}, 0, ""},
+      {"wakepath/bad", {"src"}, 1, "apiary-wake-path"},
+      {"wakepath/suppressed", {"src"}, 0, ""},
       {"nolintreason/bad", {"src"}, 1, "apiary-nolint-reason"},
   };
   for (const auto& c : cases) {

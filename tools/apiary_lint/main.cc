@@ -153,10 +153,11 @@ int main(int argc, char** argv) {
                    "checks: apiary-determinism apiary-layering apiary-opcode-coverage\n"
                    "        apiary-include-guard apiary-debug-name apiary-nodiscard\n"
                    "        apiary-hot-path apiary-global-state apiary-domain-confinement\n"
-                   "        apiary-sync-discipline apiary-nolint-reason\n"
+                   "        apiary-sync-discipline apiary-wake-path apiary-nolint-reason\n"
                    "suppress with // NOLINT(apiary-<check>): <reason> or "
                    "NOLINTNEXTLINE(...): <reason>\n"
-                   "keep deliberate globals with // APIARY-SHARED(<domain>): <reason>\n";
+                   "keep deliberate globals with // APIARY-SHARED(<domain>): <reason>\n"
+                   "name an external waker with // APIARY-WAKE(<source>): <reason>\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "apiary_lint: unknown flag " << arg << "\n";

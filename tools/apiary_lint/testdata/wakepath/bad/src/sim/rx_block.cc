@@ -1,0 +1,20 @@
+// A queue that buffers input in Tick-visible state but never wakes the
+// block: under active-set scheduling the delivery lands behind a parked
+// block's back and the drain never runs — missed work, not a perf loss.
+namespace apiary {
+
+class RxQueue : public Clocked {
+ public:
+  void Deliver(int item) { pending_.push_back(item); }
+  void Tick(Cycle now) override { Drain(now); }
+  Cycle NextActivity(Cycle now) const override {
+    return pending_.empty() ? kNoActivity : now;
+  }
+  std::string DebugName() const override { return "rx_queue"; }
+
+ private:
+  void Drain(Cycle now);
+  std::vector<int> pending_;
+};
+
+}  // namespace apiary

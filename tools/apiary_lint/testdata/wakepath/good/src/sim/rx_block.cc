@@ -1,0 +1,53 @@
+// Quiescence-contract fixtures: every "idle until external input"
+// declaration either shows its wake path or names its waker.
+namespace apiary {
+
+// Evidence in-file: the delivery path fires RequestWake(), so a parked
+// block is re-activated the moment input lands.
+class RxQueue : public Clocked {
+ public:
+  void Deliver(int item) {
+    pending_.push_back(item);
+    RequestWake();
+  }
+  void Tick(Cycle now) override { Drain(now); }
+  Cycle NextActivity(Cycle now) const override {
+    return pending_.empty() ? kNoActivity : now;
+  }
+  std::string DebugName() const override { return "rx_queue"; }
+
+ private:
+  void Drain(Cycle now);
+  std::vector<int> pending_;
+};
+
+// Waker lives elsewhere: the annotation names it, keeping the audit trail
+// next to the declaration the scheduler parks on.
+class StatsService : public Clocked {
+ public:
+  void Tick(Cycle now) override { (void)now; }
+  // APIARY-WAKE(tile): purely reactive — the owning Tile wakes this block
+  // when its network interface delivers a message.
+  Cycle NextActivity(Cycle now) const override {
+    (void)now;
+    return kNoActivity;
+  }
+  std::string DebugName() const override { return "stats_service"; }
+};
+
+// A declaration that never goes fully idle needs neither: parking is
+// always bounded by the returned deadline.
+class Heartbeat : public Clocked {
+ public:
+  void Tick(Cycle now) override { last_ = now; }
+  Cycle NextActivity(Cycle now) const override {
+    const Cycle at = last_ + 100;
+    return at > now ? at : now;
+  }
+  std::string DebugName() const override { return "heartbeat"; }
+
+ private:
+  Cycle last_ = 0;
+};
+
+}  // namespace apiary

@@ -1,0 +1,19 @@
+// Same shape as bad/, with an explicit suppression carrying its reason.
+namespace apiary {
+
+class RxQueue : public Clocked {
+ public:
+  void Deliver(int item) { pending_.push_back(item); }
+  void Tick(Cycle now) override { Drain(now); }
+  // NOLINTNEXTLINE(apiary-wake-path): test double, never registered with a simulator
+  Cycle NextActivity(Cycle now) const override {
+    return pending_.empty() ? kNoActivity : now;
+  }
+  std::string DebugName() const override { return "rx_queue"; }
+
+ private:
+  void Drain(Cycle now);
+  std::vector<int> pending_;
+};
+
+}  // namespace apiary
