@@ -19,8 +19,11 @@
 //
 // Wall-clock timing lives here in bench/ (never in src/, which stays free of
 // host-time calls for the determinism lint). `--smoke` shrinks the run for
-// CI; `--no-skip` restricts to the escape-hatch configuration; `--json
-// <path>` emits machine-readable results.
+// CI; `--no-skip` restricts to the escape-hatch configuration; `--no-express`
+// disables the mesh's express-corridor fast path (on by default, applied
+// identically to both runs of each comparison so the skip-vs-no-skip numbers
+// stay apples-to-apples); `--json <path>` emits machine-readable results,
+// including corridor hit/materialization/length counters.
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -31,6 +34,7 @@
 #include "bench/bench_util.h"
 #include "src/accel/echo.h"
 #include "src/core/kernel.h"
+#include "src/noc/express.h"
 #include "src/sim/parallel/parallel_simulator.h"
 #include "src/stats/table.h"
 
@@ -146,6 +150,14 @@ struct RunResult {
   uint64_t sent = 0;
   uint64_t received = 0;
   double mcycles_per_sec = 0;
+  ExpressStats express;
+
+  double MeanCorridorHops() const {
+    return express.delivered > 0
+               ? static_cast<double>(express.hops_sum) /
+                     static_cast<double>(express.delivered)
+               : 0;
+  }
 
   // Fraction of block-ticks the active-set scheduler actually issued out of
   // the block-ticks a tick-everything loop would have issued over the same
@@ -157,10 +169,11 @@ struct RunResult {
   }
 };
 
-RunResult RunOne(Scenario scenario, bool skip_enabled, Cycle run_cycles,
-                 uint32_t threads) {
+RunResult RunOne(Scenario scenario, bool skip_enabled, bool express,
+                 Cycle run_cycles, uint32_t threads) {
   BenchBoard bb;
   bb.sim.SetSkipEnabled(skip_enabled);
+  bb.board.mesh().SetExpressEnabled(express);
   ApiaryOs& os = bb.os;
   const AppId app = os.CreateApp("b1");
 
@@ -210,6 +223,7 @@ RunResult RunOne(Scenario scenario, bool skip_enabled, Cycle run_cycles,
   r.wheel_wakes = bb.sim.wheel_wakes();
   r.wake_calls = bb.sim.wake_calls();
   r.block_count = bb.sim.block_count();
+  r.express = bb.board.mesh().AggregateExpressStats();
   if (pulse != nullptr) {
     r.sent = pulse->sent();
     r.received = pulse->received();
@@ -239,6 +253,7 @@ const char* Name(Scenario s) {
 int main(int argc, char** argv) {
   const bool smoke = HasFlag(argc, argv, "--smoke");
   const bool no_skip_only = HasFlag(argc, argv, "--no-skip");
+  const bool express = !HasFlag(argc, argv, "--no-express");
   const uint32_t threads = static_cast<uint32_t>(IntArg(argc, argv, "--threads", 0));
   const Cycle run_cycles = smoke ? 2'000'000 : 20'000'000;
 
@@ -253,6 +268,7 @@ int main(int argc, char** argv) {
   BenchJson json("b1_sim_throughput");
   json.Param("run_cycles", static_cast<uint64_t>(run_cycles));
   json.Param("threads", static_cast<uint64_t>(threads));
+  json.Param("express", express ? 1 : 0);
   json.Param("smoke", smoke ? 1 : 0);
 
   Table table("B1: simulated Mcycles per wall-second");
@@ -261,7 +277,7 @@ int main(int argc, char** argv) {
 
   bool consistent = true;
   for (Scenario s : {Scenario::kIdle, Scenario::kLight, Scenario::kSaturated}) {
-    const RunResult off = RunOne(s, /*skip_enabled=*/false, run_cycles, threads);
+    const RunResult off = RunOne(s, /*skip_enabled=*/false, express, run_cycles, threads);
     if (no_skip_only) {
       table.AddRow({Name(s), Table::Num(off.mcycles_per_sec, 1), "-", "-", "-", "-"});
       json.BeginRow();
@@ -269,7 +285,7 @@ int main(int argc, char** argv) {
       json.Metric("noskip_mcycles_per_sec", off.mcycles_per_sec);
       continue;
     }
-    const RunResult on = RunOne(s, /*skip_enabled=*/true, run_cycles, threads);
+    const RunResult on = RunOne(s, /*skip_enabled=*/true, express, run_cycles, threads);
     // The whole point is that skipping is invisible to the simulation:
     // identical end cycle and identical traffic counts, or the run is wrong.
     if (on.end_cycle != off.end_cycle || on.sent != off.sent ||
@@ -306,6 +322,10 @@ int main(int argc, char** argv) {
     json.Metric("wake_calls", on.wake_calls);
     json.Metric("requests", on.sent);
     json.Metric("responses", on.received);
+    json.Metric("express_hits", on.express.delivered);
+    json.Metric("express_launches", on.express.launches);
+    json.Metric("materializations", on.express.materializations);
+    json.Metric("mean_corridor_hops", on.MeanCorridorHops());
   }
   table.Print();
 

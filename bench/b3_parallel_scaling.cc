@@ -21,8 +21,12 @@
 // Multi-core runners are where the >=2x target is evaluated.
 //
 // `--smoke` shrinks the run for CI; `--json <path>` emits the numbers CI
-// archives; `--threads N` restricts to one configuration (plus the
-// threads=1 baseline when N != 1).
+// archives, including express corridor hit/materialization/length counters
+// (closed-loop saturation means queues rarely hold a lone packet, so the
+// expected hit count here is ~0 — the counter is reported so CI can see
+// that, not to show a win); `--no-express` disables the corridor fast path
+// on every configuration; `--threads N` restricts to one configuration
+// (plus the threads=1 baseline when N != 1).
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -33,6 +37,7 @@
 #include "bench/bench_util.h"
 #include "src/accel/echo.h"
 #include "src/core/kernel.h"
+#include "src/noc/express.h"
 #include "src/noc/packet_pool.h"
 #include "src/sim/parallel/parallel_simulator.h"
 #include "src/stats/table.h"
@@ -103,6 +108,14 @@ struct RunResult {
   uint64_t wheel_wakes = 0;
   uint64_t wake_calls = 0;
   uint64_t block_count = 0;
+  ExpressStats express;  // Whole-run corridor counters.
+
+  double MeanCorridorHops() const {
+    return express.delivered > 0
+               ? static_cast<double>(express.hops_sum) /
+                     static_cast<double>(express.delivered)
+               : 0;
+  }
 
   double ActiveFraction() const {
     const double denom =
@@ -114,13 +127,15 @@ struct RunResult {
 // Saturated 8x8 board: eight client/service pairs whose requests and
 // replies cross one or three of the column cuts (x = 1|2, 3|4, 5|6), plus
 // mixed inline/arena payload tiers. Tile = y*8 + x.
-RunResult RunOne(uint32_t threads, Cycle warmup_cycles, Cycle measure_cycles) {
+RunResult RunOne(uint32_t threads, bool express, Cycle warmup_cycles,
+                 Cycle measure_cycles) {
   BenchBoardOptions options;
   options.width = 8;
   options.height = 8;
   options.tile_region_cells = 25'000;  // 64 tiles of 100k would not fit VU9P.
   // Skip the standard services: pure IPC traffic, nothing else on the board.
   BenchBoard bb(options, /*deploy_services=*/false);
+  bb.board.mesh().SetExpressEnabled(express);
   ApiaryOs& os = bb.os;
   const AppId app = os.CreateApp("b3");
 
@@ -196,6 +211,7 @@ RunResult RunOne(uint32_t threads, Cycle warmup_cycles, Cycle measure_cycles) {
   r.wheel_wakes = bb.sim.wheel_wakes() - wheel0;
   r.wake_calls = bb.sim.wake_calls() - wake0;
   r.block_count = bb.sim.block_count();
+  r.express = bb.board.mesh().AggregateExpressStats();
   return r;
 }
 
@@ -203,6 +219,7 @@ RunResult RunOne(uint32_t threads, Cycle warmup_cycles, Cycle measure_cycles) {
 
 int main(int argc, char** argv) {
   const bool smoke = HasFlag(argc, argv, "--smoke");
+  const bool express = !HasFlag(argc, argv, "--no-express");
   const uint32_t only_threads = static_cast<uint32_t>(IntArg(argc, argv, "--threads", 0));
   const Cycle warmup_cycles = smoke ? 100'000 : 500'000;
   const Cycle measure_cycles = smoke ? 300'000 : 2'000'000;
@@ -224,6 +241,7 @@ int main(int argc, char** argv) {
   json.Param("warmup_cycles", static_cast<uint64_t>(warmup_cycles));
   json.Param("measure_cycles", static_cast<uint64_t>(measure_cycles));
   json.Param("host_cores", static_cast<uint64_t>(host_cores));
+  json.Param("express", express ? 1 : 0);
   json.Param("smoke", smoke ? 1 : 0);
 
   Table table("B3: simulated Mcycles per wall-second vs worker threads");
@@ -240,7 +258,7 @@ int main(int argc, char** argv) {
   int rc = 0;
   RunResult baseline;
   for (const uint32_t threads : configs) {
-    const RunResult r = RunOne(threads, warmup_cycles, measure_cycles);
+    const RunResult r = RunOne(threads, express, warmup_cycles, measure_cycles);
     if (threads == 1) {
       baseline = r;
     } else if (r.sent != baseline.sent || r.received != baseline.received ||
@@ -287,6 +305,10 @@ int main(int argc, char** argv) {
     json.Metric("active_fraction", r.ActiveFraction());
     json.Metric("wheel_wakes", r.wheel_wakes);
     json.Metric("wake_calls", r.wake_calls);
+    json.Metric("express_hits", r.express.delivered);
+    json.Metric("express_launches", r.express.launches);
+    json.Metric("materializations", r.express.materializations);
+    json.Metric("mean_corridor_hops", r.MeanCorridorHops());
   }
   table.Print();
 

@@ -22,10 +22,14 @@
 // bug, not noise, and fails the run.
 //
 // `--smoke` shrinks the run for CI; `--json <path>` emits the numbers CI
-// archives; `--no-active-set` runs only the tick-everything baseline;
-// `--no-active-sweep` additionally disables the mesh's internal live-list
-// sweep on the board leg (ablation of the mesh-level half of the
-// optimization, independent of the scheduler-level half).
+// archives, including express corridor counters from the board leg (the
+// saturated shape leaves inject queues multi-packet, so hits are expected
+// near zero — reported for CI visibility, not as a win); `--no-active-set`
+// runs only the tick-everything baseline; `--no-express` disables the
+// corridor fast path on the board leg; `--no-active-sweep` additionally
+// disables the mesh's internal live-list sweep on the board leg (ablation
+// of the mesh-level half of the optimization, independent of the
+// scheduler-level half).
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -36,6 +40,7 @@
 #include "src/accel/echo.h"
 #include "src/core/kernel.h"
 #include "src/core/message.h"
+#include "src/noc/express.h"
 #include "src/sim/clocked.h"
 #include "src/sim/simulator.h"
 #include "src/stats/table.h"
@@ -179,6 +184,14 @@ struct BoardResult {
   uint64_t ticked_blocks = 0;
   uint64_t executed_cycles = 0;
   uint64_t block_count = 0;
+  ExpressStats express;
+
+  double MeanCorridorHops() const {
+    return express.delivered > 0
+               ? static_cast<double>(express.hops_sum) /
+                     static_cast<double>(express.delivered)
+               : 0;
+  }
 
   double ActiveFraction() const {
     const double denom =
@@ -227,10 +240,12 @@ class SaturatingClient : public Accelerator {
   uint64_t received_ = 0;
 };
 
-BoardResult RunBoard(bool active_set, bool active_sweep, Cycle run_cycles) {
+BoardResult RunBoard(bool active_set, bool active_sweep, bool express,
+                     Cycle run_cycles) {
   BenchBoard bb;
   bb.sim.SetActiveSetEnabled(active_set);
   bb.board.mesh().SetActiveSweepEnabled(active_sweep);
+  bb.board.mesh().SetExpressEnabled(express);
   ApiaryOs& os = bb.os;
   const AppId app = os.CreateApp("b4");
 
@@ -260,6 +275,7 @@ BoardResult RunBoard(bool active_set, bool active_sweep, Cycle run_cycles) {
   r.ticked_blocks = bb.sim.ticked_blocks();
   r.executed_cycles = bb.sim.executed_cycles();
   r.block_count = bb.sim.block_count();
+  r.express = bb.board.mesh().AggregateExpressStats();
   return r;
 }
 
@@ -269,6 +285,7 @@ int main(int argc, char** argv) {
   const bool smoke = HasFlag(argc, argv, "--smoke");
   const bool baseline_only = HasFlag(argc, argv, "--no-active-set");
   const bool no_active_sweep = HasFlag(argc, argv, "--no-active-sweep");
+  const bool express = !HasFlag(argc, argv, "--no-express");
   const Cycle sweep_cycles = smoke ? 300'000 : 3'000'000;
   const Cycle board_cycles = smoke ? 200'000 : 2'000'000;
 
@@ -282,6 +299,7 @@ int main(int argc, char** argv) {
   json.Param("duty_period", static_cast<uint64_t>(kDutyPeriod));
   json.Param("sweep_cycles", static_cast<uint64_t>(sweep_cycles));
   json.Param("board_cycles", static_cast<uint64_t>(board_cycles));
+  json.Param("express", express ? 1 : 0);
   json.Param("smoke", smoke ? 1 : 0);
 
   Table table("B4: simulated Mcycles per wall-second vs active fraction");
@@ -335,10 +353,12 @@ int main(int argc, char** argv) {
   // Saturated-board guardrail: the active set cannot win here (everything
   // is busy every cycle) and must not lose.
   const BoardResult boff = RunBoard(/*active_set=*/false,
-                                    /*active_sweep=*/!no_active_sweep, board_cycles);
+                                    /*active_sweep=*/!no_active_sweep, express,
+                                    board_cycles);
   if (!baseline_only) {
     const BoardResult bon = RunBoard(/*active_set=*/true,
-                                     /*active_sweep=*/!no_active_sweep, board_cycles);
+                                     /*active_sweep=*/!no_active_sweep, express,
+                                     board_cycles);
     if (bon.sent != boff.sent || bon.received != boff.received ||
         bon.flits != boff.flits) {
       std::fprintf(stderr,
@@ -370,6 +390,10 @@ int main(int argc, char** argv) {
     json.Metric("messages", bon.received);
     json.Metric("active_fraction", bon.ActiveFraction());
     json.Metric("mesh_active_sweep", no_active_sweep ? 0 : 1);
+    json.Metric("express_hits", bon.express.delivered);
+    json.Metric("express_launches", bon.express.launches);
+    json.Metric("materializations", bon.express.materializations);
+    json.Metric("mean_corridor_hops", bon.MeanCorridorHops());
   }
 
   const std::string json_path = JsonPathArg(argc, argv);

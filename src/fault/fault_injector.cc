@@ -49,14 +49,26 @@ void FaultInjector::Fire(const FaultEvent& event, Cycle now) {
   counters_.Add(std::string("fault.") + FaultKindName(event.kind));
   switch (event.kind) {
     case FaultKind::kLinkDrop:
+      // A window opening ends NocQuiet: corridors planned under the old
+      // declaration must become real flits before any traversal can hit it.
+      // Fire runs in the root-phase Tick, before this cycle's mesh phases.
+      if (hooks_.mesh != nullptr) {
+        hooks_.mesh->MaterializeExpress();
+      }
       drop_windows_.push_back(Window{event.tile, now + event.duration, event.rate});
       Record(event, now, "");
       break;
     case FaultKind::kLinkCorrupt:
+      if (hooks_.mesh != nullptr) {
+        hooks_.mesh->MaterializeExpress();
+      }
       corrupt_windows_.push_back(Window{event.tile, now + event.duration, event.rate});
       Record(event, now, "");
       break;
     case FaultKind::kRouterStall:
+      if (hooks_.mesh != nullptr) {
+        hooks_.mesh->MaterializeExpress();
+      }
       stall_windows_.push_back(Window{event.tile, now + event.duration, 1.0});
       Record(event, now, "");
       break;
@@ -199,6 +211,18 @@ Cycle FaultInjector::NextMeshActivity(Cycle now) const {
     }
   }
   return kNoActivity;
+}
+
+bool FaultInjector::NocQuiet(Cycle now) const {
+  auto open = [now](const std::vector<Window>& windows) {
+    for (const Window& w : windows) {
+      if (now < w.until) {
+        return true;
+      }
+    }
+    return false;
+  };
+  return !open(drop_windows_) && !open(corrupt_windows_) && !open(stall_windows_);
 }
 
 bool FaultInjector::DrawHit(TileId router_tile, double rate) {

@@ -53,6 +53,10 @@ class FaultInjector : public Clocked, public NocFaultModel {
   // The mesh has per-cycle fault work (stall counters accrue on stalled
   // routers) only while a stall window is open.
   [[nodiscard]] Cycle NextMeshActivity(Cycle now) const override;
+  // Quiet for express corridors iff no drop/corrupt/stall window is open:
+  // with every window closed, OnLinkTraverse draws nothing and mutates
+  // nothing, so the corridor's skipped traversal checks are byte-exact.
+  [[nodiscard]] bool NocQuiet(Cycle now) const override;
 
   // Sharded link-fault mode, for boards driven by the ParallelSimulator:
   // OnLinkTraverse runs inside shard phases — concurrently across shards —

@@ -31,6 +31,16 @@ class NocFaultModel {
   // (~Cycle{0}) otherwise. The default keeps models that never stall
   // conservative-but-correct: an always-active mesh.
   [[nodiscard]] virtual Cycle NextMeshActivity(Cycle now) const { return now; }
+
+  // Express-corridor precondition: true only if NO drop/corrupt/stall window
+  // is open at `now`, i.e. skipping the per-traversal OnLinkTraverse calls
+  // for a fast-forwarded packet is observably exact (closed windows draw no
+  // randomness and mutate nothing). Models that cannot promise this keep the
+  // conservative default and simply disable corridor launches.
+  [[nodiscard]] virtual bool NocQuiet(Cycle now) const {
+    (void)now;
+    return false;
+  }
 };
 
 }  // namespace apiary

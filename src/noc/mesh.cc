@@ -52,6 +52,7 @@ Mesh::Mesh(MeshConfig config, SimContext* context) : config_(config) {
     }
   }
   BindLiveLists();
+  express_.Configure(this, n, nullptr, 0);
 }
 
 void Mesh::BindLiveLists() {
@@ -102,6 +103,9 @@ void Mesh::Tick(Cycle now) {
   // phases by the parallel engine; serial ticking would bypass the boundary
   // shims and double-run the phases.
   assert(!partitioned() && "partitioned mesh must be driven by ParallelSimulator");
+  if (express_enabled_) {
+    ExpressTickTop(express_, live_, now);
+  }
   MergeFresh(live_);
   if (!sweep_enabled_) {
     // Phase 1: flits staged last cycle become visible everywhere.
@@ -143,6 +147,18 @@ void Mesh::Tick(Cycle now) {
 }
 
 Cycle Mesh::NextActivity(Cycle now) const {
+  // An active corridor keeps the mesh ticking on every executed cycle — the
+  // exact cycles the real run would execute with those flits in flight, so
+  // skip/executed-cycle counts stay byte-identical. Each such tick costs
+  // O(corridors), not O(busy routers), which is where the B5 win comes from.
+  if (express_.AnyActive()) {
+    return now;
+  }
+  for (const ExpressLane& lane : shard_express_) {
+    if (lane.AnyActive()) {
+      return now;
+    }
+  }
   if (sweep_enabled_) {
     // The live sets are exact between ticks (marks are published on every
     // idle-to-busy transition, compaction prunes on the drain side), so the
@@ -174,6 +190,8 @@ Cycle Mesh::NextActivity(Cycle now) const {
 }
 
 void Mesh::SetFaultModel(NocFaultModel* model) {
+  // Corridors were planned against the old model's quiet declaration.
+  MaterializeExpress();
   fault_model_ = model;
   for (auto& r : routers_) {
     r->SetFaultModel(model);
@@ -181,9 +199,80 @@ void Mesh::SetFaultModel(NocFaultModel* model) {
 }
 
 void Mesh::SetArbClassWeight(uint8_t cls, uint32_t weight) {
+  // SetClassWeight zeroes every router's deficits and may flip the weighted
+  // arbitration path on or off — exactly the reconfiguration the corridor
+  // replay must not paper over. Materialize first, then reconfigure.
+  MaterializeExpress();
   for (auto& r : routers_) {
     r->SetClassWeight(cls, weight);
   }
+}
+
+void Mesh::SetExpressEnabled(bool enabled) {
+  if (!enabled) {
+    MaterializeExpress();
+  }
+  express_enabled_ = enabled;
+  express_.SetEnabled(enabled && !partitioned());
+  for (ExpressLane& lane : shard_express_) {
+    lane.SetEnabled(enabled);
+  }
+  BindExpressLanes();
+}
+
+void Mesh::BindExpressLanes() {
+  for (uint32_t t = 0; t < num_tiles(); ++t) {
+    ExpressLane* lane = nullptr;
+    if (express_enabled_) {
+      lane = partitioned() ? &shard_express_[partition_.shard_of_tile[t]] : &express_;
+    }
+    nis_[t]->SetExpressLane(lane);
+  }
+}
+
+void Mesh::MaterializeExpress() {
+  express_.MaterializeAll();
+  for (ExpressLane& lane : shard_express_) {
+    lane.MaterializeAll();
+  }
+}
+
+ExpressStats Mesh::AggregateExpressStats() const {
+  ExpressStats total = folded_express_;
+  total.Fold(express_.stats());
+  for (const ExpressLane& lane : shard_express_) {
+    total.Fold(lane.stats());
+  }
+  return total;
+}
+
+void Mesh::ExpressTickTop(ExpressLane& lane, LiveSet& set, Cycle now) {
+  lane.RunCompletions(now);
+  if (lane.AnyActive()) {
+    // Conflict scan over the domain's busy sets. Index-based with snapshot
+    // bounds: materializing a corridor appends its own router/NI marks to
+    // the fresh lists, and those can never conflict with the survivors (the
+    // path/zone disjointness invariant), so new entries are safely skipped.
+    const size_t routers = set.routers.size();
+    const size_t fresh_routers = set.fresh_routers.size();
+    const size_t nis = set.nis.size();
+    const size_t fresh_nis = set.fresh_nis.size();
+    for (size_t i = 0; i < routers && lane.AnyActive(); ++i) {
+      lane.MaterializeTouchingRouter(set.routers[i]);
+    }
+    for (size_t i = 0; i < fresh_routers && lane.AnyActive(); ++i) {
+      lane.MaterializeTouchingRouter(set.fresh_routers[i]);
+    }
+    for (size_t i = 0; i < nis && lane.AnyActive(); ++i) {
+      lane.MaterializeTouchingNi(set.nis[i]);
+    }
+    for (size_t i = 0; i < fresh_nis && lane.AnyActive(); ++i) {
+      lane.MaterializeTouchingNi(set.fresh_nis[i]);
+    }
+  }
+  // Every observer until the next tick sees end-of-`now` state, really or
+  // analytically — the uniform materialization boundary.
+  lane.SetStateTime(now);
 }
 
 uint32_t Mesh::Hops(TileId a, TileId b) const {
@@ -230,6 +319,9 @@ uint64_t Mesh::LogicCellCost() const {
 void Mesh::EnablePartition(const DomainPartition& partition,
                            std::vector<std::unique_ptr<SimContext>> shard_contexts) {
   assert(!partitioned());
+  // Corridors hold drained injection queues; flush them back before the
+  // idle asserts below (an active corridor IS in-flight traffic).
+  MaterializeExpress();
   assert(partition.width == config_.width && partition.height == config_.height);
   assert(shard_contexts.size() == partition.num_shards);
   // The fabric must be idle: a packet acquired before the split would be
@@ -302,12 +394,31 @@ void Mesh::EnablePartition(const DomainPartition& partition,
       }
     }
   }
+
+  // One express lane per shard, worker-confined exactly like the LiveSets
+  // (launch/scan/materialize all run inside shard phases; the coordinator
+  // only touches them from the root phase, with workers at their barrier).
+  shard_express_.assign(partition_.num_shards, ExpressLane{});
+  for (uint32_t s = 0; s < partition_.num_shards; ++s) {
+    shard_express_[s].Configure(this, num_tiles(), partition_.shard_of_tile.data(), s);
+    shard_express_[s].SetEnabled(express_enabled_);
+  }
+  express_.SetEnabled(false);
+  BindExpressLanes();
 }
 
 void Mesh::DisablePartition() {
   if (!partitioned()) {
     return;
   }
+  // In-flight corridors are shard-confined state; convert them back to
+  // ordinary buffered flits (whose routers self-mark into the shard live
+  // sets folded below) before the shard lanes retire.
+  MaterializeExpress();
+  for (ExpressLane& lane : shard_express_) {
+    folded_express_.Fold(lane.stats());
+  }
+  shard_express_.clear();
   for (BoundaryEdge& edge : edges_) {
     edge.src_router->SetOutputBoundary(edge.out_port, nullptr);
     edge.dst_router->SetInputBoundary(edge.in_port, nullptr);
@@ -341,10 +452,15 @@ void Mesh::DisablePartition() {
   shard_contexts_.clear();
   shard_pools_.clear();
   partition_ = DomainPartition{};
+  express_.SetEnabled(express_enabled_);
+  BindExpressLanes();
 }
 
-void Mesh::ShardCommit(uint32_t shard) {
+void Mesh::ShardCommit(uint32_t shard, Cycle now) {
   LiveSet& set = shard_live_[shard];
+  if (express_enabled_) {
+    ExpressTickTop(shard_express_[shard], set, now);
+  }
   MergeFresh(set);
   if (sweep_enabled_) {
     for (const uint32_t t : set.routers) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/noc/boundary_link.h"
+#include "src/noc/express.h"
 #include "src/noc/fault_hooks.h"
 #include "src/noc/network_interface.h"
 #include "src/noc/packet.h"
@@ -88,6 +89,22 @@ class Mesh : public Clocked, public ShardedFabric {
   // proportional NoC bandwidth shares.
   void SetArbClassWeight(uint8_t cls, uint32_t weight);
 
+  // Express corridors (src/noc/express.h): timing-equivalent analytic
+  // fast-forwarding of whole packets through verifiably idle routers. Off by
+  // default; toggling off (or any interference hook — fault window, weight
+  // reconfig, partition change) materializes in-flight corridors back into
+  // ordinary buffered flits, so traces/counters/billing stay byte-identical
+  // either way.
+  void SetExpressEnabled(bool enabled);
+  bool express_enabled() const { return express_enabled_; }
+  // Converts every in-flight corridor back to buffered flits at the current
+  // state boundary. Called by FaultInjector::Fire before a NoC window opens,
+  // and by every reconfiguration entry point.
+  void MaterializeExpress();
+  // Lane statistics summed over the serial lane, live shard lanes, and lanes
+  // folded at DisablePartition.
+  ExpressStats AggregateExpressStats() const;
+
   // Minimal hop count between two tiles under XY routing.
   uint32_t Hops(TileId a, TileId b) const;
 
@@ -109,7 +126,7 @@ class Mesh : public Clocked, public ShardedFabric {
                        std::vector<std::unique_ptr<SimContext>> shard_contexts) override;
   void DisablePartition() override;
   SimContext* shard_context(uint32_t shard) override { return shard_contexts_[shard].get(); }
-  void ShardCommit(uint32_t shard) override;
+  void ShardCommit(uint32_t shard, Cycle now) override;
   void ShardRoute(uint32_t shard, Cycle now) override;
   void ShardTransfer(uint32_t shard, Cycle now) override;
   Clocked* AsClocked() override { return this; }
@@ -145,6 +162,12 @@ class Mesh : public Clocked, public ShardedFabric {
     return !set.routers.empty() || !set.fresh_routers.empty() || !set.nis.empty() ||
            !set.fresh_nis.empty();
   }
+  // Per-executed-cycle express work for one sweep domain, before the live
+  // merge: complete corridors due this cycle, then materialize any corridor
+  // whose zone a busy router (or whose path a busy NI) has entered.
+  void ExpressTickTop(ExpressLane& lane, LiveSet& set, Cycle now);
+  // Points each NI at its domain's lane (or detaches them when disabled).
+  void BindExpressLanes();
   void MergeFresh(LiveSet& set);
   // Drops drained members and clears their marks, restoring the "listed iff
   // busy" invariant the O(1) NextActivity check relies on.
@@ -179,6 +202,15 @@ class Mesh : public Clocked, public ShardedFabric {
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   NocFaultModel* fault_model_ = nullptr;
   bool sweep_enabled_ = true;
+  // Express lanes: one per sweep domain, same confinement as the LiveSets.
+  // The lanes read router/NI/fault state through the friendship in
+  // express.h; `folded_express_` keeps stats of shard lanes retired at
+  // DisablePartition.
+  friend class ExpressLane;
+  bool express_enabled_ = false;
+  ExpressLane express_;
+  std::vector<ExpressLane> shard_express_;
+  ExpressStats folded_express_;
   LiveSet live_;  // Serial sweep domain (unused while partitioned).
   // Per-shard sweep domains, worker-confined during shard phases (every
   // mark source — routing, boundary delivery, monitor injection — stays

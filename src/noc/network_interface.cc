@@ -1,5 +1,7 @@
 #include "src/noc/network_interface.h"
 
+#include "src/noc/express.h"
+
 namespace apiary {
 
 NetworkInterface::NetworkInterface(TileId tile, Router* router, uint32_t inject_queue_flits,
@@ -20,10 +22,22 @@ uint32_t NetworkInterface::LogicCellCost() {
 }
 
 bool NetworkInterface::CanInject(uint32_t flits, Vc vc) const {
-  return inject_queues_[static_cast<int>(vc)].size() + flits <= inject_queue_flits_;
+  uint32_t pending = static_cast<uint32_t>(inject_queues_[static_cast<int>(vc)].size());
+  if (express_ != nullptr) {
+    // A corridor sourced here drained this queue at launch; count what the
+    // real run's queue would still hold so backpressure decisions (and their
+    // counters) stay byte-identical.
+    pending += express_->VirtualPending(tile_, static_cast<int>(vc));
+  }
+  return pending + flits <= inject_queue_flits_;
 }
 
 bool NetworkInterface::Inject(PacketRef packet, Cycle now) {
+  if (express_ != nullptr) {
+    // New traffic from this tile ends any corridor launched here: its
+    // unlaunched flits must requeue ahead of this packet, in order.
+    express_->MaterializeSource(tile_);
+  }
   if (force_single_vc_) {
     packet->vc = Vc::kRequest;  // Single-VC ablation: everything shares VC0.
   }
@@ -56,7 +70,11 @@ bool NetworkInterface::Inject(PacketRef packet, Cycle now) {
 }
 
 void NetworkInterface::InjectCycle(Cycle now) {
-  (void)now;
+  if (express_ != nullptr && express_->TryLaunch(*this, now)) {
+    // The corridor's closed-form schedule covers this cycle's injection (and
+    // every later one) — the queue has been drained into it.
+    return;
+  }
   // One flit per cycle onto the local port, round-robin across VCs.
   for (int i = 0; i < kNumVcs; ++i) {
     auto& queue = inject_queues_[(inject_rr_ + i) % kNumVcs];

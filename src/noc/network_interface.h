@@ -22,6 +22,7 @@
 
 namespace apiary {
 
+class ExpressLane;
 class PacketPool;
 
 class NetworkInterface {
@@ -90,6 +91,13 @@ class NetworkInterface {
   // tile's parked quiescence the cycle legacy tick order dictates.
   void SetSinkWake(WakeHint hint) { sink_wake_ = hint; }
 
+  // Express-corridor wiring (Mesh::SetExpressEnabled): when set, InjectCycle
+  // first offers the queue to the lane (a launched corridor replaces real
+  // injection), Inject materializes any corridor sourced here before new
+  // flits enqueue, and CanInject counts the corridor's virtual queue
+  // occupancy so the monitor's pre-check matches the real run byte-for-byte.
+  void SetExpressLane(ExpressLane* lane) { express_ = lane; }
+
   // Largest packet (in flits) that can ever be injected; senders must
   // segment above this.
   uint32_t max_packet_flits() const { return inject_queue_flits_; }
@@ -100,11 +108,16 @@ class NetworkInterface {
   static uint32_t LogicCellCost();
 
  private:
+  // The lane drains/refills the injection queues at corridor launch and
+  // materialization, and replays the round-robin pointer (express.h).
+  friend class ExpressLane;
+
   TileId tile_;
   Router* router_;
   uint32_t inject_queue_flits_;
   bool force_single_vc_;
   PacketPool* pool_;
+  ExpressLane* express_ = nullptr;
   // Per-VC injection queues so response traffic never queues behind a
   // request backlog (mirrors the router's VC separation). Fixed-capacity
   // rings: the bound is inject_queue_flits by construction, so the queue

@@ -44,6 +44,25 @@ void Router::SetClassWeight(uint8_t cls, uint32_t weight) {
   }
 }
 
+void Router::ExpressCatchUp(RouterPort out, RouterPort in, int vc, uint32_t departed,
+                            uint32_t flits) {
+  if (departed == 0) {
+    return;  // The lead flit never left this router: nothing was observable.
+  }
+  flits_routed_ += departed;
+  // Each departure cycle sent exactly one flit through `out`, advancing the
+  // VC pointer once; the head's acquisition (sole candidate — the corridor
+  // invariant) moved the input pointer past `in` and reset this output's
+  // deficits, and body flits rode the wormhole owner without touching either.
+  rr_vc_[out] = static_cast<int>((static_cast<uint32_t>(rr_vc_[out]) + departed) % kNumVcs);
+  rr_input_[out] = (static_cast<int>(in) + 1) % kNumPorts;
+  if (weighted_) {
+    class_deficit_[out].fill(0);
+  }
+  outputs_[out][vc].owner_port =
+      departed < flits ? static_cast<int>(in) : -1;
+}
+
 RouterPort Router::RoutePort(TileId dst) const {
   const uint32_t dx = dst % mesh_width_;
   const uint32_t dy = dst / mesh_width_;

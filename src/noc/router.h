@@ -99,6 +99,19 @@ class Router {
   static uint32_t LogicCellCost(uint32_t buffer_depth);
 
  private:
+  // The express lane reads wormhole-owner state at corridor launch and
+  // replays batched traversal effects through ExpressCatchUp (src/noc/
+  // express.h documents why the batch is byte-exact).
+  friend class ExpressLane;
+
+  // Applies the externally visible effects of `departed` corridor flits
+  // having been forwarded from input `in` through (out, vc) on consecutive
+  // cycles: flit count, VC/input round-robin pointers, the sole-pass deficit
+  // reset, and the wormhole owner (held while mid-packet, released by the
+  // tail). No-op when nothing departed yet.
+  void ExpressCatchUp(RouterPort out, RouterPort in, int vc, uint32_t departed,
+                      uint32_t flits);
+
   // Fixed-capacity rings (buffer_depth each, sized once at construction):
   // the input buffer models a hardware FIFO, so its bound is architectural
   // and per-flit queue churn must not touch the heap.

@@ -174,7 +174,7 @@ void ParallelSimulator::WorkerCycle(uint32_t worker, Cycle now) {
   // for any threads <= shards).
   for (uint32_t s = begin; s < end; ++s) {
     ThreadDomain::ScopedInstall install(shard_contexts_[s]);
-    fabric_->ShardCommit(s);
+    fabric_->ShardCommit(s, now);
     fabric_->ShardRoute(s, now);
     route_done_[s].seq.store(seq, std::memory_order_release);
   }

@@ -9,8 +9,10 @@
 //
 // Per-executed-cycle protocol, mirroring Mesh::Tick's three phases but
 // sliced by shard (see parallel_simulator.h for the sync that orders them):
-//   ShardCommit(s)    — flits staged last cycle become visible in shard s's
-//                       routers; boundary anchor refs from last cycle drop.
+//   ShardCommit(s)    — per-cycle shard-top work (express corridor
+//                       completions/conflict scans), then flits staged last
+//                       cycle become visible in shard s's routers; boundary
+//                       anchor refs from last cycle drop.
 //   ShardRoute(s)     — shard s's routers each forward up to one flit per
 //                       output port; cut-crossing flits go into SPSC rings;
 //                       consumed-credit records flush to the senders.
@@ -60,7 +62,7 @@ class ShardedFabric {
   virtual SimContext* shard_context(uint32_t shard) = 0;
 
   // The three per-cycle phases for one shard (see the file comment).
-  virtual void ShardCommit(uint32_t shard) = 0;
+  virtual void ShardCommit(uint32_t shard, Cycle now) = 0;
   virtual void ShardRoute(uint32_t shard, Cycle now) = 0;
   virtual void ShardTransfer(uint32_t shard, Cycle now) = 0;
 

@@ -430,6 +430,9 @@ LintConfig DefaultConfig() {
   config.hot_path_exempt_prefixes = {"src/noc/packet_pool.", "src/core/message.",
                                      "src/sim/payload_buf.", "src/fpga/ethernet.",
                                      "src/services/transport."};
+  // The corridor planner/reservation layer: launch and materialize run on
+  // the executed-cycle path, so allocation is confined to Configure().
+  config.express_hot_path_prefixes = {"src/noc/express"};
 
   // src/sim/clocked.h rides along for quiescence hygiene: an ignored
   // NextActivity() result means a computed wake-up cycle was dropped on the
@@ -727,6 +730,53 @@ void CheckHotPath(const SourceFile& file, const LintConfig& config,
   for (const auto& prefix : config.hot_path_exempt_prefixes) {
     if (StartsWith(file.path, prefix)) {
       return;
+    }
+  }
+  // The express corridor planner/reservation files additionally ban ALL
+  // allocation outside the one-time Configure() sizing: TryLaunch, the
+  // per-cycle conflict scan, and materialization run on the executed-cycle
+  // path, and a grow-on-demand container there would turn the fast path
+  // into a hidden allocator.
+  bool express_file = false;
+  for (const auto& prefix : config.express_hot_path_prefixes) {
+    if (StartsWith(file.path, prefix)) {
+      express_file = true;
+      break;
+    }
+  }
+  if (express_file) {
+    bool in_setup = false;  // Inside a Configure() definition.
+    for (size_t i = 0; i < file.code_lines.size(); ++i) {
+      const std::string& line = file.code_lines[i];
+      const int lineno = static_cast<int>(i) + 1;
+      // Track the enclosing member function: out-of-line definitions all
+      // carry the ExpressLane:: qualifier, so a qualifier sighting updates
+      // whether we are inside the sanctioned sizing function.
+      if (line.find("ExpressLane::") != std::string::npos) {
+        in_setup = line.find("::Configure(") != std::string::npos;
+      }
+      if (in_setup) {
+        continue;
+      }
+      static const char* const kAllocOps[] = {".assign(", ".resize(", ".reserve(",
+                                              "std::make_unique", "std::make_shared"};
+      std::string hit;
+      for (const char* op : kAllocOps) {
+        if (line.find(op) != std::string::npos) {
+          hit = op;
+          break;
+        }
+      }
+      if (hit.empty() && !FindIdentifier(line, "new").empty()) {
+        hit = "new";
+      }
+      if (!hit.empty()) {
+        findings->push_back(
+            {file.path, lineno, "apiary-hot-path",
+             "express corridor state allocates outside Configure() (" + hit +
+                 "): launch/conflict-scan/materialize run on the executed-cycle "
+                 "path — size reservations once and recycle slots in place"});
+      }
     }
   }
   for (size_t i = 0; i < file.code_lines.size(); ++i) {

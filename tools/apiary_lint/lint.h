@@ -13,7 +13,9 @@
 //   apiary-debug-name      Clocked subclasses override DebugName()
 //   apiary-nodiscard       capability/segment-minting APIs are [[nodiscard]]
 //   apiary-hot-path        packets come from PacketPool, payloads ride in
-//                          PayloadBuf (no per-message heap allocation)
+//                          PayloadBuf (no per-message heap allocation); the
+//                          express corridor planner/reservation files never
+//                          allocate outside one-time Configure()
 //   apiary-global-state    no unannotated process-global mutable state under
 //                          src/ (survivors carry APIARY-SHARED(<domain>))
 //   apiary-domain-confinement
@@ -140,6 +142,13 @@ struct LintConfig {
   // pool/serialization layer itself, which is the one place allowed to
   // allocate packets and touch raw wire vectors.
   std::vector<std::string> hot_path_exempt_prefixes;
+  // Path prefixes holding the express corridor planner and reservation
+  // structures. Corridor launch, conflict scanning, and materialization all
+  // run on the executed-cycle path, so these files may not allocate at all
+  // outside the one-time Configure() sizing: no new/make_unique/make_shared
+  // and no container assign/resize/reserve. Reservation state is sized once
+  // and recycled in place.
+  std::vector<std::string> express_hot_path_prefixes;
 
   // --- apiary-opcode-coverage ---
   // Path suffixes of the headers that define the opcode ABI.

@@ -404,6 +404,43 @@ TEST(HotPath, NolintSuppresses) {
       "apiary-hot-path"));
 }
 
+TEST(HotPath, ExpressFilesBanAllocationOutsideConfigure) {
+  const auto findings = LintOne("src/noc/express.cc",
+                                "bool ExpressLane::TryLaunch(uint32_t tile) {\n"
+                                "  path_owner_.resize(tile + 1);\n"
+                                "  auto spare = std::make_unique<Corridor>();\n"
+                                "  Corridor* raw = new Corridor();\n"
+                                "  return true;\n"
+                                "}\n");
+  ASSERT_EQ(findings.size(), 3u);
+  for (const auto& finding : findings) {
+    EXPECT_EQ(finding.check, "apiary-hot-path");
+    EXPECT_NE(finding.message.find("outside Configure()"), std::string::npos);
+  }
+}
+
+TEST(HotPath, ExpressConfigureIsTheSanctionedSizingPoint) {
+  EXPECT_TRUE(LintOne("src/noc/express.cc",
+                      "void ExpressLane::Configure(uint32_t num_tiles) {\n"
+                      "  path_owner_.assign(num_tiles, 0);\n"
+                      "  zone_count_.assign(num_tiles, 0);\n"
+                      "}\n"
+                      "bool ExpressLane::TryLaunch(uint32_t tile) {\n"
+                      "  path_owner_[tile] = 1;\n"
+                      "  return true;\n"
+                      "}\n")
+                  .empty());
+}
+
+TEST(HotPath, ExpressDisciplineLimitedToExpressFiles) {
+  // The same assign in mesh.cc is partition setup, not corridor state.
+  EXPECT_TRUE(LintOne("src/noc/mesh.cc",
+                      "void Mesh::EnablePartition(uint32_t n) {\n"
+                      "  shard_express_.assign(n, ExpressLane{});\n"
+                      "}\n")
+                  .empty());
+}
+
 // ---------------------------------------------------------------------------
 // apiary-global-state.
 // ---------------------------------------------------------------------------
@@ -889,6 +926,9 @@ TEST(Fixtures, GoodTreesAreCleanBadTreesFail) {
       {"hotpath/good", {"src"}, 0, ""},
       {"hotpath/bad", {"src"}, 1, "apiary-hot-path"},
       {"hotpath/suppressed", {"src"}, 0, ""},
+      {"expresspath/good", {"src"}, 0, ""},
+      {"expresspath/bad", {"src"}, 1, "apiary-hot-path"},
+      {"expresspath/suppressed", {"src"}, 0, ""},
       {"globalstate/good", {"src"}, 0, ""},
       {"globalstate/bad", {"src"}, 1, "apiary-global-state"},
       {"globalstate/suppressed", {"src"}, 0, ""},

@@ -1,0 +1,42 @@
+// Bad: the corridor planner grows its reservation structures during launch
+// and materialization — hidden allocation on the executed-cycle path.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace apiary {
+
+struct Corridor {
+  uint32_t hops = 0;
+};
+
+class ExpressLane {
+ public:
+  void Configure(uint32_t num_tiles);
+  bool TryLaunch(uint32_t tile);
+  void Materialize(uint32_t idx);
+
+ private:
+  std::vector<uint16_t> path_owner_;
+  std::vector<Corridor*> scratch_;
+};
+
+void ExpressLane::Configure(uint32_t num_tiles) {
+  path_owner_.assign(num_tiles, 0);
+}
+
+bool ExpressLane::TryLaunch(uint32_t tile) {
+  path_owner_.resize(tile + 1);
+  scratch_.reserve(scratch_.size() + 1);
+  auto spare = std::make_unique<Corridor>();
+  Corridor* raw = new Corridor();
+  (void)spare;
+  (void)raw;
+  return true;
+}
+
+void ExpressLane::Materialize(uint32_t idx) {
+  path_owner_.assign(idx, 0);
+}
+
+}  // namespace apiary

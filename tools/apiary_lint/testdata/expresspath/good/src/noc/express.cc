@@ -1,0 +1,39 @@
+// Good: reservation state is sized once in Configure() and every later
+// operation recycles slots in place — nothing on the launch/materialize
+// path allocates.
+#include <cstdint>
+#include <vector>
+
+namespace apiary {
+
+class ExpressLane {
+ public:
+  void Configure(uint32_t num_tiles);
+  bool TryLaunch(uint32_t tile);
+  void Materialize(uint32_t idx);
+
+ private:
+  std::vector<uint16_t> path_owner_;  // Sized once; slots recycled in place.
+  std::vector<uint8_t> zone_count_;
+};
+
+void ExpressLane::Configure(uint32_t num_tiles) {
+  path_owner_.assign(num_tiles, 0);
+  zone_count_.assign(num_tiles, 0);
+}
+
+bool ExpressLane::TryLaunch(uint32_t tile) {
+  if (path_owner_[tile] != 0) {
+    return false;
+  }
+  path_owner_[tile] = 1;
+  zone_count_[tile] += 1;
+  return true;
+}
+
+void ExpressLane::Materialize(uint32_t idx) {
+  path_owner_[idx] = 0;
+  zone_count_[idx] -= 1;
+}
+
+}  // namespace apiary

@@ -1,0 +1,28 @@
+// Suppressed: a deliberately allocating cold path (debug dump) with the
+// in-line marker the check honors.
+#include <cstdint>
+#include <vector>
+
+namespace apiary {
+
+class ExpressLane {
+ public:
+  void Configure(uint32_t num_tiles);
+  void DumpForDebug();
+
+ private:
+  std::vector<uint16_t> path_owner_;
+};
+
+void ExpressLane::Configure(uint32_t num_tiles) {
+  path_owner_.assign(num_tiles, 0);
+}
+
+void ExpressLane::DumpForDebug() {
+  std::vector<uint16_t> snapshot;
+  snapshot.reserve(path_owner_.size());  // NOLINT(apiary-hot-path): debug-only dump, never on the executed-cycle path
+  // NOLINTNEXTLINE(apiary-hot-path): debug-only dump, never on the executed-cycle path
+  snapshot.assign(path_owner_.begin(), path_owner_.end());
+}
+
+}  // namespace apiary
